@@ -1,0 +1,33 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper, prints it,
+and saves the rendered text under ``results/`` so the run leaves an
+inspectable record.  ``REPRO_SCALE=full`` switches to the long sweeps.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import ExperimentSettings
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def settings() -> ExperimentSettings:
+    return ExperimentSettings.from_env()
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        print(f"\n=== {name} ===")
+        print(text)
+
+    return _save

@@ -1,0 +1,165 @@
+"""Ablations over the paper's fixed design choices (DESIGN.md index).
+
+Not paper figures — these quantify the sensitivity of choices the paper
+asserts: pipeline organisation (Fig. 8), 2 VCs (Sec. 3.2.4), 8-flit
+buffers (Sec. 3.2.1), span-2 express channels (Sec. 3.3), plus the QoS
+and fault-tolerance uses of the spare bandwidth the paper names but does
+not evaluate.
+"""
+
+from repro.experiments.ablations import (
+    ablate_3db_cpu_placement,
+    ablate_vc_partitioning,
+    ablate_buffer_depth,
+    ablate_express_span,
+    ablate_link_failures,
+    ablate_pipeline_depth,
+    ablate_qos,
+    ablate_vc_count,
+)
+from repro.experiments.report import format_table
+
+
+def test_ablation_pipeline_depth(benchmark, settings, save_report):
+    results = benchmark.pedantic(
+        lambda: ablate_pipeline_depth(settings), rounds=1, iterations=1
+    )
+    rows = [
+        [label, f"{p.avg_latency:.2f}", f"{p.total_power_w:.3f}"]
+        for label, p in results.items()
+    ]
+    save_report(
+        "ablation_pipeline_depth",
+        format_table(["organisation", "latency (cyc)", "power (W)"], rows),
+    )
+    lat = {label: p.avg_latency for label, p in results.items()}
+    # Within each design, every removed stage helps; the fully-optimised
+    # 3DM pipeline is the global winner.
+    two_db = [
+        lat["2DB 4-stage (Fig.8a, 5cyc/hop)"],
+        lat["2DB +spec SA (Fig.8b, 4cyc/hop)"],
+        lat["2DB +lookahead (Fig.8c, 3cyc/hop)"],
+    ]
+    assert two_db == sorted(two_db, reverse=True)
+    assert lat["3DM merged+spec+lookahead (2cyc/hop)"] == min(lat.values())
+    assert (
+        lat["3DM merged ST+LT (Fig.8d, 4cyc/hop)"]
+        < lat["2DB 4-stage (Fig.8a, 5cyc/hop)"]
+    )
+
+
+def test_ablation_vc_count(benchmark, settings, save_report):
+    results = benchmark.pedantic(
+        lambda: ablate_vc_count(settings), rounds=1, iterations=1
+    )
+    rows = [
+        [vcs, f"{p.avg_latency:.2f}", f"{p.sim.throughput:.3f}"]
+        for vcs, p in sorted(results.items())
+    ]
+    save_report(
+        "ablation_vc_count",
+        format_table(["VCs/port", "latency (cyc)", "throughput"], rows),
+    )
+    assert results[2].avg_latency <= results[1].avg_latency * 1.05
+
+
+def test_ablation_buffer_depth(benchmark, settings, save_report):
+    results = benchmark.pedantic(
+        lambda: ablate_buffer_depth(settings), rounds=1, iterations=1
+    )
+    rows = [
+        [depth, f"{p.avg_latency:.2f}"] for depth, p in sorted(results.items())
+    ]
+    save_report(
+        "ablation_buffer_depth",
+        format_table(["flits/VC", "latency (cyc)"], rows),
+    )
+    assert results[8].avg_latency <= results[2].avg_latency
+
+
+def test_ablation_express_span(benchmark, settings, save_report):
+    results = benchmark.pedantic(
+        lambda: ablate_express_span(settings), rounds=1, iterations=1
+    )
+    rows = [
+        [span, f"{p.avg_hops:.2f}", f"{p.avg_latency:.2f}"]
+        for span, p in sorted(results.items())
+    ]
+    save_report(
+        "ablation_express_span",
+        format_table(["span", "hops", "latency (cyc)"], rows),
+    )
+    assert results[2].avg_latency < results[3].avg_latency
+
+
+def test_ablation_qos(benchmark, settings, save_report):
+    results = benchmark.pedantic(
+        lambda: ablate_qos(settings), rounds=1, iterations=1
+    )
+    rows = [
+        [mode, f"{lat[1]:.2f}", f"{lat[0]:.2f}"]
+        for mode, lat in results.items()
+    ]
+    save_report(
+        "ablation_qos",
+        format_table(["arbitration", "high-prio latency", "low-prio latency"], rows),
+    )
+    assert results["qos"][1] < results["qos"][0]
+
+
+def test_ablation_vc_partitioning(benchmark, settings, save_report):
+    results = benchmark.pedantic(
+        lambda: ablate_vc_partitioning(settings, request_rate=0.08),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [mode, f"{m['avg']:.2f}", f"{m['ctrl']:.2f}", f"{m['data']:.2f}"]
+        for mode, m in results.items()
+    ]
+    save_report(
+        "ablation_vc_partitioning",
+        "3DM, NUCA-UR @ 0.08 req/CPU/cycle (Sec. 3.2.4 decision ii)\n"
+        + format_table(["VC policy", "avg", "ctrl", "data"], rows),
+    )
+    assert results["per-class"]["avg"] <= results["pooled"]["avg"] * 1.25
+
+
+def test_ablation_3db_cpu_placement(benchmark, settings, save_report):
+    results = benchmark.pedantic(
+        lambda: ablate_3db_cpu_placement(settings), rounds=1, iterations=1
+    )
+    rows = [
+        [
+            placement,
+            f"{m['avg_latency']:.2f}",
+            f"{m['avg_hops']:.2f}",
+            f"{m['avg_temp_k']:.2f}",
+            f"{m['max_temp_k']:.2f}",
+        ]
+        for placement, m in results.items()
+    ]
+    save_report(
+        "ablation_3db_placement",
+        "3DB CPU placement: NUCA latency vs temperature (Sec. 3.1 trade)\n"
+        + format_table(
+            ["placement", "latency (cyc)", "hops", "avg T (K)", "max T (K)"],
+            rows,
+        ),
+    )
+    assert results["spread"]["avg_hops"] < results["top"]["avg_hops"]
+    assert results["spread"]["max_temp_k"] > results["top"]["max_temp_k"]
+
+
+def test_ablation_link_failures(benchmark, settings, save_report):
+    results = benchmark.pedantic(
+        lambda: ablate_link_failures(settings), rounds=1, iterations=1
+    )
+    rows = [[count, f"{lat:.2f}"] for count, lat in sorted(results.items())]
+    save_report(
+        "ablation_link_failures",
+        "3DM-E latency with failed full-duplex normal links\n"
+        + format_table(["failed links", "latency (cyc)"], rows),
+    )
+    worst = max(results.values())
+    assert worst < results[0] * 1.5  # graceful degradation

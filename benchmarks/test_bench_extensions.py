@@ -1,0 +1,111 @@
+"""Extension experiments: compression vs shutdown, advanced pipelines.
+
+Beyond-the-paper studies enabled by the substrate (see DESIGN.md's
+extension notes): the FPC-compression alternative to layer shutdown, and
+the Fig. 8b/c pipeline organisations composed with MIRA's ST+LT merge.
+"""
+
+from repro.experiments.compression_exp import compression_vs_shutdown
+from repro.experiments.report import format_table
+
+
+def test_compression_vs_shutdown(benchmark, settings, save_report):
+    results = benchmark.pedantic(
+        lambda: compression_vs_shutdown(settings, workload="multimedia"),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [label, f"{p.avg_latency:.2f}", f"{p.total_power_w:.3f}",
+         f"{p.pdp * 1e9:.3f}"]
+        for label, p in results.items()
+    ]
+    save_report(
+        "ext_compression_vs_shutdown",
+        "3DM, multimedia trace (58% short flits)\n"
+        + format_table(
+            ["technique", "latency (cyc)", "power (W)", "PDP (W*ns)"], rows
+        ),
+    )
+    base = results["baseline"]
+    assert results["shutdown"].total_power_w < base.total_power_w
+    assert results["fpc"].avg_latency < base.avg_latency
+    assert results["fpc"].total_power_w < base.total_power_w
+
+
+def test_mesi_vs_moesi(benchmark, settings, save_report):
+    """Protocol extension: cache-to-cache forwarding changes the message
+    mix (fewer writebacks, CPU-to-CPU data) on the same workload."""
+    from repro.experiments.protocol_exp import compare_protocols
+
+    results = benchmark.pedantic(
+        lambda: compare_protocols(settings, workload="barnes"),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [
+            r.protocol,
+            r.total_messages,
+            r.writebacks,
+            r.cache_to_cache,
+            f"{r.point.avg_latency:.2f}",
+            f"{r.point.total_power_w:.3f}",
+        ]
+        for r in results.values()
+    ]
+    save_report(
+        "ext_mesi_vs_moesi",
+        "barnes on 3DM\n"
+        + format_table(
+            ["protocol", "messages", "WbData", "cache-to-cache",
+             "net latency", "power (W)"],
+            rows,
+        ),
+    )
+    assert results["moesi"].cache_to_cache > 0
+    assert results["moesi"].writebacks <= results["mesi"].writebacks
+    assert results["mesi"].cache_to_cache == 0
+
+
+def test_bursty_traffic_tails(benchmark, settings, save_report):
+    """Same mean load, bursty vs smooth arrivals: tail latency blows up
+    while the mean moves modestly — the standard robustness check the
+    substrate enables."""
+    from repro.core.arch import make_3dme
+    from repro.noc.simulator import Simulator
+    from repro.traffic.synthetic import (
+        BurstyUniformRandomTraffic,
+        UniformRandomTraffic,
+    )
+
+    def run():
+        out = {}
+        for label, traffic in (
+            ("smooth", UniformRandomTraffic(36, 0.15, seed=settings.seed)),
+            ("bursty", BurstyUniformRandomTraffic(
+                36, 0.15, burst_length=80, duty_cycle=0.2, seed=settings.seed,
+            )),
+        ):
+            network = make_3dme().build_network()
+            sim = Simulator(
+                network, traffic,
+                warmup_cycles=settings.warmup_cycles,
+                measure_cycles=settings.measure_cycles,
+                drain_cycles=settings.drain_cycles,
+            )
+            out[label] = sim.run()
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [label, f"{r.avg_latency:.2f}", f"{r.latency_p95:.0f}",
+         f"{r.latency_p99:.0f}"]
+        for label, r in results.items()
+    ]
+    save_report(
+        "ext_bursty_tails",
+        "3DM-E @ 0.15 flits/node/cycle mean load\n"
+        + format_table(["arrivals", "mean", "p95", "p99"], rows),
+    )
+    assert results["bursty"].latency_p99 > results["smooth"].latency_p99

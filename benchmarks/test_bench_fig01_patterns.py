@@ -1,0 +1,19 @@
+"""Fig. 1 — data-pattern breakdown of payload words per workload."""
+
+from repro.experiments.breakdown import fig1_data_patterns
+from repro.experiments.report import dict_table
+from repro.traffic.workloads import PRESENTED_WORKLOADS
+
+
+def test_fig1_data_patterns(benchmark, save_report):
+    data = benchmark.pedantic(
+        lambda: fig1_data_patterns(workloads=tuple(PRESENTED_WORKLOADS)),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("fig01_data_patterns", dict_table(data, row_label="workload"))
+    # Fig. 1 shape: frequent patterns (all-0 dominated) are a large share
+    # of payload words for the commercial workloads.
+    assert data["multimedia"]["zero"] > data["art"]["zero"]
+    for workload in PRESENTED_WORKLOADS:
+        assert data[workload]["zero"] + data[workload]["one"] > 0.1

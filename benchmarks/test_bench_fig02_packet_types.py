@@ -1,0 +1,15 @@
+"""Fig. 2 — packet-type (control vs data) distribution per workload."""
+
+from repro.experiments.breakdown import fig2_packet_types
+from repro.experiments.report import dict_table
+
+
+def test_fig2_packet_types(benchmark, settings, save_report):
+    data = benchmark.pedantic(
+        lambda: fig2_packet_types(settings), rounds=1, iterations=1
+    )
+    save_report("fig02_packet_types", dict_table(data, row_label="workload"))
+    # Fig. 2 shape: a significant share of NUCA traffic is short
+    # address/coherence control packets.
+    for workload, split in data.items():
+        assert 0.3 <= split["ctrl"] <= 0.8, workload

@@ -1,0 +1,23 @@
+"""Fig. 9 — per-flit-hop dynamic energy breakdown per architecture."""
+
+from repro.experiments.breakdown import fig9_energy_breakdown
+from repro.experiments.report import dict_table
+
+
+def test_fig9_flit_energy_breakdown(benchmark, save_report):
+    data = benchmark.pedantic(fig9_energy_breakdown, rounds=1, iterations=1)
+    save_report(
+        "fig09_energy_breakdown",
+        "per-flit-hop energy (pJ)\n" + dict_table(data, row_label="arch"),
+    )
+
+    totals = {arch: sum(bd.values()) for arch, bd in data.items()}
+    # Fig. 9 shape: 3DM lowest, 3DB highest.
+    assert min(totals, key=totals.get) == "3DM"
+    assert max(totals, key=totals.get) == "3DB"
+    # Paper: ~35% energy reduction for 3DM vs 2DB (we land in-band).
+    saving = 1 - totals["3DM"] / totals["2DB"]
+    assert 0.30 <= saving <= 0.55
+    # Largest single 3DM saving comes from the link (Sec. 3.4.2).
+    deltas = {k: data["2DB"][k] - data["3DM"][k] for k in data["2DB"]}
+    assert max(deltas, key=deltas.get) == "link"

@@ -1,0 +1,91 @@
+"""Fig. 12 — power results: UR/NUCA sweeps, MP traces, normalised PDP."""
+
+from repro.experiments.power import (
+    fig12a_uniform_power,
+    fig12b_nuca_power,
+    fig12c_trace_power,
+    fig12d_pdp,
+)
+from repro.experiments.report import (
+    format_table,
+    normalized_table,
+    sweep_table,
+)
+
+
+def test_fig12a_uniform_power(benchmark, settings, save_report):
+    sweep = benchmark.pedantic(
+        lambda: fig12a_uniform_power(settings), rounds=1, iterations=1
+    )
+    save_report(
+        "fig12a_power_uniform",
+        "average network power (W) vs injection rate, 0% short flits\n"
+        + sweep_table(sweep, "total_power_w"),
+    )
+    top = len(settings.uniform_rates) - 1
+    power = {arch: series[top][1].total_power_w for arch, series in sweep.items()}
+    # Paper: 3DM saves ~22%/15% vs 2DB/3DB; 3DM-E saves ~42%/37%.
+    assert power["3DM"] < power["2DB"]
+    assert power["3DM"] < power["3DB"]
+    assert power["3DM-E"] < power["2DB"]
+    assert 1 - power["3DM-E"] / power["2DB"] > 0.2
+
+
+def test_fig12b_nuca_power(benchmark, settings, save_report):
+    sweep = benchmark.pedantic(
+        lambda: fig12b_nuca_power(settings), rounds=1, iterations=1
+    )
+    save_report(
+        "fig12b_power_nuca",
+        "average network power (W) vs request rate (NUCA-UR)\n"
+        + sweep_table(sweep, "total_power_w"),
+    )
+    top = len(settings.nuca_rates) - 1
+    power = {arch: series[top][1].total_power_w for arch, series in sweep.items()}
+    assert power["3DM"] < power["2DB"]
+    # 3DB's inflated NUCA hop count costs it energy (Sec. 4.2.2).
+    assert power["3DB"] > power["3DM"]
+
+
+def test_fig12c_mp_trace_power(benchmark, settings, save_report):
+    results = benchmark.pedantic(
+        lambda: fig12c_trace_power(settings), rounds=1, iterations=1
+    )
+    save_report(
+        "fig12c_power_traces",
+        "MP-trace power normalised to 2DB (shutdown on for 3DM/3DM-E)\n"
+        + normalized_table(results, metric="total_power_w"),
+    )
+    archs = next(iter(results.values())).keys()
+    mean = {
+        arch: sum(
+            r[arch].total_power_w / r["2DB"].total_power_w for r in results.values()
+        )
+        / len(results)
+        for arch in archs
+    }
+    # Paper: ~67% saving vs 2DB with traces (structure + shutdown); we
+    # require a substantial saving with the right ordering.
+    assert mean["3DM"] < 0.75
+    assert mean["3DM-E"] < 0.75
+    assert mean["3DB"] > mean["3DM"]
+
+
+def test_fig12d_pdp(benchmark, settings, save_report):
+    pdp = benchmark.pedantic(
+        lambda: fig12d_pdp(settings), rounds=1, iterations=1
+    )
+    rates = [rate for rate, _ in next(iter(pdp.values()))]
+    rows = []
+    for i, rate in enumerate(rates):
+        rows.append([f"{rate:g}"] + [f"{pdp[arch][i][1]:.3f}" for arch in pdp])
+    save_report(
+        "fig12d_pdp",
+        "power-delay product normalised to 2DB (UR)\n"
+        + format_table(["rate"] + list(pdp), rows),
+    )
+    # Fig. 12d: 3DM-E best, 2DB worst at every rate.
+    for i in range(len(rates)):
+        values = {arch: series[i][1] for arch, series in pdp.items()}
+        assert min(values, key=values.get) == "3DM-E"
+        assert max(values, key=values.get) == "2DB"

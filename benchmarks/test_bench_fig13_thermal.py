@@ -1,0 +1,61 @@
+"""Fig. 13 — short-flit census, shutdown power saving, temperature drop."""
+
+from repro.experiments.report import format_table
+from repro.experiments.thermal_exp import (
+    fig13a_short_flit_fractions,
+    fig13b_shutdown_savings,
+    fig13c_temperature_reduction,
+)
+from repro.traffic.workloads import WORKLOADS
+
+
+def test_fig13a_short_flit_percentage(benchmark, settings, save_report):
+    fractions = benchmark.pedantic(
+        lambda: fig13a_short_flit_fractions(settings), rounds=1, iterations=1
+    )
+    rows = [
+        [name, f"{value * 100:.1f}%",
+         f"{WORKLOADS[name].short_flit_fraction * 100:.1f}%"]
+        for name, value in fractions.items()
+    ]
+    save_report(
+        "fig13a_short_flits",
+        format_table(["workload", "measured", "calibration target"], rows),
+    )
+    values = list(fractions.values())
+    # Paper summary statistics: up to ~58%, ~40% average.
+    assert 0.50 <= max(values) <= 0.65
+    assert 0.30 <= sum(values) / len(values) <= 0.50
+
+
+def test_fig13b_shutdown_power_saving(benchmark, save_report):
+    savings = benchmark.pedantic(fig13b_shutdown_savings, rounds=1, iterations=1)
+    rows = [
+        [arch, f"{by_s[0.25] * 100:.1f}%", f"{by_s[0.50] * 100:.1f}%"]
+        for arch, by_s in savings.items()
+    ]
+    save_report(
+        "fig13b_shutdown_savings",
+        "dynamic power saved by layer shutdown\n"
+        + format_table(["arch", "25% short", "50% short"], rows),
+    )
+    for arch, by_s in savings.items():
+        # Paper: up to ~36% at 50% short flits.
+        assert 0.25 <= by_s[0.50] <= 0.37, arch
+        assert by_s[0.25] < by_s[0.50]
+
+
+def test_fig13c_temperature_reduction(benchmark, settings, save_report):
+    drops = benchmark.pedantic(
+        lambda: fig13c_temperature_reduction(settings), rounds=1, iterations=1
+    )
+    rows = [[f"{rate:g}", f"{drop:.3f}"] for rate, drop in drops.items()]
+    save_report(
+        "fig13c_temperature_reduction",
+        "3DM average temperature drop (K), 50% vs 0% short flits\n"
+        + format_table(["injection rate", "delta T (K)"], rows),
+    )
+    values = list(drops.values())
+    # Fig. 13c shape: positive drop, growing with injection rate.
+    assert all(v > 0 for v in values)
+    assert values == sorted(values)

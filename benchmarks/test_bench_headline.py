@@ -1,0 +1,12 @@
+"""Headline-claims capstone: every committed shape, checked in one run."""
+
+from repro.experiments.headline import evaluate_headline_claims, render_claims
+
+
+def test_headline_claims(benchmark, settings, save_report):
+    claims = benchmark.pedantic(
+        lambda: evaluate_headline_claims(settings), rounds=1, iterations=1
+    )
+    save_report("headline_claims", render_claims(claims))
+    failures = [c for c in claims if not c.holds]
+    assert not failures, f"headline claims failed: {[c.claim for c in failures]}"

@@ -1,0 +1,36 @@
+"""Table 1 — router component areas (model vs paper)."""
+
+from repro.experiments.area_tables import table1_area
+from repro.experiments.report import format_table
+
+MODULES = ("RC", "SA1", "SA2", "VA1", "VA2", "Crossbar", "Buffer")
+
+
+def test_table1_component_area(benchmark, save_report):
+    table = benchmark.pedantic(table1_area, rounds=1, iterations=1)
+
+    rows = []
+    for module in MODULES:
+        row = [module]
+        for arch in ("2DB", "3DB", "3DM", "3DM-E"):
+            model = table[arch]["model"].per_layer[module]
+            paper = table[arch]["paper"][module]
+            row.append(f"{model:,.0f} ({paper:,.0f})")
+        rows.append(row)
+    total_row = ["Total"]
+    via_row = ["Via ovh/layer"]
+    for arch in ("2DB", "3DB", "3DM", "3DM-E"):
+        model = table[arch]["model"]
+        total_row.append(f"{model.total:,.0f} ({table[arch]['paper']['Total']:,.0f})")
+        via_row.append(f"{model.via_overhead_fraction * 100:.2f}%")
+    rows += [total_row, via_row]
+
+    save_report(
+        "table1_area",
+        "model um^2 (paper um^2)\n"
+        + format_table(["module", "2DB", "3DB", "3DM*", "3DM-E*"], rows),
+    )
+
+    for arch, row in table.items():
+        assert abs(row["model"].total / row["paper"]["Total"] - 1) < 0.01, arch
+        assert row["model"].via_overhead_fraction < 0.02

@@ -1,0 +1,43 @@
+"""Tables 2 and 3 — design parameters and ST+LT merge validation."""
+
+from repro.experiments.area_tables import (
+    PAPER_TABLE3,
+    table2_parameters,
+    table3_delays,
+)
+from repro.experiments.report import format_table
+
+
+def test_table2_design_parameters(benchmark, save_report):
+    params = benchmark.pedantic(table2_parameters, rounds=1, iterations=1)
+    rows = [[k, f"{v:g}"] for k, v in params.items()]
+    save_report("table2_parameters", format_table(["parameter", "value"], rows))
+    assert params["link_length_2db_mm"] == 2 * params["link_length_3dm_mm"]
+
+
+def test_table3_delay_validation(benchmark, save_report):
+    reports = benchmark.pedantic(table3_delays, rounds=1, iterations=1)
+    rows = []
+    for report in reports:
+        paper = PAPER_TABLE3[report.name]
+        rows.append(
+            [
+                report.name,
+                f"{report.xbar_ps:.2f} ({paper['xbar_ps']:.2f})",
+                f"{report.link_ps:.2f} ({paper['link_ps']:.2f})",
+                f"{report.combined_ps:.2f}",
+                "Yes" if report.can_combine else "No",
+            ]
+        )
+    save_report(
+        "table3_delays",
+        "model ps (paper ps), 500 ps stage budget\n"
+        + format_table(
+            ["design", "XBAR", "Link", "Combined", "ST+LT combined"], rows
+        ),
+    )
+    for report in reports:
+        paper = PAPER_TABLE3[report.name]
+        assert abs(report.xbar_ps / paper["xbar_ps"] - 1) < 0.002
+        assert abs(report.link_ps / paper["link_ps"] - 1) < 0.002
+        assert report.can_combine == paper["combined"]

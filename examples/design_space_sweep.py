@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Design-space comparison: all six configurations under rising load.
+
+Reproduces the flavour of the paper's Sec. 4.2 evaluation in one script:
+sweeps uniform-random injection across 2DB, 3DB, 3DM(NC), 3DM, 3DM-E(NC)
+and 3DM-E, and prints latency, power, and PDP tables plus the headline
+ratios the paper reports.
+
+Run:  python examples/design_space_sweep.py
+"""
+
+from repro import ExperimentSettings, standard_configs
+from repro.experiments.latency import fig11a_uniform_latency
+from repro.experiments.report import sweep_table
+
+
+def main() -> None:
+    settings = ExperimentSettings.quick()
+    configs = standard_configs()
+    print(f"sweeping {len(configs)} architectures at rates "
+          f"{list(settings.uniform_rates)} (flits/node/cycle)\n")
+
+    sweep = fig11a_uniform_latency(settings, configs)
+
+    print("average latency (cycles)")
+    print(sweep_table(sweep, "avg_latency"))
+    print()
+    print("network power (W)")
+    print(sweep_table(sweep, "total_power_w"))
+    print()
+    print("power-delay product (W*s)")
+    print(sweep_table(sweep, "pdp"))
+    print()
+
+    top_rate_idx = len(settings.uniform_rates) - 1
+    lat = {a: s[top_rate_idx][1].avg_latency for a, s in sweep.items()}
+    pwr = {a: s[top_rate_idx][1].total_power_w for a, s in sweep.items()}
+    rate = settings.uniform_rates[top_rate_idx]
+    print(f"headline ratios at {rate:g} flits/node/cycle "
+          f"(paper: up to 51% latency / 42% power vs 2DB):")
+    for arch in ("3DM", "3DM-E"):
+        print(f"  {arch:6s} latency -{(1 - lat[arch] / lat['2DB']) * 100:5.1f}% "
+              f"power -{(1 - pwr[arch] / pwr['2DB']) * 100:5.1f}%  vs 2DB")
+    print(f"  3DM-E  latency -{(1 - lat['3DM-E'] / lat['3DB']) * 100:5.1f}% "
+          f"power -{(1 - pwr['3DM-E'] / pwr['3DB']) * 100:5.1f}%  vs 3DB "
+          f"(paper: 26% / 37%)")
+
+
+if __name__ == "__main__":
+    main()

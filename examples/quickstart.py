@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one MIRA router architecture in a few lines.
+
+Builds the paper's 36-node 3DM-E network (6x6 mesh of four-layer stacked
+routers with express channels), offers it uniform random traffic, and
+prints latency, hop count, and power.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Architecture,
+    ExperimentSettings,
+    make_architecture,
+    simulate,
+)
+
+
+def main() -> None:
+    config = make_architecture(Architecture.MIRA_3DM_E)
+    print(f"architecture : {config.name}")
+    print(f"topology     : {config.dims[0]}x{config.dims[1]} mesh, "
+          f"express span {config.express_span}")
+    print(f"router       : {config.ports} ports, {config.vcs} VCs, "
+          f"{config.layers} stacked layers")
+    print(f"pipeline     : ST+LT merged = {config.combined_st_lt}")
+    print()
+
+    settings = ExperimentSettings.quick()
+    result = simulate(config, flit_rate=0.2, settings=settings)
+
+    print(f"avg packet latency : {result.avg_latency:6.2f} cycles")
+    print(f"avg hop count      : {result.avg_hops:6.2f}")
+    print(f"network power      : {result.total_power_w:6.3f} W "
+          f"(dynamic {result.power.dynamic_w:.3f} W "
+          f"+ leakage {result.power.leakage_w:.3f} W)")
+    print(f"power-delay product: {result.pdp * 1e9:6.3f} W*ns")
+    print(f"saturated          : {result.sim.saturated}")
+
+
+if __name__ == "__main__":
+    main()

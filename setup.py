@@ -1,0 +1,6 @@
+"""Setuptools shim: lets legacy (non-PEP-517) editable installs work on
+environments without the ``wheel`` package."""
+
+from setuptools import setup
+
+setup()

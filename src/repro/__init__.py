@@ -1,0 +1,115 @@
+"""MIRA: A Multi-Layered On-Chip Interconnect Router Architecture.
+
+Full reproduction of Park et al., ISCA 2008: a cycle-accurate 3D NoC
+simulator, the four evaluated router architectures (2DB / 3DB / 3DM /
+3DM-E), Orion-style power and area models, a HotSpot-style thermal
+solver, and a NUCA CMP cache-coherence substrate.
+
+Quickstart::
+
+    from repro import Architecture, make_architecture, simulate
+
+    config = make_architecture(Architecture.MIRA_3DM_E)
+    result = simulate(config, flit_rate=0.2)
+    print(result.sim.avg_latency, result.power.total_w)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+table-by-table reproduction record.
+"""
+
+from repro.core.arch import (
+    Architecture,
+    ArchitectureConfig,
+    make_2db,
+    make_3db,
+    make_3dm,
+    make_3dme,
+    make_architecture,
+    standard_configs,
+)
+from repro.experiments.config import ExperimentSettings
+from repro.experiments.runner import (
+    PointResult,
+    run_nuca_point,
+    run_trace_point,
+    run_uniform_point,
+)
+from repro.noc.network import Network
+from repro.noc.packet import Flit, FlitType, Packet, PacketClass
+from repro.noc.simulator import SimulationResult, Simulator
+from repro.power.area import RouterArea, router_area
+from repro.power.energy import PowerReport, power_report
+from repro.power.orion import RouterEnergyModel
+from repro.thermal.hotspot import ThermalResult, steady_state, temperature_drop
+from repro.traffic.nuca import NucaUniformTraffic
+from repro.traffic.synthetic import UniformRandomTraffic
+from repro.traffic.workloads import WORKLOADS, WorkloadProfile
+from repro.analysis import (
+    channel_utilization,
+    find_saturation_rate,
+    hottest_channels,
+    latency_throughput_curve,
+    render_utilization_grid,
+    run_replicated,
+)
+
+__version__ = "1.0.0"
+
+
+def simulate(
+    config: ArchitectureConfig,
+    flit_rate: float = 0.1,
+    settings: ExperimentSettings = None,
+    **kwargs,
+) -> PointResult:
+    """One-call uniform-random simulation of an architecture.
+
+    Thin convenience wrapper over
+    :func:`~repro.experiments.runner.run_uniform_point`.
+    """
+    settings = settings or ExperimentSettings.from_env()
+    return run_uniform_point(config, flit_rate, settings, **kwargs)
+
+
+__all__ = [
+    "Architecture",
+    "ArchitectureConfig",
+    "make_2db",
+    "make_3db",
+    "make_3dm",
+    "make_3dme",
+    "make_architecture",
+    "standard_configs",
+    "ExperimentSettings",
+    "PointResult",
+    "run_uniform_point",
+    "run_nuca_point",
+    "run_trace_point",
+    "simulate",
+    "Network",
+    "Simulator",
+    "SimulationResult",
+    "Packet",
+    "Flit",
+    "FlitType",
+    "PacketClass",
+    "RouterArea",
+    "router_area",
+    "RouterEnergyModel",
+    "PowerReport",
+    "power_report",
+    "ThermalResult",
+    "steady_state",
+    "temperature_drop",
+    "UniformRandomTraffic",
+    "NucaUniformTraffic",
+    "WORKLOADS",
+    "WorkloadProfile",
+    "find_saturation_rate",
+    "channel_utilization",
+    "hottest_channels",
+    "render_utilization_grid",
+    "run_replicated",
+    "latency_throughput_curve",
+    "__version__",
+]

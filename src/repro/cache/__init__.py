@@ -1,0 +1,41 @@
+"""Event-driven NUCA CMP memory hierarchy (Sec. 4.1.2, Table 4).
+
+The paper generates its "MP trace" network workloads by running
+applications on Simics through a two-level directory-coherent memory
+hierarchy: private write-back L1s, a shared SNUCA L2 split into 28 banks
+on the NoC, MESI with distributed directories, and a 400-cycle DRAM
+backing store.  This package rebuilds that machinery:
+
+* :mod:`repro.cache.messages` — coherence message vocabulary and its
+  mapping onto network packets (control vs data, Fig. 2).
+* :mod:`repro.cache.cachesim` — set-associative cache arrays with LRU and
+  MESI line states.
+* :mod:`repro.cache.cpu` — workload-parameterised synthetic address
+  streams (the Simics substitute; see DESIGN.md).
+* :mod:`repro.cache.directory` — per-bank MESI directory controllers.
+* :mod:`repro.cache.hierarchy` — the event engine binding CPUs, L1s and
+  banks through a transport that is either a fixed-latency model (fast
+  trace generation) or the real NoC simulator (closed-loop mode).
+"""
+
+from repro.cache.messages import CoherenceMessage, MessageType
+from repro.cache.cachesim import CacheArray, LineState
+from repro.cache.cpu import AddressStream
+from repro.cache.directory import DirectoryBank
+from repro.cache.hierarchy import (
+    CmpSystem,
+    HierarchyStats,
+    generate_trace,
+)
+
+__all__ = [
+    "MessageType",
+    "CoherenceMessage",
+    "CacheArray",
+    "LineState",
+    "AddressStream",
+    "DirectoryBank",
+    "CmpSystem",
+    "HierarchyStats",
+    "generate_trace",
+]

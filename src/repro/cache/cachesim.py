@@ -1,0 +1,129 @@
+"""Set-associative cache arrays with LRU replacement and MESI states.
+
+Used for both the private L1s (32 KB, 4-way, 64 B lines, Table 4) and the
+512 KB L2 bank data arrays.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+#: Cache line size in bytes (64 B: four 128-bit flits).
+LINE_BYTES = 64
+LINE_SHIFT = 6
+
+
+class LineState(enum.Enum):
+    """MESI stable states, plus O for the MOESI protocol variant."""
+
+    MODIFIED = "M"
+    #: MOESI owned: dirty but shared; this cache answers forwards and
+    #: owes the eventual writeback.
+    OWNED = "O"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+
+@dataclass
+class CacheLine:
+    """Tag-store entry."""
+
+    address: int
+    state: LineState
+
+
+class CacheArray:
+    """A set-associative cache with true-LRU replacement.
+
+    Addresses are byte addresses; the array operates on line-aligned tags.
+    """
+
+    def __init__(self, size_bytes: int, ways: int, line_bytes: int = LINE_BYTES):
+        if size_bytes <= 0 or ways <= 0 or line_bytes <= 0:
+            raise ValueError("cache geometry must be positive")
+        if size_bytes % (ways * line_bytes):
+            raise ValueError(
+                f"size {size_bytes} not divisible by ways*line "
+                f"({ways}*{line_bytes})"
+            )
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.num_sets = size_bytes // (ways * line_bytes)
+        # Per set: OrderedDict line_addr -> CacheLine, LRU first.
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _set_index(self, address: int) -> int:
+        return (address // self.line_bytes) % self.num_sets
+
+    def line_address(self, address: int) -> int:
+        return address - (address % self.line_bytes)
+
+    def lookup(self, address: int, touch: bool = True) -> Optional[CacheLine]:
+        """Find the line holding *address*; updates LRU when *touch*."""
+        line_addr = self.line_address(address)
+        cache_set = self._sets[self._set_index(address)]
+        line = cache_set.get(line_addr)
+        if line is None:
+            return None
+        if touch:
+            cache_set.move_to_end(line_addr)
+        return line
+
+    def access(self, address: int) -> Optional[CacheLine]:
+        """Lookup that also maintains hit/miss statistics."""
+        line = self.lookup(address)
+        if line is not None and line.state is not LineState.INVALID:
+            self.hits += 1
+            return line
+        self.misses += 1
+        return None
+
+    def fill(
+        self, address: int, state: LineState
+    ) -> Tuple[CacheLine, Optional[CacheLine]]:
+        """Insert a line, returning ``(new_line, victim)``.
+
+        The victim (if any) is the evicted line, with its pre-eviction
+        state intact so the caller can schedule a writeback for M lines.
+        """
+        line_addr = self.line_address(address)
+        idx = self._set_index(address)
+        cache_set = self._sets[idx]
+        victim: Optional[CacheLine] = None
+        existing = cache_set.pop(line_addr, None)
+        if existing is None and len(cache_set) >= self.ways:
+            _, victim = cache_set.popitem(last=False)
+            self.evictions += 1
+        line = CacheLine(address=line_addr, state=state)
+        cache_set[line_addr] = line
+        return line, victim
+
+    def invalidate(self, address: int) -> Optional[CacheLine]:
+        """Drop the line holding *address*; returns it (or None)."""
+        line_addr = self.line_address(address)
+        cache_set = self._sets[self._set_index(address)]
+        return cache_set.pop(line_addr, None)
+
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+    def resident_lines(self) -> Dict[int, LineState]:
+        """Snapshot of resident line states (for invariants/tests)."""
+        out: Dict[int, LineState] = {}
+        for cache_set in self._sets:
+            for addr, line in cache_set.items():
+                out[addr] = line.state
+        return out

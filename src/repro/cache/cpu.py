@@ -1,0 +1,90 @@
+"""Synthetic CPU memory-reference streams (the Simics substitute).
+
+Each CPU produces a stream of (address, is_write) references shaped by a
+:class:`~repro.traffic.workloads.WorkloadProfile`:
+
+* a private region per CPU plus a shared region touched by all CPUs
+  (``sharing_fraction`` of references), which is what creates coherence
+  (invalidate/ack) traffic;
+* 90/10 hot-set temporal locality inside each region, so L1 hit rates are
+  realistic and tunable via the profile's working-set size;
+* the profile's read/write mix.
+
+Addresses are line-aligned 64-byte references in a flat physical space;
+SNUCA bank interleaving happens downstream on the line address.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from repro.cache.cachesim import LINE_BYTES
+from repro.traffic.workloads import WorkloadProfile
+
+#: Lines in the per-CPU hot set: small enough to live in a 32 KB L1.
+PRIVATE_HOT_LINES = 160
+#: Lines in the shared hot set (touched by every CPU).
+SHARED_HOT_LINES = 48
+
+
+class AddressStream:
+    """Reference generator for one CPU.
+
+    The stream is two-level: a hot subset sized to fit in L1 absorbs most
+    references, and the remainder scatter over the full working set (which
+    dwarfs L1, so they miss).  The hot-access probability is derived from
+    the profile's target L1 miss rate, making the *emergent* miss rate of
+    the simulated L1 track the published workload characteristics.
+    """
+
+    def __init__(
+        self,
+        cpu_index: int,
+        num_cpus: int,
+        profile: WorkloadProfile,
+        seed: int = 1,
+    ) -> None:
+        if cpu_index < 0 or cpu_index >= num_cpus:
+            raise ValueError(f"cpu_index {cpu_index} out of range")
+        self.cpu_index = cpu_index
+        self.profile = profile
+        self.rng = random.Random((seed << 8) ^ cpu_index)
+        lines = profile.working_set_lines
+        # Shared region occupies the low addresses; each CPU then gets a
+        # private region above it.
+        self.shared_lines = max(SHARED_HOT_LINES * 4, int(lines * 0.25))
+        self.private_lines = max(PRIVATE_HOT_LINES * 4, lines)
+        self.private_base = (
+            self.shared_lines + cpu_index * self.private_lines
+        ) * LINE_BYTES
+        # Cold draws nearly always miss, so the hot-access probability is
+        # (1 - target miss rate), slightly compressed for hot-set conflict
+        # misses.
+        self.hot_access_fraction = max(0.0, 1.0 - profile.l1_miss_rate * 1.05)
+
+    def _pick_line(self, base: int, region_lines: int, hot_lines: int) -> int:
+        hot = min(hot_lines, region_lines)
+        if self.rng.random() < self.hot_access_fraction:
+            line = self.rng.randrange(hot)
+        else:
+            line = self.rng.randrange(region_lines)
+        return base + line * LINE_BYTES
+
+    def next_reference(self) -> Tuple[int, bool]:
+        """Produce the next ``(byte_address, is_write)`` reference.
+
+        Writes steer away from the shared region (real workloads mostly
+        read shared data); without this damping the small shared hot set
+        ping-pongs between CPUs and coherence misses swamp the target
+        miss rate.
+        """
+        is_write = self.rng.random() >= self.profile.read_fraction
+        shared_p = self.profile.sharing_fraction * (0.05 if is_write else 1.0)
+        if self.rng.random() < shared_p:
+            address = self._pick_line(0, self.shared_lines, SHARED_HOT_LINES)
+        else:
+            address = self._pick_line(
+                self.private_base, self.private_lines, PRIVATE_HOT_LINES
+            )
+        return address, is_write

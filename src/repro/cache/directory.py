@@ -1,0 +1,455 @@
+"""MESI directory controller for one shared-L2 bank (Sec. 4.1.2).
+
+Each of the 28 L2 banks keeps the directory slice for the lines it homes:
+state I (uncached), S (a sharer set) or EM (one exclusive-or-modified
+owner; an E owner may have silently upgraded to M, so recalls handle both
+cases).  Transactions that must wait on a recall park in a per-line
+pending queue, serialising conflicting requests the way a real directory
+does with busy bits.
+
+The bank also models its data array (512 KB, Table 4): a directory miss
+in the L2 array pays the 400-cycle DRAM latency before responding.
+Inclusion is enforced: evicting an L2 line recalls/invalidates the L1
+copies.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Set
+from collections import deque
+
+from repro.cache.cachesim import CacheArray, LineState
+from repro.cache.messages import CoherenceMessage, MessageType
+from repro.traffic.patterns import line_active_groups
+from repro.traffic.workloads import WorkloadProfile
+
+#: L2 bank access latency in cycles (Table 4).
+BANK_LATENCY = 4
+#: DRAM access latency in cycles (Table 4).
+MEMORY_LATENCY = 400
+#: L2 bank geometry (512 KB, 8-way).
+BANK_SIZE_BYTES = 512 * 1024
+BANK_WAYS = 8
+
+
+class DirState(enum.Enum):
+    INVALID = "I"
+    SHARED = "S"
+    EXCLUSIVE = "EM"  # exclusive or (silently) modified owner
+    #: MOESI: a dirty owner plus read-only sharers (cache-to-cache
+    #: forwarding keeps the data out of the L2 until eviction).
+    OWNED = "O"
+
+
+@dataclass
+class DirEntry:
+    state: DirState = DirState.INVALID
+    owner: int = -1                      # CPU index for EM / O
+    sharers: Set[int] = field(default_factory=set)
+    #: Recall or forward in flight: requests wait until it completes.
+    busy: bool = False
+    pending: Deque[CoherenceMessage] = field(default_factory=deque)
+    #: Requester of the forward in flight (MOESI), -1 when none.
+    fwd_requester: int = -1
+    #: CPU whose recall response we are waiting for (-1 when no recall);
+    #: guards against stale InvAcks from earlier eager sharer kills
+    #: resolving a later recall.
+    recall_owner: int = -1
+
+
+#: Signature of the engine hooks a bank needs: ``send(msg, delay_cycles)``.
+SendHook = Callable[[CoherenceMessage, int], None]
+
+
+class DirectoryBank:
+    """One L2 bank with its directory slice."""
+
+    def __init__(
+        self,
+        bank_index: int,
+        node: int,
+        cpu_nodes: List[int],
+        profile: WorkloadProfile,
+        send: SendHook,
+        seed: int = 1,
+        protocol: str = "mesi",
+    ) -> None:
+        if protocol not in ("mesi", "moesi"):
+            raise ValueError(f"protocol must be 'mesi' or 'moesi', got {protocol!r}")
+        self.protocol = protocol
+        self.bank_index = bank_index
+        self.node = node
+        self.cpu_nodes = list(cpu_nodes)
+        self.profile = profile
+        self._send = send
+        self.rng = random.Random((seed << 16) ^ 0xD1 ^ bank_index)
+        self.array = CacheArray(BANK_SIZE_BYTES, BANK_WAYS)
+        self.entries: Dict[int, DirEntry] = {}
+        self.recalls_sent = 0
+        self.memory_fetches = 0
+        self.forwards_sent = 0
+        #: Serial bank-port contention: the array serves one access per
+        #: BANK_LATENCY window; concurrent requests queue behind it.
+        self._port_free_at = 0
+        #: Engine clock accessor, wired by the system after construction
+        #: (None disables contention modelling — unit tests drive banks
+        #: without a clock).
+        self.clock: Optional[Callable[[], int]] = None
+        self.port_wait_cycles = 0
+
+    # -- helpers -----------------------------------------------------------
+
+    def _entry(self, line: int) -> DirEntry:
+        entry = self.entries.get(line)
+        if entry is None:
+            entry = DirEntry()
+            self.entries[line] = entry
+        return entry
+
+    def _maybe_gc(self, line: int) -> None:
+        entry = self.entries.get(line)
+        if (
+            entry is not None
+            and entry.state is DirState.INVALID
+            and not entry.busy
+            and not entry.pending
+        ):
+            del self.entries[line]
+
+    def _payload(self) -> List[int]:
+        """Per-flit active groups for a data response: header + line."""
+        return [1] + line_active_groups(self.profile.sample_line(self.rng))
+
+    def _data_to(self, cpu: int, mtype: MessageType, address: int, delay: int) -> None:
+        self._send(
+            CoherenceMessage(
+                mtype=mtype,
+                src=self.node,
+                dst=self.cpu_nodes[cpu],
+                address=address,
+                requester=cpu,
+                payload_groups=self._payload(),
+            ),
+            delay,
+        )
+
+    def _ctrl_to(self, cpu: int, mtype: MessageType, address: int, delay: int) -> None:
+        self._send(
+            CoherenceMessage(
+                mtype=mtype,
+                src=self.node,
+                dst=self.cpu_nodes[cpu],
+                address=address,
+                requester=cpu,
+            ),
+            delay,
+        )
+
+    def _array_latency(self, address: int) -> int:
+        """Bank latency, plus port queueing and DRAM on an L2 miss."""
+        wait = 0
+        if self.clock is not None:
+            now = self.clock()
+            wait = max(0, self._port_free_at - now)
+            self._port_free_at = now + wait + BANK_LATENCY
+            self.port_wait_cycles += wait
+        line = self.array.access(address)
+        if line is not None:
+            return wait + BANK_LATENCY
+        self.memory_fetches += 1
+        _, victim = self.array.fill(address, LineState.EXCLUSIVE)
+        if victim is not None:
+            self._evict_l2_line(victim.address)
+        return wait + BANK_LATENCY + MEMORY_LATENCY
+
+    def _evict_l2_line(self, line_addr: int) -> None:
+        """Enforce inclusion: invalidate L1 copies of an evicted L2 line."""
+        entry = self.entries.get(line_addr)
+        if entry is None or entry.state is DirState.INVALID:
+            return
+        targets = (
+            {entry.owner} if entry.state is DirState.EXCLUSIVE else set(entry.sharers)
+        )
+        for cpu in targets:
+            self._ctrl_to(cpu, MessageType.INV, line_addr, BANK_LATENCY)
+        entry.state = DirState.INVALID
+        entry.owner = -1
+        entry.sharers.clear()
+        self._maybe_gc(line_addr)
+
+    def _recall(self, entry: DirEntry, address: int) -> None:
+        """Ask the EM/O owner to give the line up (flush if dirty)."""
+        entry.busy = True
+        entry.recall_owner = entry.owner
+        self.recalls_sent += 1
+        self._ctrl_to(entry.owner, MessageType.INV, address, BANK_LATENCY)
+        # An OWNED line also has read-only sharers to kill (eager).
+        for sharer in entry.sharers:
+            if sharer != entry.owner:
+                self._ctrl_to(sharer, MessageType.INV, address, BANK_LATENCY)
+        entry.sharers.clear()
+
+    def _forward(self, entry: DirEntry, address: int, requester: int) -> None:
+        """MOESI: ask the dirty owner to forward the line to *requester*."""
+        entry.busy = True
+        entry.fwd_requester = requester
+        self.forwards_sent += 1
+        # requester names the forward *target*, not the recipient.
+        self._send(
+            CoherenceMessage(
+                mtype=MessageType.FWD_GETS,
+                src=self.node,
+                dst=self.cpu_nodes[entry.owner],
+                address=address,
+                requester=requester,
+            ),
+            BANK_LATENCY,
+        )
+
+    # -- request handling ----------------------------------------------------
+
+    def handle(self, msg: CoherenceMessage) -> None:
+        """Process one incoming message addressed to this bank."""
+        handler = {
+            MessageType.GETS: self._on_gets,
+            MessageType.GETM: self._on_getm,
+            MessageType.UPGRADE: self._on_upgrade,
+            MessageType.WB_DATA: self._on_wb_data,
+            MessageType.INV_ACK: self._on_inv_ack,
+            MessageType.FWD_DONE: self._on_fwd_done,
+            MessageType.FWD_MISS: self._on_fwd_miss,
+        }.get(msg.mtype)
+        if handler is None:
+            raise ValueError(f"bank {self.bank_index}: unexpected {msg.mtype}")
+        handler(msg)
+
+    def _on_gets(self, msg: CoherenceMessage) -> None:
+        line = msg.address
+        entry = self._entry(line)
+        if entry.busy:
+            entry.pending.append(msg)
+            return
+        cpu = msg.requester
+        if entry.state is DirState.EXCLUSIVE:
+            if self.protocol == "moesi":
+                # Cache-to-cache: the owner forwards, no writeback.
+                self._forward(entry, line, cpu)
+            else:
+                entry.pending.append(msg)
+                self._recall(entry, line)
+            return
+        if entry.state is DirState.OWNED:
+            self._forward(entry, line, cpu)
+            return
+        latency = self._array_latency(line)
+        if entry.state is DirState.SHARED:
+            entry.sharers.add(cpu)
+            self._data_to(cpu, MessageType.DATA_S, line, latency)
+        else:  # INVALID: grant exclusive (MESI E state)
+            entry.state = DirState.EXCLUSIVE
+            entry.owner = cpu
+            self._data_to(cpu, MessageType.DATA_E, line, latency)
+
+    def _on_getm(self, msg: CoherenceMessage) -> None:
+        line = msg.address
+        entry = self._entry(line)
+        if entry.busy:
+            entry.pending.append(msg)
+            return
+        cpu = msg.requester
+        if (
+            entry.state in (DirState.EXCLUSIVE, DirState.OWNED)
+            and entry.owner != cpu
+        ):
+            entry.pending.append(msg)
+            self._recall(entry, line)
+            return
+        if entry.state is DirState.OWNED and entry.owner == cpu:
+            # The owner wants write permission back: kill the sharers.
+            latency = self._array_latency(line)
+            for sharer in entry.sharers:
+                if sharer != cpu:
+                    self._ctrl_to(sharer, MessageType.INV, line, latency)
+            entry.sharers.clear()
+            entry.state = DirState.EXCLUSIVE
+            self._data_to(cpu, MessageType.DATA_E, line, latency)
+            return
+        latency = self._array_latency(line)
+        if entry.state is DirState.SHARED:
+            for sharer in entry.sharers:
+                if sharer != cpu:
+                    self._ctrl_to(sharer, MessageType.INV, line, latency)
+            entry.sharers.clear()
+        entry.state = DirState.EXCLUSIVE
+        entry.owner = cpu
+        self._data_to(cpu, MessageType.DATA_E, line, latency)
+
+    def _on_upgrade(self, msg: CoherenceMessage) -> None:
+        line = msg.address
+        entry = self._entry(line)
+        if entry.busy:
+            entry.pending.append(msg)
+            return
+        cpu = msg.requester
+        if entry.state is DirState.SHARED and cpu in entry.sharers:
+            latency = self._array_latency(line)
+            for sharer in entry.sharers:
+                if sharer != cpu:
+                    self._ctrl_to(sharer, MessageType.INV, line, latency)
+            entry.sharers.clear()
+            entry.state = DirState.EXCLUSIVE
+            entry.owner = cpu
+            self._ctrl_to(cpu, MessageType.UPGRADE_ACK, line, latency)
+        else:
+            # The sharer lost the line to a concurrent writer: fall back to
+            # a full GetM.
+            self._on_getm(
+                CoherenceMessage(
+                    mtype=MessageType.GETM,
+                    src=msg.src,
+                    dst=msg.dst,
+                    address=line,
+                    requester=cpu,
+                )
+            )
+
+    def _resolve_recall(self, line: int, entry: DirEntry) -> None:
+        """Owner gave the line up; drain pending requests.
+
+        A pending read is granted SHARED (not EXCLUSIVE): the line is
+        demonstrably contended, and re-granting E would make alternating
+        readers recall each other forever.
+        """
+        entry.busy = False
+        entry.recall_owner = -1
+        entry.state = DirState.INVALID
+        entry.owner = -1
+        entry.sharers.clear()
+        while entry.pending and not entry.busy:
+            msg = entry.pending.popleft()
+            if msg.mtype is MessageType.GETS and entry.state is DirState.INVALID:
+                # Shared grant applies only while the line is still free;
+                # if an earlier pending writer re-took it EXCLUSIVE, the
+                # read must go through the normal (recall) path.
+                latency = self._array_latency(line)
+                entry.state = DirState.SHARED
+                entry.sharers.add(msg.requester)
+                self._data_to(msg.requester, MessageType.DATA_S, line, latency)
+            else:
+                self.handle(msg)
+        self._maybe_gc(line)
+
+    def _on_wb_data(self, msg: CoherenceMessage) -> None:
+        line = msg.address
+        entry = self.entries.get(line)
+        if entry is not None and entry.busy:
+            if msg.requester == entry.recall_owner:
+                # Recall response carrying dirty data.
+                self._resolve_recall(line, entry)
+                return
+            if entry.fwd_requester >= 0 and msg.requester == entry.owner:
+                # The owner voluntarily evicted while our forward request
+                # was in flight: the L2 has fresh data now, so it serves
+                # the waiting reader itself.  The owner's FwdMiss reply
+                # will arrive later and be ignored as stale.
+                requester = entry.fwd_requester
+                latency = self._array_latency(line)
+                entry.owner = -1
+                entry.fwd_requester = -1
+                entry.state = DirState.SHARED
+                entry.sharers.add(requester)
+                self._data_to(requester, MessageType.DATA_S, line, latency)
+                entry.busy = False
+                self._ctrl_to(msg.requester, MessageType.WB_ACK, line, BANK_LATENCY)
+                self._drain_pending(line, entry)
+                return
+            # Stale/racing writeback during an unrelated transaction.
+            self._ctrl_to(msg.requester, MessageType.WB_ACK, line, BANK_LATENCY)
+            return
+        # Voluntary writeback of an evicted M (or MOESI O) line.
+        if entry is not None and entry.owner == msg.requester:
+            if entry.state is DirState.EXCLUSIVE:
+                entry.state = DirState.INVALID
+                entry.owner = -1
+            elif entry.state is DirState.OWNED:
+                # The data is now clean at the L2; sharers keep reading.
+                entry.owner = -1
+                entry.state = (
+                    DirState.SHARED if entry.sharers else DirState.INVALID
+                )
+            self._maybe_gc(line)
+        self._ctrl_to(msg.requester, MessageType.WB_ACK, line, BANK_LATENCY)
+
+    def _drain_pending(self, line: int, entry: DirEntry) -> None:
+        while entry.pending and not entry.busy:
+            self.handle(entry.pending.popleft())
+        self._maybe_gc(line)
+
+    def _on_fwd_done(self, msg: CoherenceMessage) -> None:
+        """The owner forwarded the line: adopt the MOESI O state."""
+        line = msg.address
+        entry = self.entries.get(line)
+        if entry is None or not entry.busy or entry.fwd_requester < 0:
+            return  # stale completion (line already recalled/evicted)
+        entry.state = DirState.OWNED
+        entry.sharers.add(entry.fwd_requester)
+        entry.fwd_requester = -1
+        entry.busy = False
+        self._drain_pending(line, entry)
+
+    def _on_fwd_miss(self, msg: CoherenceMessage) -> None:
+        """The owner silently evicted its clean copy: the L2 supplies."""
+        line = msg.address
+        entry = self.entries.get(line)
+        if entry is None or not entry.busy or entry.fwd_requester < 0:
+            return
+        requester = entry.fwd_requester
+        latency = self._array_latency(line)
+        entry.owner = -1
+        entry.fwd_requester = -1
+        entry.state = DirState.SHARED
+        entry.sharers.add(requester)
+        self._data_to(requester, MessageType.DATA_S, line, latency)
+        entry.busy = False
+        self._drain_pending(line, entry)
+
+    def _on_inv_ack(self, msg: CoherenceMessage) -> None:
+        line = msg.address
+        entry = self.entries.get(line)
+        if (
+            entry is not None
+            and entry.busy
+            and msg.requester == entry.recall_owner
+        ):
+            # Recall response for a clean (E) line.
+            self._resolve_recall(line, entry)
+        # Acks for S-invalidations need no bookkeeping (grant was eager),
+        # and acks from other CPUs during a recall are likewise eager
+        # sharer kills.
+
+    # -- invariants (used by tests) -------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise if directory state is internally inconsistent."""
+        for line, entry in self.entries.items():
+            if entry.state is DirState.EXCLUSIVE:
+                if entry.owner < 0:
+                    raise AssertionError(f"EM line {line:#x} without owner")
+                if entry.sharers:
+                    raise AssertionError(f"EM line {line:#x} with sharers")
+            if entry.state is DirState.OWNED:
+                if entry.owner < 0:
+                    raise AssertionError(f"O line {line:#x} without owner")
+                if entry.owner in entry.sharers:
+                    raise AssertionError(f"O line {line:#x}: owner in sharers")
+            if entry.state is DirState.SHARED:
+                if not entry.sharers:
+                    raise AssertionError(f"S line {line:#x} without sharers")
+                if entry.owner != -1:
+                    raise AssertionError(f"S line {line:#x} with stale owner")
+            if entry.state is DirState.INVALID and not entry.busy:
+                if not entry.pending:
+                    raise AssertionError(f"stale I entry for line {line:#x}")

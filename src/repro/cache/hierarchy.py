@@ -1,0 +1,595 @@
+"""The CMP memory-hierarchy event engine (Sec. 4.1.2).
+
+Binds the pieces together: 8 CPUs with private write-back L1s, 28 shared
+SNUCA L2 banks with MESI directories, and a message transport.  The
+engine is an event-driven simulator ("implemented as an event driven
+simulator to speed up the simulation", Sec. 4.1.2) and supports two
+transports:
+
+* **offline** — messages arrive after a fixed estimated network latency;
+  used to synthesise MP traces quickly (:func:`generate_trace`);
+* **coupled** — the engine is wrapped as a
+  :class:`~repro.traffic.base.TrafficSource` so messages ride the real
+  cycle-accurate NoC (:class:`CmpTraffic`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.cache.cachesim import CacheArray, LineState
+from repro.cache.cpu import AddressStream
+from repro.cache.directory import BANK_LATENCY, DirectoryBank
+from repro.cache.messages import CoherenceMessage, MessageType
+from repro.core.arch import ArchitectureConfig
+from repro.noc.packet import Packet, PacketClass
+from repro.traffic.base import BaseTraffic
+from repro.traffic.traces import TraceRecord
+from repro.traffic.workloads import WorkloadProfile
+
+#: L1 geometry (Table 4): 32 KB, 4-way, 64 B lines.
+L1_SIZE_BYTES = 32 * 1024
+L1_WAYS = 4
+#: Maximum outstanding memory requests per processor (Table 4).
+MAX_OUTSTANDING = 16
+#: Estimated network latency for the offline transport, cycles.
+OFFLINE_NET_LATENCY = 12
+#: Retry delay when the MSHR file is full.
+MSHR_RETRY_CYCLES = 8
+
+
+@dataclass
+class _Mshr:
+    line: int
+    wants_write: bool
+    issue_cycle: int
+    coalesced: int = 0
+    #: Set when an invalidation overtook the in-flight data response (the
+    #: response was delayed by a DRAM fill while a writer claimed the
+    #: line): the data, when it lands, is consumed but not cached.
+    squashed: bool = False
+    #: A FwdGetS that overtook our in-flight fill (MOESI): served as soon
+    #: as the data lands.
+    pending_forward: Optional["CoherenceMessage"] = None
+
+
+@dataclass
+class HierarchyStats:
+    """Aggregate statistics of one hierarchy run."""
+
+    references: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    upgrades: int = 0
+    writebacks: int = 0
+    #: MOESI cache-to-cache forwards served by L1 owners.
+    cache_to_cache: int = 0
+    messages_by_type: Dict[str, int] = field(default_factory=dict)
+    data_packets: int = 0
+    ctrl_packets: int = 0
+    miss_latencies: List[int] = field(default_factory=list)
+
+    def note_message(self, msg: CoherenceMessage) -> None:
+        key = msg.mtype.value
+        self.messages_by_type[key] = self.messages_by_type.get(key, 0) + 1
+        if msg.is_data:
+            self.data_packets += 1
+        else:
+            self.ctrl_packets += 1
+
+    @property
+    def l1_miss_rate(self) -> float:
+        total = self.l1_hits + self.l1_misses
+        return self.l1_misses / total if total else 0.0
+
+    @property
+    def ctrl_packet_fraction(self) -> float:
+        total = self.data_packets + self.ctrl_packets
+        return self.ctrl_packets / total if total else 0.0
+
+    @property
+    def avg_miss_latency(self) -> float:
+        lat = self.miss_latencies
+        return sum(lat) / len(lat) if lat else 0.0
+
+
+class _L1Controller:
+    """Private L1 cache + MSHR file for one CPU."""
+
+    def __init__(
+        self,
+        cpu_index: int,
+        node: int,
+        system: "CmpSystem",
+    ) -> None:
+        self.cpu_index = cpu_index
+        self.node = node
+        self.system = system
+        self.cache = CacheArray(L1_SIZE_BYTES, L1_WAYS)
+        self.mshrs: Dict[int, _Mshr] = {}
+
+    # -- CPU-side ----------------------------------------------------------
+
+    def access(self, address: int, is_write: bool) -> bool:
+        """One memory reference; returns False when stalled on MSHRs."""
+        sys = self.system
+        stats = sys.stats
+        line_addr = self.cache.line_address(address)
+
+        mshr = self.mshrs.get(line_addr)
+        if mshr is not None:  # coalesce under the outstanding miss
+            mshr.wants_write = mshr.wants_write or is_write
+            mshr.coalesced += 1
+            stats.references += 1
+            stats.l1_hits += 1
+            return True
+
+        line = self.cache.lookup(address)
+        if line is not None:
+            if is_write and line.state in (LineState.SHARED, LineState.OWNED):
+                # Write to a shared(-ish) line: upgrade via the directory
+                # (an OWNED writer must kill its readers first).
+                if len(self.mshrs) >= MAX_OUTSTANDING:
+                    return False
+                stats.upgrades += 1
+                self.mshrs[line_addr] = _Mshr(line_addr, True, sys.now)
+                self._request(MessageType.UPGRADE, line_addr)
+            elif is_write and line.state is LineState.EXCLUSIVE:
+                line.state = LineState.MODIFIED  # silent E -> M
+            stats.references += 1
+            stats.l1_hits += 1
+            self.cache.hits += 1
+            return True
+
+        # Miss.
+        if len(self.mshrs) >= MAX_OUTSTANDING:
+            return False
+        stats.references += 1
+        stats.l1_misses += 1
+        self.cache.misses += 1
+        self.mshrs[line_addr] = _Mshr(line_addr, is_write, sys.now)
+        self._request(
+            MessageType.GETM if is_write else MessageType.GETS, line_addr
+        )
+        return True
+
+    def _request(self, mtype: MessageType, line_addr: int) -> None:
+        bank_node = self.system.home_node(line_addr)
+        self.system.send_later(
+            CoherenceMessage(
+                mtype=mtype,
+                src=self.node,
+                dst=bank_node,
+                address=line_addr,
+                requester=self.cpu_index,
+            ),
+            delay=1,
+        )
+
+    # -- network-side --------------------------------------------------------
+
+    def handle(self, msg: CoherenceMessage) -> None:
+        handler = {
+            MessageType.DATA_S: self._on_data,
+            MessageType.DATA_E: self._on_data,
+            MessageType.UPGRADE_ACK: self._on_upgrade_ack,
+            MessageType.INV: self._on_inv,
+            MessageType.WB_ACK: self._on_wb_ack,
+            MessageType.FWD_GETS: self._on_fwd_gets,
+        }.get(msg.mtype)
+        if handler is None:
+            raise ValueError(f"cpu {self.cpu_index}: unexpected {msg.mtype}")
+        handler(msg)
+
+    def _fill(self, line_addr: int, state: LineState) -> None:
+        _, victim = self.cache.fill(line_addr, state)
+        if victim is not None and victim.state in (
+            LineState.MODIFIED,
+            LineState.OWNED,
+        ):
+            self._writeback(victim.address)
+
+    def _writeback(self, line_addr: int) -> None:
+        self.system.stats.writebacks += 1
+        self.system.send_later(
+            CoherenceMessage(
+                mtype=MessageType.WB_DATA,
+                src=self.node,
+                dst=self.system.home_node(line_addr),
+                address=line_addr,
+                requester=self.cpu_index,
+                payload_groups=self.system.sample_payload(),
+            ),
+            delay=1,
+        )
+
+    def _on_data(self, msg: CoherenceMessage) -> None:
+        mshr = self.mshrs.pop(msg.address, None)
+        if mshr is None:
+            raise RuntimeError(
+                f"cpu {self.cpu_index}: data for line {msg.address:#x} "
+                "without an outstanding miss"
+            )
+        self.system.stats.miss_latencies.append(self.system.now - mshr.issue_cycle)
+        if mshr.squashed:
+            # The line was invalidated while the fill was in flight: hand
+            # the data to the CPU but do not cache the stale copy.  A
+            # parked forward cannot be served either — tell the home.
+            if mshr.pending_forward is not None:
+                self._serve_forward(mshr.pending_forward)  # -> FwdMiss
+            return
+        if msg.mtype is MessageType.DATA_E:
+            state = LineState.MODIFIED if mshr.wants_write else LineState.EXCLUSIVE
+            self._fill(msg.address, state)
+        else:  # DATA_S
+            self._fill(msg.address, LineState.SHARED)
+            if mshr.wants_write:
+                # Read miss that coalesced a write: upgrade now.
+                self.mshrs[msg.address] = _Mshr(msg.address, True, self.system.now)
+                self.system.stats.upgrades += 1
+                self._request(MessageType.UPGRADE, msg.address)
+        if mshr.pending_forward is not None:
+            self._serve_forward(mshr.pending_forward)
+
+    def _on_upgrade_ack(self, msg: CoherenceMessage) -> None:
+        mshr = self.mshrs.pop(msg.address, None)
+        if mshr is None:
+            raise RuntimeError(
+                f"cpu {self.cpu_index}: upgrade ack without outstanding upgrade"
+            )
+        line = self.cache.lookup(msg.address, touch=False)
+        if line is not None:
+            line.state = LineState.MODIFIED
+            self.system.stats.miss_latencies.append(
+                self.system.now - mshr.issue_cycle
+            )
+        else:
+            # The line was invalidated while the upgrade was in flight:
+            # fall back to a full GetM.
+            self.mshrs[msg.address] = _Mshr(msg.address, True, mshr.issue_cycle)
+            self._request(MessageType.GETM, msg.address)
+
+    def _on_inv(self, msg: CoherenceMessage) -> None:
+        mshr = self.mshrs.get(msg.address)
+        if mshr is not None:
+            mshr.squashed = True
+        line = self.cache.invalidate(msg.address)
+        if line is not None and line.state in (
+            LineState.MODIFIED,
+            LineState.OWNED,
+        ):
+            # Recall of a dirty line: respond with the data.
+            self.system.send_later(
+                CoherenceMessage(
+                    mtype=MessageType.WB_DATA,
+                    src=self.node,
+                    dst=msg.src,
+                    address=msg.address,
+                    requester=self.cpu_index,
+                    payload_groups=self.system.sample_payload(),
+                ),
+                delay=1,
+            )
+        else:
+            self.system.send_later(
+                CoherenceMessage(
+                    mtype=MessageType.INV_ACK,
+                    src=self.node,
+                    dst=msg.src,
+                    address=msg.address,
+                    requester=self.cpu_index,
+                ),
+                delay=1,
+            )
+
+    def _on_wb_ack(self, msg: CoherenceMessage) -> None:
+        pass  # writeback complete; nothing outstanding to release
+
+    def _on_fwd_gets(self, msg: CoherenceMessage) -> None:
+        """MOESI: forward our dirty/exclusive line to another CPU.
+
+        A forward can overtake our own in-flight fill (the directory
+        granted us the line, then forwarded, and the grant is slow, e.g.
+        a DRAM fill): park it on the MSHR and serve it when the data
+        lands.
+        """
+        mshr = self.mshrs.get(msg.address)
+        if mshr is not None and self.cache.lookup(msg.address, touch=False) is None:
+            mshr.pending_forward = msg
+            return
+        self._serve_forward(msg)
+
+    def _serve_forward(self, msg: CoherenceMessage) -> None:
+        line = self.cache.lookup(msg.address, touch=False)
+        if line is not None and line.state in (
+            LineState.MODIFIED,
+            LineState.EXCLUSIVE,
+            LineState.OWNED,
+        ):
+            line.state = LineState.OWNED
+            self.system.stats.cache_to_cache += 1
+            self.system.send_later(
+                CoherenceMessage(
+                    mtype=MessageType.DATA_S,
+                    src=self.node,
+                    dst=self.system.cpu_nodes[msg.requester],
+                    address=msg.address,
+                    requester=msg.requester,
+                    payload_groups=self.system.sample_payload(),
+                ),
+                delay=1,
+            )
+            self.system.send_later(
+                CoherenceMessage(
+                    mtype=MessageType.FWD_DONE,
+                    src=self.node,
+                    dst=msg.src,
+                    address=msg.address,
+                    requester=self.cpu_index,
+                ),
+                delay=1,
+            )
+        else:
+            self.system.send_later(
+                CoherenceMessage(
+                    mtype=MessageType.FWD_MISS,
+                    src=self.node,
+                    dst=msg.src,
+                    address=msg.address,
+                    requester=self.cpu_index,
+                ),
+                delay=1,
+            )
+
+
+class CmpSystem:
+    """The full CMP: CPUs, L1s, banks, and an internal event clock.
+
+    The system exposes the *message* level: components call
+    :meth:`send_later`, messages appear in :attr:`outbox` stamped with
+    their send cycle, and whoever drives the system (offline loop or
+    coupled traffic adapter) delivers them back via :meth:`dispatch`.
+    """
+
+    def __init__(
+        self,
+        config: ArchitectureConfig,
+        profile: WorkloadProfile,
+        seed: int = 1,
+        protocol: str = "mesi",
+    ) -> None:
+        if not config.cpu_nodes or not config.cache_nodes:
+            raise ValueError("architecture config lacks CPU/cache placement")
+        self.config = config
+        self.profile = profile
+        self.seed = seed
+        self.protocol = protocol
+        self.now = 0
+        self.stats = HierarchyStats()
+        self.rng = random.Random((seed << 4) ^ 0xCAFE)
+        self._events: List[Tuple[int, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self.outbox: List[Tuple[int, CoherenceMessage]] = []
+
+        self.cpu_nodes = list(config.cpu_nodes)
+        self.cache_nodes = list(config.cache_nodes)
+        self._node_to_cpu = {n: i for i, n in enumerate(self.cpu_nodes)}
+        self._node_to_bank = {n: i for i, n in enumerate(self.cache_nodes)}
+
+        self.l1s = [
+            _L1Controller(i, node, self) for i, node in enumerate(self.cpu_nodes)
+        ]
+        self.banks = [
+            DirectoryBank(
+                bank_index=i,
+                node=node,
+                cpu_nodes=self.cpu_nodes,
+                profile=profile,
+                send=self.send_later,
+                seed=seed,
+                protocol=protocol,
+            )
+            for i, node in enumerate(self.cache_nodes)
+        ]
+        for bank in self.banks:
+            bank.clock = lambda: self.now
+        self.streams = [
+            AddressStream(i, len(self.cpu_nodes), profile, seed=seed)
+            for i in range(len(self.cpu_nodes))
+        ]
+        self._issue_horizon: Optional[int] = None
+        for i in range(len(self.cpu_nodes)):
+            self._schedule_issue(i, first=True)
+
+    # -- engine ------------------------------------------------------------
+
+    def schedule(self, cycle: int, fn: Callable[[], None]) -> None:
+        if cycle < self.now:
+            raise ValueError(f"cannot schedule into the past ({cycle} < {self.now})")
+        heapq.heappush(self._events, (cycle, next(self._seq), fn))
+
+    def advance_to(self, cycle: int) -> None:
+        """Run internal events up to and including *cycle*."""
+        while self._events and self._events[0][0] <= cycle:
+            when, _, fn = heapq.heappop(self._events)
+            self.now = when
+            fn()
+        self.now = max(self.now, cycle)
+
+    def send_later(self, msg: CoherenceMessage, delay: int) -> None:
+        """Queue *msg* for network injection ``delay`` cycles from now."""
+
+        def emit() -> None:
+            self.stats.note_message(msg)
+            self.outbox.append((self.now, msg))
+
+        self.schedule(self.now + delay, emit)
+
+    def drain_outbox(self, up_to_cycle: int) -> List[Tuple[int, CoherenceMessage]]:
+        """Remove and return queued messages stamped <= *up_to_cycle*."""
+        ready = [(c, m) for c, m in self.outbox if c <= up_to_cycle]
+        self.outbox = [(c, m) for c, m in self.outbox if c > up_to_cycle]
+        return ready
+
+    def dispatch(self, msg: CoherenceMessage) -> None:
+        """Deliver *msg* to its destination component."""
+        cpu = self._node_to_cpu.get(msg.dst)
+        if cpu is not None:
+            self.l1s[cpu].handle(msg)
+            return
+        bank = self._node_to_bank.get(msg.dst)
+        if bank is not None:
+            self.banks[bank].handle(msg)
+            return
+        raise ValueError(f"message to node {msg.dst} which hosts no component")
+
+    # -- address mapping / payloads -----------------------------------------
+
+    def home_node(self, line_addr: int) -> int:
+        """SNUCA home bank: low-order line-address bits (Sec. 4.1.2)."""
+        bank = (line_addr // 64) % len(self.cache_nodes)
+        return self.cache_nodes[bank]
+
+    def sample_payload(self) -> List[int]:
+        """Per-flit active groups for a data message payload."""
+        from repro.traffic.patterns import line_active_groups
+
+        return [1] + line_active_groups(self.profile.sample_line(self.rng))
+
+    # -- CPU issue ------------------------------------------------------------
+
+    def set_issue_horizon(self, cycle: Optional[int]) -> None:
+        """CPUs stop issuing new references after *cycle* (None = never)."""
+        self._issue_horizon = cycle
+
+    def _schedule_issue(self, cpu: int, first: bool = False) -> None:
+        gap = self.rng.expovariate(self.profile.request_rate)
+        delay = max(1, round(gap)) if not first else self.rng.randrange(1, 32)
+        self.schedule(self.now + delay, lambda: self._issue(cpu))
+
+    def _issue(self, cpu: int) -> None:
+        if self._issue_horizon is not None and self.now > self._issue_horizon:
+            return
+        address, is_write = self.streams[cpu].next_reference()
+        if self.l1s[cpu].access(address, is_write):
+            self._schedule_issue(cpu)
+        else:  # MSHRs full: retry the same slot later
+            self.schedule(
+                self.now + MSHR_RETRY_CYCLES, lambda: self._issue_retry(cpu, address, is_write)
+            )
+
+    def _issue_retry(self, cpu: int, address: int, is_write: bool) -> None:
+        if self.l1s[cpu].access(address, is_write):
+            self._schedule_issue(cpu)
+        else:
+            self.schedule(
+                self.now + MSHR_RETRY_CYCLES,
+                lambda: self._issue_retry(cpu, address, is_write),
+            )
+
+    def pending_events(self) -> int:
+        return len(self._events)
+
+    def outstanding_mshrs(self) -> int:
+        return sum(len(l1.mshrs) for l1 in self.l1s)
+
+
+# -- offline trace generation ----------------------------------------------------
+
+
+def generate_trace(
+    config: ArchitectureConfig,
+    profile: WorkloadProfile,
+    cycles: int,
+    seed: int = 1,
+    net_latency: int = OFFLINE_NET_LATENCY,
+    protocol: str = "mesi",
+) -> Tuple[List[TraceRecord], HierarchyStats]:
+    """Run the hierarchy with a fixed-latency transport; return the trace.
+
+    This is the paper's trace-generation step (Simics + memory model)
+    collapsed into one call: the returned records drive the cycle-accurate
+    NoC simulator for the MP-trace experiments (Figs. 11c, 12c).
+    """
+    if cycles <= 0:
+        raise ValueError(f"cycles must be positive, got {cycles}")
+    system = CmpSystem(config, profile, seed=seed, protocol=protocol)
+    system.set_issue_horizon(cycles)
+    records: List[TraceRecord] = []
+    horizon = cycles
+    # Keep pumping until traffic drains (bounded: horizon + slack).
+    hard_stop = cycles + 10 * (net_latency + 500)
+    while system.pending_events() and system.now < hard_stop:
+        next_cycle = system._events[0][0]
+        system.advance_to(next_cycle)
+        for send_cycle, msg in system.drain_outbox(next_cycle):
+            if send_cycle <= horizon:
+                records.append(
+                    TraceRecord(
+                        cycle=send_cycle,
+                        src=msg.src,
+                        dst=msg.dst,
+                        klass=PacketClass.DATA if msg.is_data else PacketClass.CTRL,
+                        payload_groups=tuple(msg.payload_groups)
+                        if msg.payload_groups is not None
+                        else None,
+                    )
+                )
+            system.schedule(
+                system.now + net_latency, lambda m=msg: system.dispatch(m)
+            )
+    records.sort(key=lambda r: r.cycle)
+    return records, system.stats
+
+
+# -- coupled (closed-loop) mode ----------------------------------------------------
+
+
+class CmpTraffic(BaseTraffic):
+    """Adapter running the CMP hierarchy closed-loop over the real NoC.
+
+    Coherence messages become network packets; packet delivery invokes the
+    protocol handlers, whose outgoing messages become future packets.
+    """
+
+    def __init__(
+        self,
+        config: ArchitectureConfig,
+        profile: WorkloadProfile,
+        seed: int = 1,
+        issue_horizon: Optional[int] = None,
+        protocol: str = "mesi",
+    ) -> None:
+        self.system = CmpSystem(config, profile, seed=seed, protocol=protocol)
+        if issue_horizon is not None:
+            self.system.set_issue_horizon(issue_horizon)
+        self._horizon = issue_horizon
+
+    def packets_for_cycle(self, cycle: int) -> Iterable[Packet]:
+        self.system.advance_to(cycle)
+        return [
+            msg.to_packet(created_cycle=max(send_cycle, cycle))
+            for send_cycle, msg in self.system.drain_outbox(cycle)
+        ]
+
+    def on_delivered(self, packet: Packet, cycle: int) -> Iterable[Packet]:
+        msg = packet.reply_tag
+        if not isinstance(msg, CoherenceMessage):
+            return ()
+        self.system.advance_to(cycle)
+        self.system.dispatch(msg)
+        return ()
+
+    def finished(self, cycle: int) -> bool:
+        if self._horizon is None:
+            return False
+        return (
+            cycle > self._horizon
+            and not self.system.pending_events()
+            and not self.system.outbox
+            and self.system.outstanding_mshrs() == 0
+        )

@@ -1,0 +1,81 @@
+"""Coherence message vocabulary and packet mapping.
+
+The network timing model "simulates all kinds of messages such as
+invalidates, requests, response, write backs, and acknowledgments"
+(Sec. 4.1.2).  Every message is either a one-flit control packet or a
+five-flit data packet (64-byte line + header), which is the packet-type
+split of Fig. 2.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.noc.packet import (
+    CTRL_PACKET_FLITS,
+    DATA_PACKET_FLITS,
+    Packet,
+    PacketClass,
+)
+
+
+class MessageType(enum.Enum):
+    """MESI directory protocol messages."""
+
+    GETS = "GetS"           # read miss request          (ctrl)
+    GETM = "GetM"           # write miss request         (ctrl)
+    UPGRADE = "Upgrade"     # S -> M permission request  (ctrl)
+    DATA_S = "Data"         # shared data response       (data)
+    DATA_E = "DataExcl"     # exclusive data response    (data)
+    INV = "Inv"             # invalidate / recall        (ctrl)
+    INV_ACK = "InvAck"      # invalidation acknowledged  (ctrl)
+    WB_DATA = "WbData"      # dirty writeback / recall   (data)
+    WB_ACK = "WbAck"        # writeback acknowledged     (ctrl)
+    UPGRADE_ACK = "UpgradeAck"  # upgrade granted        (ctrl)
+    # MOESI extension: cache-to-cache forwarding (3-hop transactions).
+    FWD_GETS = "FwdGetS"    # directory asks owner to forward    (ctrl)
+    FWD_DONE = "FwdDone"    # owner forwarded; directory unbusy  (ctrl)
+    FWD_MISS = "FwdMiss"    # owner no longer holds the line     (ctrl)
+
+
+#: Message types that carry a full cache line.
+DATA_MESSAGES = frozenset(
+    {MessageType.DATA_S, MessageType.DATA_E, MessageType.WB_DATA}
+)
+
+
+@dataclass
+class CoherenceMessage:
+    """One protocol message travelling between a CPU tile and a bank."""
+
+    mtype: MessageType
+    src: int            # network node id
+    dst: int            # network node id
+    address: int        # line-aligned physical address
+    requester: int = -1  # originating CPU index, for responses
+    #: Per-flit active word groups for data messages (5 entries), or None.
+    payload_groups: Optional[List[int]] = field(default=None)
+
+    @property
+    def is_data(self) -> bool:
+        return self.mtype in DATA_MESSAGES
+
+    @property
+    def size_flits(self) -> int:
+        return DATA_PACKET_FLITS if self.is_data else CTRL_PACKET_FLITS
+
+    def to_packet(self, created_cycle: int) -> Packet:
+        """Materialise as a network packet."""
+        return Packet(
+            src=self.src,
+            dst=self.dst,
+            size_flits=self.size_flits,
+            klass=PacketClass.DATA if self.is_data else PacketClass.CTRL,
+            created_cycle=created_cycle,
+            payload_groups=list(self.payload_groups)
+            if self.payload_groups is not None
+            else None,
+            reply_tag=self,
+        )

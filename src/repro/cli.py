@@ -1,0 +1,307 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives downstream users one-line access to the main flows:
+
+* ``simulate``    — run one architecture under synthetic traffic
+* ``compare``     — all six configurations side by side
+* ``area``        — the Table 1 component-area breakdown
+* ``delays``      — the Table 3 pipeline-merge validation
+* ``trace``       — synthesise an MP trace from a workload model
+* ``workloads``   — list the calibrated workload profiles
+* ``experiment``  — run a named table/figure harness
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.arch import (
+    Architecture,
+    make_architecture,
+    standard_configs,
+)
+from repro.experiments.config import ExperimentSettings
+from repro.experiments.report import format_table
+from repro.experiments.runner import run_nuca_point, run_uniform_point
+from repro.traffic.workloads import WORKLOADS
+
+_ARCH_BY_NAME = {arch.value: arch for arch in Architecture}
+
+
+def _settings(args: argparse.Namespace) -> ExperimentSettings:
+    return ExperimentSettings.full() if args.full else ExperimentSettings.quick()
+
+
+def _resolve_arch(name: str) -> Architecture:
+    if name not in _ARCH_BY_NAME:
+        raise SystemExit(
+            f"unknown architecture {name!r}; choose from {sorted(_ARCH_BY_NAME)}"
+        )
+    return _ARCH_BY_NAME[name]
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    config = make_architecture(_resolve_arch(args.arch))
+    settings = _settings(args)
+    if args.traffic == "uniform":
+        point = run_uniform_point(
+            config, args.rate, settings,
+            short_flit_fraction=args.short_flits,
+            shutdown_enabled=args.short_flits > 0,
+        )
+    else:
+        point = run_nuca_point(
+            config, args.rate, settings,
+            short_flit_fraction=args.short_flits,
+            shutdown_enabled=args.short_flits > 0,
+        )
+    print(f"architecture      : {point.arch}")
+    print(f"traffic           : {point.label}")
+    print(f"avg latency       : {point.avg_latency:.2f} cycles")
+    print(f"avg hops          : {point.avg_hops:.2f}")
+    print(f"throughput        : {point.sim.throughput:.4f} flits/node/cycle")
+    print(f"network power     : {point.total_power_w:.3f} W")
+    print(f"power-delay prod. : {point.pdp * 1e9:.3f} W*ns")
+    if point.sim.saturated:
+        print("warning           : network saturated at this load")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    settings = _settings(args)
+    rows = []
+    for config in standard_configs():
+        point = run_uniform_point(config, args.rate, settings)
+        rows.append(
+            [
+                config.name,
+                f"{point.avg_latency:.2f}",
+                f"{point.avg_hops:.2f}",
+                f"{point.total_power_w:.3f}",
+                f"{point.pdp * 1e9:.3f}",
+            ]
+        )
+    print(f"uniform random @ {args.rate:g} flits/node/cycle")
+    print(
+        format_table(
+            ["arch", "latency (cyc)", "hops", "power (W)", "PDP (W*ns)"], rows
+        )
+    )
+    return 0
+
+
+def cmd_area(args: argparse.Namespace) -> int:
+    from repro.experiments.area_tables import table1_area
+
+    table = table1_area()
+    modules = ["RC", "SA1", "SA2", "VA1", "VA2", "Crossbar", "Buffer"]
+    rows = []
+    for module in modules:
+        rows.append(
+            [module]
+            + [f"{table[a]['model'].per_layer[module]:,.0f}"
+               for a in ("2DB", "3DB", "3DM", "3DM-E")]
+        )
+    rows.append(
+        ["Total"]
+        + [f"{table[a]['model'].total:,.0f}" for a in ("2DB", "3DB", "3DM", "3DM-E")]
+    )
+    print("router component area (um^2), Table 1 model")
+    print(format_table(["module", "2DB", "3DB", "3DM*", "3DM-E*"], rows))
+    return 0
+
+
+def cmd_delays(args: argparse.Namespace) -> int:
+    from repro.experiments.area_tables import table3_delays
+
+    rows = [
+        [
+            r.name,
+            f"{r.xbar_ps:.2f}",
+            f"{r.link_ps:.2f}",
+            f"{r.combined_ps:.2f}",
+            "Yes" if r.can_combine else "No",
+        ]
+        for r in table3_delays()
+    ]
+    print("pipeline-merge delay validation (Table 3), 500 ps budget")
+    print(format_table(["design", "XBAR ps", "Link ps", "Combined", "merge?"], rows))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.cache.hierarchy import generate_trace
+    from repro.traffic.traces import write_trace
+
+    if args.workload not in WORKLOADS:
+        raise SystemExit(
+            f"unknown workload {args.workload!r}; see `repro workloads`"
+        )
+    config = make_architecture(_resolve_arch(args.arch))
+    records, stats = generate_trace(
+        config, WORKLOADS[args.workload], cycles=args.cycles, seed=args.seed
+    )
+    count = write_trace(args.output, records)
+    print(f"wrote {count} packets to {args.output}")
+    print(f"L1 miss rate {stats.l1_miss_rate:.3f}, "
+          f"{stats.ctrl_packet_fraction:.0%} control packets")
+    return 0
+
+
+def cmd_workloads(args: argparse.Namespace) -> int:
+    rows = [
+        [
+            p.name,
+            f"{p.short_flit_fraction:.0%}",
+            f"{p.ctrl_packet_fraction:.0%}",
+            f"{p.request_rate:g}",
+            f"{p.l1_miss_rate:.1%}",
+        ]
+        for p in WORKLOADS.values()
+    ]
+    print(
+        format_table(
+            ["workload", "short flits", "ctrl pkts", "req rate", "L1 miss"], rows
+        )
+    )
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    import repro.experiments as exp
+    from repro.experiments.report import dict_table, sweep_table
+
+    settings = _settings(args)
+    name = args.name
+    if name == "fig11a":
+        print(sweep_table(exp.fig11a_uniform_latency(settings), "avg_latency"))
+    elif name == "fig11b":
+        print(sweep_table(exp.fig11b_nuca_latency(settings), "avg_latency"))
+    elif name == "fig11d":
+        print(dict_table(exp.fig11d_hop_counts(settings), row_label="traffic"))
+    elif name == "fig12a":
+        print(sweep_table(exp.fig12a_uniform_power(settings), "total_power_w"))
+    elif name == "fig13a":
+        fractions = exp.fig13a_short_flit_fractions(settings)
+        print(dict_table({"short_flits": fractions}, row_label=""))
+    elif name == "fig9":
+        print(dict_table(exp.fig9_energy_breakdown(), row_label="arch"))
+    elif name == "fig1":
+        print(dict_table(exp.fig1_data_patterns(), row_label="workload"))
+    else:
+        raise SystemExit(
+            "unknown experiment; choose from fig1, fig9, fig11a, fig11b, "
+            "fig11d, fig12a, fig13a (run the benchmark suite for the rest)"
+        )
+    return 0
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    """One-command reproduction: run the benchmark suite, then stitch
+    the artifacts into results/REPORT.md."""
+    import subprocess
+    from pathlib import Path
+
+    cmd = [
+        sys.executable, "-m", "pytest", "benchmarks/", "--benchmark-only",
+        "-q", "-p", "no:cacheprovider",
+    ]
+    if args.filter:
+        cmd += ["-k", args.filter]
+    print("running:", " ".join(cmd))
+    completed = subprocess.run(cmd)
+    if completed.returncode != 0:
+        print("benchmark suite reported failures; see output above")
+    results = Path("results")
+    if results.is_dir():
+        from repro.experiments.summary import write_report
+
+        try:
+            output = write_report(results)
+            print(f"wrote {output}")
+        except FileNotFoundError:
+            print("no artifacts produced; skipping report")
+    return completed.returncode
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.experiments.summary import write_report
+
+    output = write_report(Path(args.results))
+    print(f"wrote {output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MIRA (ISCA 2008) reproduction toolkit",
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="use the full-scale experiment settings",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="simulate one architecture")
+    sim.add_argument("--arch", default="3DM", help="2DB/3DB/3DM/3DM-E/...")
+    sim.add_argument("--rate", type=float, default=0.2)
+    sim.add_argument("--traffic", choices=["uniform", "nuca"], default="uniform")
+    sim.add_argument("--short-flits", type=float, default=0.0)
+    sim.set_defaults(func=cmd_simulate)
+
+    cmp_ = sub.add_parser("compare", help="compare all six configurations")
+    cmp_.add_argument("--rate", type=float, default=0.2)
+    cmp_.set_defaults(func=cmd_compare)
+
+    area = sub.add_parser("area", help="Table 1 area breakdown")
+    area.set_defaults(func=cmd_area)
+
+    delays = sub.add_parser("delays", help="Table 3 delay validation")
+    delays.set_defaults(func=cmd_delays)
+
+    trace = sub.add_parser("trace", help="generate an MP trace file")
+    trace.add_argument("--workload", default="tpcw")
+    trace.add_argument("--arch", default="2DB")
+    trace.add_argument("--cycles", type=int, default=30000)
+    trace.add_argument("--seed", type=int, default=1)
+    trace.add_argument("--output", default="trace.txt")
+    trace.set_defaults(func=cmd_trace)
+
+    wl = sub.add_parser("workloads", help="list workload models")
+    wl.set_defaults(func=cmd_workloads)
+
+    ex = sub.add_parser("experiment", help="run a table/figure harness")
+    ex.add_argument("name")
+    ex.set_defaults(func=cmd_experiment)
+
+    report = sub.add_parser(
+        "report", help="stitch results/ artifacts into REPORT.md"
+    )
+    report.add_argument("--results", default="results")
+    report.set_defaults(func=cmd_report)
+
+    reproduce = sub.add_parser(
+        "reproduce",
+        help="run the full benchmark suite and write results/REPORT.md",
+    )
+    reproduce.add_argument(
+        "--filter", default="",
+        help="pytest -k expression to run a subset (e.g. 'table1')",
+    )
+    reproduce.set_defaults(func=cmd_reproduce)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

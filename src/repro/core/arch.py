@@ -1,0 +1,362 @@
+"""The evaluated router architectures as buildable configurations.
+
+Six configurations appear in the paper's evaluation (Sec. 4):
+
+======== =========================================================
+2DB      6x6 2D mesh of conventional 5-port routers (Fig. 3a)
+3DB      3x3x4 3D mesh of 7-port routers, CPUs pinned to the top
+         layer for thermal reasons (Figs. 3b, 10c)
+3DM      6x6 mesh of 4-layer stacked routers; quarter-size
+         crossbars and half-length links allow the ST and LT
+         pipeline stages to merge (Figs. 3c, 8d)
+3DM(NC)  3DM without the pipeline merge (ablation)
+3DM-E    3DM plus span-2 express channels bought with the spare
+         link bandwidth (Sec. 3.3, Fig. 7)
+3DM-E(NC) 3DM-E without the pipeline merge (ablation)
+======== =========================================================
+
+A configuration knows its topology, geometry (pitches, radix, layer
+count), node roles (CPU vs cache placement, Fig. 10) and whether the
+timing model permits the single-stage switch+link traversal; it can build
+ready-to-run :class:`~repro.noc.network.Network` instances.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.noc.network import Network
+from repro.timing.delay import can_combine_st_lt
+from repro.topology.base import Topology
+from repro.topology.express_mesh import ExpressMesh
+from repro.topology.mesh2d import Mesh2D
+from repro.topology.mesh3d import Mesh3D
+
+#: Tile pitch of a planar (2DB/3DB) layout, mm (Table 2: ~3.1 mm).
+PLANAR_PITCH_MM = 3.16
+#: Tile pitch of the quarter-footprint multi-layer layout, mm (Table 2).
+MULTILAYER_PITCH_MM = 1.58
+#: Stacked silicon layers in all 3D designs.
+DEFAULT_LAYERS = 4
+#: Flit width in bits (Sec. 3.2.1).
+DEFAULT_FLIT_BITS = 128
+#: Virtual channels per physical channel (Sec. 3.2.4).
+DEFAULT_VCS = 2
+#: Buffer depth in flits per VC (Sec. 3.2.1: "8 lines for 8 buffers").
+DEFAULT_BUFFER_DEPTH = 8
+
+
+class Architecture(enum.Enum):
+    """The six evaluated configurations."""
+
+    BASELINE_2D = "2DB"
+    BASELINE_3D = "3DB"
+    MIRA_3DM = "3DM"
+    MIRA_3DM_NC = "3DM(NC)"
+    MIRA_3DM_E = "3DM-E"
+    MIRA_3DM_E_NC = "3DM-E(NC)"
+
+
+@dataclass(frozen=True)
+class ArchitectureConfig:
+    """A fully specified, buildable router architecture."""
+
+    arch: Architecture
+    #: Stacked silicon layers the router data path spans.
+    layers: int
+    #: Design radix: physical ports of the full (interior) router.
+    ports: int
+    #: Flit width in bits.
+    flit_bits: int
+    #: Virtual channels per physical channel.
+    vcs: int
+    #: Buffer depth in flits per VC.
+    buffer_depth: int
+    #: Tile pitch = normal inter-router link length, mm.
+    pitch_mm: float
+    #: Longest link in the design (express span x pitch for 3DM-E), mm.
+    max_link_mm: float
+    #: Merge switch traversal and link traversal into one stage.
+    combined_st_lt: bool
+    #: Mesh dimensions: (width, height) or (width, height, depth).
+    dims: Tuple[int, ...]
+    #: Express channel span in hops (0 = no express channels).
+    express_span: int = 0
+    #: Fig. 8b: speculative switch allocation overlapping VA.
+    speculative_sa: bool = False
+    #: Fig. 8c: look-ahead routing (route computed one hop in advance).
+    lookahead_rc: bool = False
+    #: Node ids hosting processor cores (Fig. 10 placements).
+    cpu_nodes: Tuple[int, ...] = field(default_factory=tuple)
+    #: Node ids hosting L2 cache banks.
+    cache_nodes: Tuple[int, ...] = field(default_factory=tuple)
+
+    @property
+    def name(self) -> str:
+        return self.arch.value
+
+    @property
+    def num_nodes(self) -> int:
+        n = 1
+        for d in self.dims:
+            n *= d
+        return n
+
+    @property
+    def is_multilayer(self) -> bool:
+        """True for the self-stacked (3DM-family) router designs."""
+        return self.arch in (
+            Architecture.MIRA_3DM,
+            Architecture.MIRA_3DM_NC,
+            Architecture.MIRA_3DM_E,
+            Architecture.MIRA_3DM_E_NC,
+        )
+
+    @property
+    def datapath_layers(self) -> int:
+        """Layers the router *data path* spans (1 for 2DB/3DB)."""
+        return self.layers if self.is_multilayer else 1
+
+    def build_topology(self) -> Topology:
+        """Construct a fresh topology instance."""
+        if self.arch is Architecture.BASELINE_3D:
+            width, height, depth = self.dims
+            return Mesh3D(width, height, depth, pitch_mm=self.pitch_mm)
+        width, height = self.dims
+        if self.express_span:
+            return ExpressMesh(width, height, self.pitch_mm, span=self.express_span)
+        return Mesh2D(width, height, self.pitch_mm)
+
+    def build_network(self, shutdown_enabled: bool = False) -> Network:
+        """Construct a ready-to-run network for this architecture."""
+        return Network(
+            topology=self.build_topology(),
+            num_vcs=self.vcs,
+            buffer_depth=self.buffer_depth,
+            combined_st_lt=self.combined_st_lt,
+            layer_groups=4,
+            shutdown_enabled=shutdown_enabled,
+            speculative_sa=self.speculative_sa,
+            lookahead_rc=self.lookahead_rc,
+        )
+
+    def with_pipeline_options(
+        self, speculative_sa: bool = False, lookahead_rc: bool = False
+    ) -> "ArchitectureConfig":
+        """Variant of this design using the advanced pipelines of
+        Fig. 8b (speculative SA) / Fig. 8c (look-ahead routing)."""
+        return dataclasses.replace(
+            self, speculative_sa=speculative_sa, lookahead_rc=lookahead_rc
+        )
+
+
+def _middle_block_nodes(width: int, height: int, count: int) -> List[int]:
+    """Spread *count* CPU tiles over the central rows of a 2D mesh
+    (Fig. 10a/10b: processors sit in the middle of the network)."""
+    if count > width * height:
+        raise ValueError("more CPUs than tiles")
+    rows_needed = (count + width - 3) // max(1, width - 2)
+    nodes: List[int] = []
+    y0 = max(0, (height - rows_needed) // 2)
+    x0 = 1 if width > 2 else 0
+    x_limit = width - 1 if width > 2 else width
+    y = y0
+    while len(nodes) < count and y < height:
+        x = x0
+        while len(nodes) < count and x < x_limit:
+            nodes.append(y * width + x)
+            x += 1
+        y += 1
+    if len(nodes) < count:  # tiny meshes: fall back to row-major fill
+        taken = set(nodes)
+        for n in range(width * height):
+            if len(nodes) >= count:
+                break
+            if n not in taken:
+                nodes.append(n)
+    return nodes
+
+
+def _top_layer_nodes(width: int, height: int, depth: int, count: int) -> List[int]:
+    """First *count* tiles of the top layer (closest to the heat sink),
+    where the 3DB layout must keep all processors (Fig. 10c)."""
+    plane = width * height
+    if count > plane:
+        raise ValueError("more CPUs than top-layer tiles")
+    top_base = (depth - 1) * plane
+    return [top_base + i for i in range(count)]
+
+
+def make_2db(
+    width: int = 6, height: int = 6, num_cpus: int = 8
+) -> ArchitectureConfig:
+    """The 2D baseline: conventional 5-port mesh routers."""
+    cpus = _middle_block_nodes(width, height, num_cpus)
+    caches = [n for n in range(width * height) if n not in set(cpus)]
+    return ArchitectureConfig(
+        arch=Architecture.BASELINE_2D,
+        layers=1,
+        ports=5,
+        flit_bits=DEFAULT_FLIT_BITS,
+        vcs=DEFAULT_VCS,
+        buffer_depth=DEFAULT_BUFFER_DEPTH,
+        pitch_mm=PLANAR_PITCH_MM,
+        max_link_mm=PLANAR_PITCH_MM,
+        combined_st_lt=False,
+        dims=(width, height),
+        cpu_nodes=tuple(cpus),
+        cache_nodes=tuple(caches),
+    )
+
+
+def _spread_layer_nodes(
+    width: int, height: int, depth: int, count: int
+) -> List[int]:
+    """CPUs distributed round-robin across layers (one per pillar step).
+
+    The thermally *bad* placement the paper rejects (Sec. 3.1) — spreading
+    the hot cores shortens average CPU-cache distance but stacks power
+    density away from the heat sink.  Kept as an ablation option.
+    """
+    plane = width * height
+    if count > plane * depth:
+        raise ValueError("more CPUs than tiles")
+    nodes = []
+    for i in range(count):
+        layer = i % depth
+        pillar = (i * 2 + 1) % plane  # scatter within the plane
+        nodes.append(layer * plane + pillar)
+    if len(set(nodes)) != count:  # fall back to a dense scatter
+        nodes = [
+            (i % depth) * plane + (i // depth) % plane for i in range(count)
+        ]
+    return sorted(set(nodes))[:count]
+
+
+def make_3db(
+    width: int = 3,
+    height: int = 3,
+    depth: int = 4,
+    num_cpus: int = 8,
+    cpu_placement: str = "top",
+) -> ArchitectureConfig:
+    """The naive stacked 3D baseline: 7-port routers.
+
+    ``cpu_placement`` is ``"top"`` (the paper's thermally-safe choice,
+    Fig. 10c) or ``"spread"`` (CPUs distributed over the layers — better
+    NUCA hop counts, worse power density; the ablation in
+    :mod:`repro.experiments.ablations`).
+    """
+    if cpu_placement == "top":
+        cpus = _top_layer_nodes(width, height, depth, num_cpus)
+    elif cpu_placement == "spread":
+        cpus = _spread_layer_nodes(width, height, depth, num_cpus)
+    else:
+        raise ValueError(
+            f"cpu_placement must be 'top' or 'spread', got {cpu_placement!r}"
+        )
+    caches = [n for n in range(width * height * depth) if n not in set(cpus)]
+    return ArchitectureConfig(
+        arch=Architecture.BASELINE_3D,
+        layers=depth,
+        ports=7,
+        flit_bits=DEFAULT_FLIT_BITS,
+        vcs=DEFAULT_VCS,
+        buffer_depth=DEFAULT_BUFFER_DEPTH,
+        pitch_mm=PLANAR_PITCH_MM,
+        max_link_mm=PLANAR_PITCH_MM,
+        combined_st_lt=False,
+        dims=(width, height, depth),
+        cpu_nodes=tuple(cpus),
+        cache_nodes=tuple(caches),
+    )
+
+
+def _multilayer_config(
+    arch: Architecture,
+    width: int,
+    height: int,
+    num_cpus: int,
+    express_span: int,
+    nc: bool,
+) -> ArchitectureConfig:
+    ports = 9 if express_span else 5
+    max_link = MULTILAYER_PITCH_MM * (express_span if express_span else 1)
+    combinable = can_combine_st_lt(
+        ports=ports,
+        flit_bits=DEFAULT_FLIT_BITS,
+        layers=DEFAULT_LAYERS,
+        link_length_mm=max_link,
+    )
+    cpus = _middle_block_nodes(width, height, num_cpus)
+    caches = [n for n in range(width * height) if n not in set(cpus)]
+    return ArchitectureConfig(
+        arch=arch,
+        layers=DEFAULT_LAYERS,
+        ports=ports,
+        flit_bits=DEFAULT_FLIT_BITS,
+        vcs=DEFAULT_VCS,
+        buffer_depth=DEFAULT_BUFFER_DEPTH,
+        pitch_mm=MULTILAYER_PITCH_MM,
+        max_link_mm=max_link,
+        combined_st_lt=combinable and not nc,
+        dims=(width, height),
+        express_span=express_span,
+        cpu_nodes=tuple(cpus),
+        cache_nodes=tuple(caches),
+    )
+
+
+def make_3dm(
+    width: int = 6, height: int = 6, num_cpus: int = 8, nc: bool = False
+) -> ArchitectureConfig:
+    """The multi-layered MIRA router (optionally the NC ablation)."""
+    arch = Architecture.MIRA_3DM_NC if nc else Architecture.MIRA_3DM
+    return _multilayer_config(arch, width, height, num_cpus, express_span=0, nc=nc)
+
+
+def make_3dme(
+    width: int = 6,
+    height: int = 6,
+    num_cpus: int = 8,
+    span: int = 2,
+    nc: bool = False,
+) -> ArchitectureConfig:
+    """MIRA with express channels (optionally the NC ablation)."""
+    arch = Architecture.MIRA_3DM_E_NC if nc else Architecture.MIRA_3DM_E
+    return _multilayer_config(arch, width, height, num_cpus, express_span=span, nc=nc)
+
+
+def make_architecture(arch: Architecture, **kwargs) -> ArchitectureConfig:
+    """Factory keyed on the :class:`Architecture` enum."""
+    if arch is Architecture.BASELINE_2D:
+        return make_2db(**kwargs)
+    if arch is Architecture.BASELINE_3D:
+        return make_3db(**kwargs)
+    if arch is Architecture.MIRA_3DM:
+        return make_3dm(**kwargs)
+    if arch is Architecture.MIRA_3DM_NC:
+        return make_3dm(nc=True, **kwargs)
+    if arch is Architecture.MIRA_3DM_E:
+        return make_3dme(**kwargs)
+    if arch is Architecture.MIRA_3DM_E_NC:
+        return make_3dme(nc=True, **kwargs)
+    raise ValueError(f"unknown architecture: {arch}")
+
+
+def standard_configs(include_nc: bool = True) -> List[ArchitectureConfig]:
+    """The paper's evaluated configurations in presentation order."""
+    archs = [Architecture.BASELINE_2D, Architecture.BASELINE_3D]
+    if include_nc:
+        archs += [
+            Architecture.MIRA_3DM_NC,
+            Architecture.MIRA_3DM,
+            Architecture.MIRA_3DM_E_NC,
+            Architecture.MIRA_3DM_E,
+        ]
+    else:
+        archs += [Architecture.MIRA_3DM, Architecture.MIRA_3DM_E]
+    return [make_architecture(a) for a in archs]

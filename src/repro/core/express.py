@@ -1,0 +1,87 @@
+"""Express-channel and routing-path analysis (Sec. 3.3, Fig. 11d).
+
+Walks the deterministic routing functions to compute exact paths and
+average hop counts, which back the paper's hop-count comparison: 2DB and
+3DM share hop counts, 3DM-E has the fewest thanks to express channels,
+and 3DB suffers under layout-constrained (NUCA) traffic because CPU-cache
+pairs always cross the vertical dimension.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.noc.routing import RoutingFunction, routing_for_topology
+from repro.topology.base import LOCAL_PORT, Topology
+
+
+def route_path(
+    topology: Topology,
+    src: int,
+    dst: int,
+    routing: Optional[RoutingFunction] = None,
+) -> List[int]:
+    """Node sequence a packet visits from *src* to *dst* inclusive.
+
+    Raises if the routing function livelocks (visits more nodes than the
+    network holds), which would indicate a broken routing/topology pair.
+    """
+    routing = routing or routing_for_topology(topology)
+    path = [src]
+    node = src
+    while node != dst:
+        port = routing.output_port(node, dst)
+        if port == LOCAL_PORT:
+            raise RuntimeError(f"routing stalled at node {node} before {dst}")
+        link = topology.out_ports[node][port]
+        node = link.dst
+        path.append(node)
+        if len(path) > topology.num_nodes + 1:
+            raise RuntimeError(f"routing livelock from {src} to {dst}")
+    return path
+
+
+def hop_count(
+    topology: Topology,
+    src: int,
+    dst: int,
+    routing: Optional[RoutingFunction] = None,
+) -> int:
+    """Channels traversed from *src* to *dst* under the routing function."""
+    return len(route_path(topology, src, dst, routing)) - 1
+
+
+def average_hops(
+    topology: Topology,
+    pairs: Optional[Iterable[Tuple[int, int]]] = None,
+    routing: Optional[RoutingFunction] = None,
+) -> float:
+    """Mean hop count over *pairs* (default: all ordered pairs).
+
+    For NUCA hop counts pass the CPU-to-cache and cache-to-CPU pairs.
+    """
+    routing = routing or routing_for_topology(topology)
+    if pairs is None:
+        pairs = (
+            (s, d)
+            for s in range(topology.num_nodes)
+            for d in range(topology.num_nodes)
+            if s != d
+        )
+    total = 0
+    count = 0
+    for src, dst in pairs:
+        total += hop_count(topology, src, dst, routing)
+        count += 1
+    if count == 0:
+        raise ValueError("no src/dst pairs supplied")
+    return total / count
+
+
+def nuca_pairs(
+    cpu_nodes: Sequence[int], cache_nodes: Sequence[int]
+) -> List[Tuple[int, int]]:
+    """All request and response pairs of a NUCA layout."""
+    pairs = [(c, b) for c in cpu_nodes for b in cache_nodes]
+    pairs += [(b, c) for c in cpu_nodes for b in cache_nodes]
+    return pairs

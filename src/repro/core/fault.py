@@ -1,0 +1,156 @@
+"""Fault tolerance via redundant express channels (Sec. 3.3).
+
+The paper notes that 3DM's spare link bandwidth can buy an extra physical
+channel per direction and suggests fault tolerance as one use.  This
+module implements that idea: with both a normal and an express channel in
+every (interior) direction, a failed channel can be bypassed by its
+sibling:
+
+* a failed *express* channel degrades to the normal channel (always
+  minimal);
+* a failed *normal* channel is bypassed by the express channel — minimal
+  when the remaining distance covers the span, otherwise a bounded
+  overshoot-and-return (one extra hop).
+
+Routing stays deterministic and dimension-ordered; the overshoot turn is
+the only non-minimal step and only occurs adjacent to a failed link, so
+under the single-failure model evaluated here the channel-dependency
+cycle needed for deadlock cannot close (the sims in the tests/benches
+back this empirically).  Edge nodes without an express sibling cannot be
+bypassed; :func:`single_failure_coverage` quantifies exactly how much of
+the failure space the topology tolerates.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional, Set, Tuple
+
+from repro.core.arch import ArchitectureConfig
+from repro.noc.network import Network
+from repro.topology.base import LOCAL_PORT, LinkKind
+from repro.topology.express_mesh import EXPRESS_FOR, ExpressMesh
+from repro.topology.mesh2d import EAST, NORTH, SOUTH, WEST
+
+#: A directed channel identified by (source node, destination node).
+Channel = Tuple[int, int]
+
+
+class UnroutableError(RuntimeError):
+    """No surviving channel makes progress towards the destination."""
+
+
+def both_directions(src: int, dst: int) -> Set[Channel]:
+    """The two directed channels of a full-duplex link."""
+    return {(src, dst), (dst, src)}
+
+
+class FaultTolerantExpressRouting:
+    """Express-mesh X-Y routing that steers around failed channels."""
+
+    def __init__(
+        self, topology: ExpressMesh, failed: Iterable[Channel] = ()
+    ) -> None:
+        self.topology = topology
+        self.failed: FrozenSet[Channel] = frozenset(failed)
+        for src, dst in self.failed:
+            # Failed channels must exist, else the failure set is a typo.
+            topology.link_between(src, dst)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _alive(self, node: int, port: str) -> bool:
+        link = self.topology.out_ports[node].get(port)
+        return link is not None and (link.src, link.dst) not in self.failed
+
+    def _steer(self, node: int, direction: str, distance: int) -> Optional[str]:
+        """Best surviving channel for *distance* remaining hops in
+        *direction*; None when both channels are dead or absent."""
+        express = EXPRESS_FOR[direction]
+        if distance >= self.topology.span and self._alive(node, express):
+            return express
+        if self._alive(node, direction):
+            return direction
+        if self._alive(node, express):
+            return express  # bounded overshoot past the failure
+        return None
+
+    def output_port(self, node: int, dst: int) -> str:
+        x, y = self.topology.coordinates(node)
+        dx, dy = self.topology.coordinates(dst)
+        if x != dx:
+            direction = EAST if x < dx else WEST
+            port = self._steer(node, direction, abs(dx - x))
+            if port is None:
+                raise UnroutableError(
+                    f"node {node}: no surviving channel towards x={dx}"
+                )
+            return port
+        if y != dy:
+            direction = SOUTH if y < dy else NORTH
+            port = self._steer(node, direction, abs(dy - y))
+            if port is None:
+                raise UnroutableError(
+                    f"node {node}: no surviving channel towards y={dy}"
+                )
+            return port
+        return LOCAL_PORT
+
+
+def build_fault_tolerant_network(
+    config: ArchitectureConfig,
+    failed: Iterable[Channel],
+    shutdown_enabled: bool = False,
+) -> Network:
+    """A 3DM-E network whose routing avoids the *failed* channels."""
+    if not config.express_span:
+        raise ValueError(
+            "fault-tolerant routing needs the express topology (3DM-E)"
+        )
+    topology = config.build_topology()
+    assert isinstance(topology, ExpressMesh)
+    return Network(
+        topology=topology,
+        num_vcs=config.vcs,
+        buffer_depth=config.buffer_depth,
+        combined_st_lt=config.combined_st_lt,
+        shutdown_enabled=shutdown_enabled,
+        routing=FaultTolerantExpressRouting(topology, failed),
+        speculative_sa=config.speculative_sa,
+        lookahead_rc=config.lookahead_rc,
+    )
+
+
+def routable_under(topology: ExpressMesh, failed: Iterable[Channel]) -> bool:
+    """True when every ordered node pair still has a route."""
+    from repro.core.express import route_path
+
+    routing = FaultTolerantExpressRouting(topology, failed)
+    for src in range(topology.num_nodes):
+        for dst in range(topology.num_nodes):
+            if src == dst:
+                continue
+            try:
+                route_path(topology, src, dst, routing)
+            except (UnroutableError, RuntimeError):
+                return False
+    return True
+
+
+def single_failure_coverage(topology: ExpressMesh) -> float:
+    """Fraction of single directed-channel failures the network tolerates.
+
+    Express-channel failures are always tolerable (the normal sibling is
+    minimal); normal-channel failures are tolerable where an express
+    sibling leaves the same node.
+    """
+    total = 0
+    tolerated = 0
+    for link in topology.links:
+        if link.kind not in (LinkKind.NORMAL, LinkKind.EXPRESS):
+            continue
+        total += 1
+        if routable_under(topology, [(link.src, link.dst)]):
+            tolerated += 1
+    if total == 0:
+        raise ValueError("topology has no failable channels")
+    return tolerated / total

@@ -1,0 +1,92 @@
+"""Multi-layer partitioning of the router (Sec. 3.2).
+
+MIRA classifies router modules as *separable* (input buffers, crossbar,
+inter-router links: sliced per-bit across layers) or *non-separable*
+(routing and arbitration logic: kept whole).  The placement rules
+(Sec. 3.2.7):
+
+* RC, SA (both stages) and VA stage 1 live in the top layer, closest to
+  the heat sink — SA switches every flit, so it runs hottest.
+* VA stage 2 (the big PV:1 arbiters) is spread evenly over the bottom
+  ``L-1`` layers.
+* The crossbar and buffers are sliced evenly across all ``L`` layers.
+
+The inter-layer via budget follows Table 1: ``2P + PV + Vk`` signal vias
+per router (crossbar enables, VA2 request distribution, buffer word
+lines), each on a 5x5 um TSV pad.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.arch import ArchitectureConfig
+
+#: TSV pad edge (um), from the paper's technology parameters [38].
+VIA_PITCH_UM = 5.0
+VIA_AREA_UM2 = VIA_PITCH_UM * VIA_PITCH_UM
+
+#: Module classification (Sec. 3.2).
+SEPARABLE_MODULES = ("buffer", "crossbar", "link")
+NON_SEPARABLE_MODULES = ("rc", "va1", "va2", "sa1", "sa2")
+
+
+@dataclass(frozen=True)
+class LayerPlan:
+    """Placement of router modules onto stacked layers.
+
+    ``placement[module]`` lists the layers (0 = top, closest to the heat
+    sink) holding a slice of that module.
+    """
+
+    layers: int
+    placement: Dict[str, Tuple[int, ...]]
+    total_vias: int
+
+    def modules_on_layer(self, layer: int) -> List[str]:
+        if not 0 <= layer < self.layers:
+            raise ValueError(f"layer {layer} out of range")
+        return sorted(m for m, ls in self.placement.items() if layer in ls)
+
+    def via_area_um2(self) -> float:
+        return self.total_vias * VIA_AREA_UM2
+
+
+def signal_vias(ports: int, vcs: int, buffer_depth: int) -> int:
+    """Inter-layer signal vias per router (Table 1: ``2P + PV + Vk``)."""
+    if min(ports, vcs, buffer_depth) < 1:
+        raise ValueError("ports, vcs and buffer_depth must be >= 1")
+    return 2 * ports + ports * vcs + vcs * buffer_depth
+
+
+def layer_plan_for(config: ArchitectureConfig) -> LayerPlan:
+    """The layer plan of Sec. 3.2.7 for *config*.
+
+    Single-layer designs (2DB, 3DB) trivially place everything on layer 0
+    and need no signal vias for router-internal partitioning (the 3DB
+    design does spend ``W`` vias per vertical *link*, accounted by the
+    area model, not here).
+    """
+    L = config.datapath_layers
+    if L == 1:
+        placement = {m: (0,) for m in SEPARABLE_MODULES + NON_SEPARABLE_MODULES}
+        return LayerPlan(layers=1, placement=placement, total_vias=0)
+
+    all_layers = tuple(range(L))
+    bottom_layers = tuple(range(1, L))
+    placement = {
+        "rc": (0,),
+        "sa1": (0,),
+        "sa2": (0,),
+        "va1": (0,),
+        "va2": bottom_layers,
+        "buffer": all_layers,
+        "crossbar": all_layers,
+        "link": all_layers,
+    }
+    return LayerPlan(
+        layers=L,
+        placement=placement,
+        total_vias=signal_vias(config.ports, config.vcs, config.buffer_depth),
+    )

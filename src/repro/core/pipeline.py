@@ -1,0 +1,65 @@
+"""Router pipeline organisations (Fig. 8).
+
+A conventional on-chip router takes four pipeline stages — routing
+computation (RC), virtual-channel allocation (VA), switch allocation (SA)
+and switch traversal (ST) — plus a link-traversal (LT) cycle between
+routers.  MIRA's structural shrink lets ST and LT share one stage
+(Fig. 8d), making each hop one cycle cheaper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.arch import ArchitectureConfig
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """Stage plan for head flits plus the implied per-hop latency."""
+
+    stages: Tuple[str, ...]
+
+    @property
+    def depth(self) -> int:
+        """Pipeline stages inside the router (LT excluded if merged)."""
+        return len(self.stages)
+
+    @property
+    def cycles_per_hop(self) -> int:
+        """Cycles a head flit spends from RC at one router to RC at the
+        next (each stage, merged or not, is one cycle)."""
+        return len(self.stages)
+
+
+#: Fig. 8a: the conventional organisation used by 2DB, 3DB and NC designs.
+FOUR_STAGE_PLUS_LT = PipelineSpec(("RC", "VA", "SA", "ST", "LT"))
+#: Fig. 8b: speculative switch allocation overlaps VA.
+THREE_STAGE_SPECULATIVE = PipelineSpec(("RC", "VA|SSA", "ST", "LT"))
+#: Fig. 8c: look-ahead routing moves RC off the critical path too.
+TWO_STAGE_LOOKAHEAD = PipelineSpec(("NRC|VA|SSA", "ST", "LT"))
+#: Fig. 8d: MIRA's organisation with ST and LT sharing a stage.
+MERGED_ST_LT = PipelineSpec(("RC", "VA", "SA", "ST+LT"))
+
+
+def pipeline_for(config: ArchitectureConfig) -> PipelineSpec:
+    """Pipeline spec implied by an architecture configuration.
+
+    The advanced pipelines compose with the MIRA ST+LT merge: each
+    removed stage drops one cycle per hop.
+    """
+    stages = []
+    if config.lookahead_rc and config.speculative_sa:
+        stages = ["NRC|VA|SSA"]
+    elif config.speculative_sa:
+        stages = ["RC", "VA|SSA"]
+    elif config.lookahead_rc:
+        stages = ["NRC|VA", "SA"]
+    else:
+        stages = ["RC", "VA", "SA"]
+    if config.combined_st_lt:
+        stages.append("ST+LT")
+    else:
+        stages += ["ST", "LT"]
+    return PipelineSpec(tuple(stages))

@@ -1,0 +1,108 @@
+"""Experiment harnesses: one entry point per table/figure of the paper.
+
+Every harness returns plain data structures (and can print the paper's
+rows/series via :mod:`repro.experiments.report`); the ``benchmarks/``
+tree wires each one into pytest-benchmark.
+
+========== ==========================================
+``fig1``   data-pattern breakdown      (breakdown)
+``fig2``   packet-type distribution    (breakdown)
+``table1`` router component area       (area_tables)
+``table2`` design parameters           (area_tables)
+``table3`` delay validation            (area_tables)
+``fig9``   flit energy breakdown       (breakdown)
+``fig11``  latency results             (latency)
+``fig12``  power results               (power)
+``fig13``  shutdown power and thermal  (thermal_exp)
+========== ==========================================
+"""
+
+from repro.experiments.config import ExperimentSettings
+from repro.experiments.runner import (
+    PointResult,
+    run_nuca_point,
+    run_trace_point,
+    run_uniform_point,
+)
+from repro.experiments.latency import (
+    fig11a_uniform_latency,
+    fig11b_nuca_latency,
+    fig11c_trace_latency,
+    fig11d_hop_counts,
+)
+from repro.experiments.power import (
+    fig12a_uniform_power,
+    fig12b_nuca_power,
+    fig12c_trace_power,
+    fig12d_pdp,
+)
+from repro.experiments.thermal_exp import (
+    fig13a_short_flit_fractions,
+    fig13b_shutdown_savings,
+    fig13c_temperature_reduction,
+)
+from repro.experiments.area_tables import table1_area, table2_parameters, table3_delays
+from repro.experiments.breakdown import (
+    fig1_data_patterns,
+    fig2_packet_types,
+    fig9_energy_breakdown,
+)
+from repro.experiments.ablations import (
+    ablate_3db_cpu_placement,
+    ablate_buffer_depth,
+    ablate_vc_partitioning,
+    ablate_express_span,
+    ablate_link_failures,
+    ablate_pipeline_depth,
+    ablate_qos,
+    ablate_vc_count,
+)
+from repro.experiments.headline import evaluate_headline_claims, render_claims
+from repro.experiments.compression_exp import compression_vs_shutdown
+from repro.experiments.protocol_exp import ProtocolResult, compare_protocols
+from repro.experiments.export import export_json, point_to_dict, sweep_to_dict
+from repro.experiments.parallel import parallel_sweep
+from repro.experiments.summary import write_report
+
+__all__ = [
+    "ExperimentSettings",
+    "PointResult",
+    "run_uniform_point",
+    "run_nuca_point",
+    "run_trace_point",
+    "fig11a_uniform_latency",
+    "fig11b_nuca_latency",
+    "fig11c_trace_latency",
+    "fig11d_hop_counts",
+    "fig12a_uniform_power",
+    "fig12b_nuca_power",
+    "fig12c_trace_power",
+    "fig12d_pdp",
+    "fig13a_short_flit_fractions",
+    "fig13b_shutdown_savings",
+    "fig13c_temperature_reduction",
+    "table1_area",
+    "table2_parameters",
+    "table3_delays",
+    "fig1_data_patterns",
+    "fig2_packet_types",
+    "fig9_energy_breakdown",
+    "ablate_pipeline_depth",
+    "ablate_vc_count",
+    "ablate_buffer_depth",
+    "ablate_express_span",
+    "ablate_qos",
+    "ablate_link_failures",
+    "ablate_3db_cpu_placement",
+    "ablate_vc_partitioning",
+    "evaluate_headline_claims",
+    "render_claims",
+    "compression_vs_shutdown",
+    "compare_protocols",
+    "ProtocolResult",
+    "export_json",
+    "point_to_dict",
+    "sweep_to_dict",
+    "parallel_sweep",
+    "write_report",
+]

@@ -1,0 +1,83 @@
+"""Table reproductions: component area (Table 1), design parameters
+(Table 2) and pipeline-merge delay validation (Table 3)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.arch import make_2db, make_3db, make_3dm, make_3dme
+from repro.power.area import PAPER_TABLE1, RouterArea, router_area
+from repro.timing.delay import DelayReport, stage_delay_report
+from repro.timing.wires import (
+    INVERTER_DELAY_PS,
+    REFERENCE_WIRE_PS_PER_MM,
+    REPEATED_WIRE_PS_PER_MM,
+)
+
+#: The four architectures Table 1 tabulates (NC variants share areas).
+TABLE1_CONFIGS = (make_2db, make_3db, make_3dm, make_3dme)
+
+
+def table1_area() -> Dict[str, Dict[str, object]]:
+    """Table 1: per-component areas, model vs paper.
+
+    Returns arch name -> {"model": RouterArea, "paper": dict}.
+    """
+    out: Dict[str, Dict[str, object]] = {}
+    for make in TABLE1_CONFIGS:
+        config = make()
+        area: RouterArea = router_area(config)
+        out[config.name] = {
+            "model": area,
+            "paper": PAPER_TABLE1[config.name],
+        }
+    return out
+
+
+def table2_parameters() -> Dict[str, float]:
+    """Table 2: the wire/link design parameters behind the delay model."""
+    return {
+        "reference_wire_ps_per_mm": REFERENCE_WIRE_PS_PER_MM,
+        "repeated_wire_ps_per_mm": REPEATED_WIRE_PS_PER_MM,
+        "inverter_delay_ps": INVERTER_DELAY_PS,
+        "link_length_2db_mm": make_2db().pitch_mm,
+        "link_length_3dm_mm": make_3dm().pitch_mm,
+    }
+
+
+#: Paper's Table 3 values for side-by-side reporting.
+PAPER_TABLE3 = {
+    "2DB": {"xbar_ps": 378.57, "link_ps": 309.48, "combined": False},
+    "3DM": {"xbar_ps": 142.86, "link_ps": 154.74, "combined": True},
+    "3DM-E": {"xbar_ps": 182.85, "link_ps": 309.48, "combined": True},
+}
+
+
+def table3_delays() -> List[DelayReport]:
+    """Table 3: ST+LT merge validation for 2DB / 3DM / 3DM-E.
+
+    The 3DM-E row uses its *longest* link (the span-2 express channel),
+    as the paper does.
+    """
+    cfg_2db = make_2db()
+    cfg_3dm = make_3dm()
+    cfg_3dme = make_3dme()
+    return [
+        stage_delay_report(
+            "2DB", cfg_2db.ports, cfg_2db.flit_bits, 1, cfg_2db.max_link_mm
+        ),
+        stage_delay_report(
+            "3DM",
+            cfg_3dm.ports,
+            cfg_3dm.flit_bits,
+            cfg_3dm.layers,
+            cfg_3dm.max_link_mm,
+        ),
+        stage_delay_report(
+            "3DM-E",
+            cfg_3dme.ports,
+            cfg_3dme.flit_bits,
+            cfg_3dme.layers,
+            cfg_3dme.max_link_mm,
+        ),
+    ]

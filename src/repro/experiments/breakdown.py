@@ -1,0 +1,81 @@
+"""Traffic-characterisation and energy-breakdown figures (Figs. 1, 2, 9)."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from repro.cache.hierarchy import generate_trace
+from repro.core.arch import make_2db, make_3db, make_3dm, make_3dme
+from repro.experiments.config import ExperimentSettings
+from repro.power.orion import RouterEnergyModel
+from repro.traffic.patterns import PatternKind, classify_word
+from repro.traffic.workloads import WORKLOADS
+
+#: Lines sampled per workload for the Fig. 1 pattern census.
+FIG1_SAMPLE_LINES = 2000
+
+
+def fig1_data_patterns(
+    workloads: Optional[tuple] = None,
+    sample_lines: int = FIG1_SAMPLE_LINES,
+    seed: int = 1,
+) -> Dict[str, Dict[str, float]]:
+    """Fig. 1: breakdown of payload words by frequent-pattern class.
+
+    Returns workload -> {pattern -> fraction}.
+    """
+    workloads = workloads or tuple(WORKLOADS)
+    out: Dict[str, Dict[str, float]] = {}
+    for name in workloads:
+        profile = WORKLOADS[name]
+        rng = random.Random(seed)
+        counts = {kind: 0 for kind in PatternKind}
+        total = 0
+        for _ in range(sample_lines):
+            for word in profile.sample_line(rng):
+                counts[classify_word(word)] += 1
+                total += 1
+        out[name] = {kind.value: counts[kind] / total for kind in PatternKind}
+    return out
+
+
+def fig2_packet_types(
+    settings: Optional[ExperimentSettings] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Fig. 2: control vs data packet split of each workload's traffic.
+
+    Measured from hierarchy-generated message streams, i.e. it reflects
+    the MESI protocol's actual message mix, not a configured constant.
+    """
+    settings = settings or ExperimentSettings.from_env()
+    config = make_2db()
+    out: Dict[str, Dict[str, float]] = {}
+    for name in settings.workloads:
+        _, stats = generate_trace(
+            config,
+            WORKLOADS[name],
+            cycles=max(20000, settings.trace_cycles // 3),
+            seed=settings.seed,
+        )
+        ctrl = stats.ctrl_packet_fraction
+        out[name] = {"ctrl": ctrl, "data": 1.0 - ctrl}
+    return out
+
+
+def fig9_energy_breakdown() -> Dict[str, Dict[str, float]]:
+    """Fig. 9: per-flit-hop energy by component (picojoules).
+
+    Returns arch -> {component -> pJ}; 3DM(-E) NC variants share the
+    energy of their combined counterparts (pipeline merging does not
+    change per-event energy, Sec. 4.2.2).
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for make in (make_2db, make_3db, make_3dm, make_3dme):
+        config = make()
+        model = RouterEnergyModel.for_config(config)
+        out[config.name] = {
+            component: joules * 1e12
+            for component, joules in model.flit_hop_breakdown().items()
+        }
+    return out

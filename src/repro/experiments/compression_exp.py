@@ -1,0 +1,51 @@
+"""Compression-vs-shutdown comparison (extension experiment).
+
+Runs the same workload trace through the 3DM network three ways:
+
+* **baseline** — raw 5-flit data packets, shutdown off;
+* **shutdown** — raw packets, layer shutdown gating short flits
+  (the paper's technique);
+* **fpc** — FPC-compressed packets (2-5 flits), shutdown off
+  (compressed payloads are dense).
+
+Reports latency and power so the energy-vs-latency trade of the two
+frequent-pattern exploitation styles is visible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.cache.hierarchy import generate_trace
+from repro.core.arch import make_3dm
+from repro.core.compression import compress_trace
+from repro.experiments.config import ExperimentSettings
+from repro.experiments.runner import PointResult, run_trace_point
+from repro.traffic.workloads import WORKLOADS
+
+
+def compression_vs_shutdown(
+    settings: Optional[ExperimentSettings] = None,
+    workload: str = "tpcw",
+) -> Dict[str, PointResult]:
+    """Run the three variants; returns label -> PointResult."""
+    settings = settings or ExperimentSettings.from_env()
+    if workload not in WORKLOADS:
+        raise ValueError(f"unknown workload {workload!r}")
+    config = make_3dm()
+    records, _ = generate_trace(
+        config, WORKLOADS[workload], cycles=settings.trace_cycles,
+        seed=settings.seed,
+    )
+    compressed = compress_trace(records)
+    return {
+        "baseline": run_trace_point(
+            config, records, settings, label=workload, shutdown_enabled=False
+        ),
+        "shutdown": run_trace_point(
+            config, records, settings, label=workload, shutdown_enabled=True
+        ),
+        "fpc": run_trace_point(
+            config, compressed, settings, label=workload, shutdown_enabled=False
+        ),
+    }

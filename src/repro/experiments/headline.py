@@ -1,0 +1,143 @@
+"""Headline-claim validation: every shape DESIGN.md commits to, checked.
+
+Runs a focused set of simulations/models and evaluates each of the
+paper's headline claims, producing a (claim, paper, measured, verdict)
+table.  This is the one-call answer to "did the reproduction hold?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.core.arch import make_2db, make_3db, make_3dm, make_3dme
+from repro.core.express import average_hops, nuca_pairs
+from repro.experiments.config import ExperimentSettings
+from repro.experiments.runner import run_uniform_point
+from repro.experiments.thermal_exp import fig13c_temperature_reduction
+from repro.power.gating import shutdown_saving
+from repro.power.orion import RouterEnergyModel
+from repro.timing.delay import stage_delay_report
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One validated headline claim."""
+
+    claim: str
+    paper: str
+    measured: str
+    holds: bool
+
+
+def evaluate_headline_claims(
+    settings: Optional[ExperimentSettings] = None,
+    rate: float = 0.3,
+) -> List[Claim]:
+    """Evaluate the headline claims at one uniform-random load point."""
+    settings = settings or ExperimentSettings.from_env()
+    configs = {
+        "2DB": make_2db(),
+        "3DB": make_3db(),
+        "3DM": make_3dm(),
+        "3DM(NC)": make_3dm(nc=True),
+        "3DM-E": make_3dme(),
+    }
+    points = {
+        name: run_uniform_point(config, rate, settings)
+        for name, config in configs.items()
+    }
+    claims: List[Claim] = []
+
+    def add(claim: str, paper: str, measured: str, holds: bool) -> None:
+        claims.append(Claim(claim, paper, measured, holds))
+
+    lat = {n: p.avg_latency for n, p in points.items()}
+    pwr = {n: p.total_power_w for n, p in points.items()}
+
+    saving = 1 - lat["3DM-E"] / lat["2DB"]
+    add("3DM-E latency vs 2DB (UR)", "up to 51% lower",
+        f"{saving:.0%} lower", 0.30 <= saving <= 0.60)
+
+    saving = 1 - lat["3DM-E"] / lat["3DB"]
+    add("3DM-E latency vs 3DB (UR)", "~26% lower",
+        f"{saving:.0%} lower", 0.15 <= saving <= 0.40)
+
+    saving = 1 - lat["3DM"] / lat["3DM(NC)"]
+    add("ST+LT merge benefit (3DM vs NC)", "up to 14% lower",
+        f"{saving:.0%} lower", 0.05 <= saving <= 0.25)
+
+    saving = 1 - pwr["3DM-E"] / pwr["2DB"]
+    add("3DM-E power vs 2DB (UR)", "up to 42% lower",
+        f"{saving:.0%} lower", 0.20 <= saving <= 0.55)
+
+    saving = 1 - pwr["3DM"] / pwr["2DB"]
+    add("3DM power vs 2DB (UR)", "~22% lower",
+        f"{saving:.0%} lower", saving > 0.10)
+
+    pdp = {n: p.pdp for n, p in points.items()}
+    add("PDP ordering", "3DM-E best, 2DB worst",
+        f"best={min(pdp, key=pdp.get)}, worst={max(pdp, key=pdp.get)}",
+        min(pdp, key=pdp.get) == "3DM-E" and max(pdp, key=pdp.get) == "2DB")
+
+    # Hop-count crossover (exact graph computation, no simulation noise).
+    cfg2, cfg3 = configs["2DB"], configs["3DB"]
+    ur_2db = average_hops(cfg2.build_topology())
+    ur_3db = average_hops(cfg3.build_topology())
+    nuca_2db = average_hops(
+        cfg2.build_topology(), nuca_pairs(cfg2.cpu_nodes, cfg2.cache_nodes)
+    )
+    nuca_3db = average_hops(
+        cfg3.build_topology(), nuca_pairs(cfg3.cpu_nodes, cfg3.cache_nodes)
+    )
+    add("3DB hop count flips under NUCA",
+        "3DB < 2DB on UR, > 2DB on NUCA",
+        f"UR {ur_3db:.2f} vs {ur_2db:.2f}; NUCA {nuca_3db:.2f} vs {nuca_2db:.2f}",
+        ur_3db < ur_2db and nuca_3db > nuca_2db)
+
+    # Table 3 merge verdicts (analytic).
+    r2 = stage_delay_report("2DB", 5, 128, 1, 3.16)
+    r3 = stage_delay_report("3DM", 5, 128, 4, 1.58)
+    re = stage_delay_report("3DM-E", 9, 128, 4, 3.16)
+    add("ST+LT merge feasibility (Table 3)",
+        "2DB no; 3DM/3DM-E yes",
+        f"{r2.combined_ps:.0f}/{r3.combined_ps:.0f}/{re.combined_ps:.0f} ps",
+        (not r2.can_combine) and r3.can_combine and re.can_combine)
+
+    # Fig. 9 energy.
+    e = {
+        n: RouterEnergyModel.for_config(c).flit_hop_energy_j()
+        for n, c in configs.items()
+        if n in ("2DB", "3DB", "3DM", "3DM-E")
+    }
+    saving = 1 - e["3DM"] / e["2DB"]
+    add("3DM flit energy vs 2DB (Fig. 9)", "~35% lower",
+        f"{saving:.0%} lower", 0.30 <= saving <= 0.55)
+
+    # Shutdown saving at 50% short flits (analytic Fig. 13b).
+    s = shutdown_saving(configs["3DM"], 0.50).saving_fraction
+    add("Shutdown saving @50% short flits", "up to 36%",
+        f"{s:.0%}", 0.25 <= s <= 0.37)
+
+    # Temperature drop trend (Fig. 13c).
+    drops = fig13c_temperature_reduction(
+        settings, rates=tuple(settings.uniform_rates[:2])
+    )
+    values = list(drops.values())
+    add("Temperature drop grows with injection (Fig. 13c)",
+        "monotone, up to 1.3 K",
+        " -> ".join(f"{v:.2f}K" for v in values),
+        all(v > 0 for v in values) and values == sorted(values))
+
+    return claims
+
+
+def render_claims(claims: List[Claim]) -> str:
+    """Format the claims as an aligned table."""
+    from repro.experiments.report import format_table
+
+    rows = [
+        [c.claim, c.paper, c.measured, "PASS" if c.holds else "FAIL"]
+        for c in claims
+    ]
+    return format_table(["claim", "paper", "measured", "verdict"], rows)

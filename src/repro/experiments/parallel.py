@@ -1,0 +1,64 @@
+"""Parallel sweep execution over processes.
+
+Full-scale sweeps (9 rates x 6 architectures x thousands of cycles) are
+embarrassingly parallel; this module fans the points out over a process
+pool.  Workers rebuild everything from picklable descriptions
+(architecture enum + kwargs + rate), so no simulator state crosses the
+process boundary.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import get_context
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.arch import Architecture, make_architecture
+from repro.experiments.config import ExperimentSettings
+from repro.experiments.runner import PointResult, run_nuca_point, run_uniform_point
+
+#: One unit of work: (architecture, rate, traffic kind).
+WorkItem = Tuple[Architecture, float, str]
+
+
+def _run_item(args: Tuple[WorkItem, ExperimentSettings]) -> Tuple[str, float, PointResult]:
+    (arch, rate, kind), settings = args
+    config = make_architecture(arch)
+    if kind == "uniform":
+        point = run_uniform_point(config, rate, settings)
+    elif kind == "nuca":
+        point = run_nuca_point(config, rate, settings)
+    else:
+        raise ValueError(f"unknown traffic kind {kind!r}")
+    return config.name, rate, point
+
+
+def parallel_sweep(
+    archs: Sequence[Architecture],
+    rates: Sequence[float],
+    settings: Optional[ExperimentSettings] = None,
+    kind: str = "uniform",
+    processes: int = 2,
+) -> Dict[str, List[Tuple[float, PointResult]]]:
+    """Run ``archs x rates`` points over *processes* workers.
+
+    Returns the same ``arch -> [(rate, PointResult)]`` structure as the
+    serial harnesses, so the report/export helpers apply unchanged.
+    """
+    settings = settings or ExperimentSettings.from_env()
+    if processes < 1:
+        raise ValueError(f"processes must be >= 1, got {processes}")
+    items = [((arch, rate, kind), settings) for arch in archs for rate in rates]
+
+    if processes == 1:
+        results = [_run_item(item) for item in items]
+    else:
+        ctx = get_context("fork")  # workers inherit the loaded package
+        with ctx.Pool(processes=processes) as pool:
+            results = pool.map(_run_item, items)
+
+    out: Dict[str, List[Tuple[float, PointResult]]] = {}
+    for name, rate, point in results:
+        out.setdefault(name, []).append((rate, point))
+    for series in out.values():
+        series.sort(key=lambda pair: pair[0])
+    return out

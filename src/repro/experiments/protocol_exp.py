@@ -1,0 +1,70 @@
+"""MESI vs MOESI protocol comparison (extension experiment).
+
+MOESI adds cache-to-cache forwarding: a dirty owner supplies readers
+directly (3-hop transactions), avoiding recalls-plus-writebacks.  On the
+NoC this trades data-message routes (bank->CPU becomes CPU->CPU) and
+extra control messages (FwdGetS/FwdDone) against eliminated WbData
+packets.  This harness runs the same workload under both protocols and
+reports the message mix and the resulting network latency/power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.cache.hierarchy import generate_trace
+from repro.core.arch import make_3dm
+from repro.experiments.config import ExperimentSettings
+from repro.experiments.runner import PointResult, run_trace_point
+from repro.traffic.workloads import WORKLOADS
+
+
+@dataclass(frozen=True)
+class ProtocolResult:
+    """One protocol's traffic characteristics + network outcome."""
+
+    protocol: str
+    messages_by_type: Dict[str, int]
+    cache_to_cache: int
+    avg_miss_latency: float
+    point: PointResult
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.messages_by_type.values())
+
+    @property
+    def writebacks(self) -> int:
+        return self.messages_by_type.get("WbData", 0)
+
+
+def compare_protocols(
+    settings: Optional[ExperimentSettings] = None,
+    workload: str = "barnes",
+) -> Dict[str, ProtocolResult]:
+    """Run *workload* under MESI and MOESI on the 3DM network."""
+    settings = settings or ExperimentSettings.from_env()
+    if workload not in WORKLOADS:
+        raise ValueError(f"unknown workload {workload!r}")
+    config = make_3dm()
+    out: Dict[str, ProtocolResult] = {}
+    for protocol in ("mesi", "moesi"):
+        records, stats = generate_trace(
+            config,
+            WORKLOADS[workload],
+            cycles=settings.trace_cycles,
+            seed=settings.seed,
+            protocol=protocol,
+        )
+        point = run_trace_point(
+            config, records, settings, label=f"{workload}/{protocol}"
+        )
+        out[protocol] = ProtocolResult(
+            protocol=protocol,
+            messages_by_type=dict(stats.messages_by_type),
+            cache_to_cache=stats.cache_to_cache,
+            avg_miss_latency=stats.avg_miss_latency,
+            point=point,
+        )
+    return out

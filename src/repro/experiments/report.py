@@ -1,0 +1,90 @@
+"""Plain-text rendering of experiment results.
+
+Every harness returns data; these helpers print it in the shape the paper
+presents (table rows / labelled series), so benchmark logs read like the
+paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.experiments.runner import PointResult
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render an aligned fixed-width table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}" if abs(cell) < 100 else f"{cell:,.0f}"
+    return str(cell)
+
+
+def sweep_table(
+    sweep: Dict[str, List[Tuple[float, PointResult]]],
+    metric: str = "avg_latency",
+    x_label: str = "rate",
+) -> str:
+    """Render a rate sweep (Figs. 11a/11b/12a/12b) as one table.
+
+    ``metric`` is any PointResult property name (``avg_latency``,
+    ``total_power_w``, ``avg_hops``, ``pdp``).
+    """
+    arches = list(sweep)
+    rates = [x for x, _ in sweep[arches[0]]]
+    headers = [x_label] + arches
+    rows = []
+    for i, rate in enumerate(rates):
+        row: List[object] = [f"{rate:g}"]
+        for arch in arches:
+            row.append(getattr(sweep[arch][i][1], metric))
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def normalized_table(
+    results: Dict[str, Dict[str, PointResult]],
+    metric: str = "avg_latency",
+    baseline: str = "2DB",
+) -> str:
+    """Render workload x arch results normalised to *baseline*
+    (Figs. 11c, 12c)."""
+    workloads = list(results)
+    arches = list(results[workloads[0]])
+    headers = ["workload"] + arches
+    rows = []
+    for workload in workloads:
+        base = getattr(results[workload][baseline], metric)
+        row: List[object] = [workload]
+        for arch in arches:
+            value = getattr(results[workload][arch], metric)
+            row.append(value / base if base else 0.0)
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def dict_table(
+    data: Dict[str, Dict[str, float]], row_label: str = "name"
+) -> str:
+    """Render a nested dict (e.g. Fig. 1 / Fig. 9 breakdowns)."""
+    rows_keys = list(data)
+    col_keys = list(data[rows_keys[0]])
+    headers = [row_label] + col_keys
+    rows = [[rk] + [data[rk][ck] for ck in col_keys] for rk in rows_keys]
+    return format_table(headers, rows)

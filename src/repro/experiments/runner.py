@@ -1,0 +1,134 @@
+"""Single-point simulation runners shared by the figure harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.arch import ArchitectureConfig
+from repro.experiments.config import ExperimentSettings
+from repro.noc.simulator import SimulationResult, Simulator
+from repro.power.energy import PowerReport, power_report
+from repro.traffic.nuca import NucaUniformTraffic
+from repro.traffic.synthetic import UniformRandomTraffic
+from repro.traffic.traces import TraceRecord, TraceTraffic
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """One (architecture, workload-point) simulation outcome."""
+
+    arch: str
+    label: str
+    sim: SimulationResult
+    power: PowerReport
+    #: Per-node share of switched flits (for thermal power maps).
+    node_activity: List[float]
+
+    @property
+    def avg_latency(self) -> float:
+        return self.sim.avg_latency
+
+    @property
+    def avg_hops(self) -> float:
+        return self.sim.avg_hops
+
+    @property
+    def total_power_w(self) -> float:
+        return self.power.total_w
+
+    @property
+    def pdp(self) -> float:
+        return self.power.pdp(self.sim.avg_latency)
+
+    def router_power_per_node(self) -> List[float]:
+        """Per-node router power (W): dynamic split by activity + leakage."""
+        n = len(self.node_activity)
+        leak_each = self.power.leakage_w / n
+        return [
+            self.power.dynamic_w * share + leak_each
+            for share in self.node_activity
+        ]
+
+
+def _run(
+    config: ArchitectureConfig,
+    traffic,
+    settings: ExperimentSettings,
+    label: str,
+    shutdown_enabled: bool,
+) -> PointResult:
+    network = config.build_network(shutdown_enabled=shutdown_enabled)
+    sim = Simulator(
+        network,
+        traffic,
+        warmup_cycles=settings.warmup_cycles,
+        measure_cycles=settings.measure_cycles,
+        drain_cycles=settings.drain_cycles,
+    )
+    result = sim.run()
+    report = power_report(
+        config,
+        result.events,
+        result.window_cycles,
+        shutdown_enabled=shutdown_enabled,
+    )
+    total_flits = sum(r.flits_switched for r in network.routers) or 1
+    activity = [r.flits_switched / total_flits for r in network.routers]
+    return PointResult(
+        arch=config.name,
+        label=label,
+        sim=result,
+        power=report,
+        node_activity=activity,
+    )
+
+
+def run_uniform_point(
+    config: ArchitectureConfig,
+    rate: float,
+    settings: ExperimentSettings,
+    short_flit_fraction: float = 0.0,
+    shutdown_enabled: bool = False,
+    seed: Optional[int] = None,
+) -> PointResult:
+    """Uniform-random traffic at *rate* flits/node/cycle."""
+    traffic = UniformRandomTraffic(
+        num_nodes=config.num_nodes,
+        flit_rate=rate,
+        short_flit_fraction=short_flit_fraction,
+        seed=settings.seed if seed is None else seed,
+    )
+    return _run(config, traffic, settings, f"UR@{rate:g}", shutdown_enabled)
+
+
+def run_nuca_point(
+    config: ArchitectureConfig,
+    request_rate: float,
+    settings: ExperimentSettings,
+    short_flit_fraction: float = 0.0,
+    shutdown_enabled: bool = False,
+    seed: Optional[int] = None,
+) -> PointResult:
+    """NUCA-constrained request/response traffic (Fig. 11b)."""
+    traffic = NucaUniformTraffic(
+        cpu_nodes=config.cpu_nodes,
+        cache_nodes=config.cache_nodes,
+        request_rate=request_rate,
+        short_flit_fraction=short_flit_fraction,
+        seed=settings.seed if seed is None else seed,
+    )
+    return _run(config, traffic, settings, f"NUCA@{request_rate:g}", shutdown_enabled)
+
+
+def run_trace_point(
+    config: ArchitectureConfig,
+    records: List[TraceRecord],
+    settings: ExperimentSettings,
+    label: str,
+    shutdown_enabled: bool = True,
+) -> PointResult:
+    """Replay an MP trace (Figs. 11c, 12c); shutdown is on by default
+    because the trace experiments exercise the short-flit technique."""
+    traffic = TraceTraffic(records)
+    return _run(config, traffic, settings, label, shutdown_enabled)

@@ -1,0 +1,90 @@
+"""Collect benchmark artifacts into one report.
+
+Every benchmark saves its rendered table under ``results/``; this module
+stitches them into a single markdown report (``results/REPORT.md``) in
+the paper's presentation order, so one file documents a full run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+#: Presentation order and titles, keyed by artifact stem.
+SECTIONS: List[Tuple[str, str]] = [
+    ("headline_claims", "Headline claims"),
+    ("fig01_data_patterns", "Fig. 1 — data-pattern breakdown"),
+    ("fig02_packet_types", "Fig. 2 — packet-type distribution"),
+    ("table1_area", "Table 1 — router component area"),
+    ("table2_parameters", "Table 2 — design parameters"),
+    ("table3_delays", "Table 3 — delay validation"),
+    ("fig09_energy_breakdown", "Fig. 9 — flit energy breakdown"),
+    ("fig11a_latency_uniform", "Fig. 11a — latency (UR)"),
+    ("fig11b_latency_nuca", "Fig. 11b — latency (NUCA-UR)"),
+    ("fig11c_latency_traces", "Fig. 11c — latency (MP traces)"),
+    ("fig11d_hop_counts", "Fig. 11d — hop counts"),
+    ("fig12a_power_uniform", "Fig. 12a — power (UR)"),
+    ("fig12b_power_nuca", "Fig. 12b — power (NUCA-UR)"),
+    ("fig12c_power_traces", "Fig. 12c — power (MP traces)"),
+    ("fig12d_pdp", "Fig. 12d — power-delay product"),
+    ("fig13a_short_flits", "Fig. 13a — short-flit percentage"),
+    ("fig13b_shutdown_savings", "Fig. 13b — shutdown power saving"),
+    ("fig13c_temperature_reduction", "Fig. 13c — temperature reduction"),
+    ("ablation_pipeline_depth", "Ablation — pipeline organisation"),
+    ("ablation_vc_count", "Ablation — virtual channels"),
+    ("ablation_buffer_depth", "Ablation — buffer depth"),
+    ("ablation_express_span", "Ablation — express span"),
+    ("ablation_qos", "Ablation — QoS arbitration"),
+    ("ablation_link_failures", "Ablation — link failures"),
+    ("ablation_3db_placement", "Ablation — 3DB CPU placement"),
+    ("ablation_vc_partitioning", "Ablation — VC-per-class partitioning"),
+    ("ext_compression_vs_shutdown", "Extension — FPC vs shutdown"),
+    ("ext_bursty_tails", "Extension — bursty-traffic tail latency"),
+    ("ext_mesi_vs_moesi", "Extension — MESI vs MOESI"),
+]
+
+
+def collect_artifacts(results_dir: Path) -> Dict[str, str]:
+    """Read all known artifacts present in *results_dir*."""
+    artifacts: Dict[str, str] = {}
+    for stem, _ in SECTIONS:
+        path = results_dir / f"{stem}.txt"
+        if path.exists():
+            artifacts[stem] = path.read_text(encoding="utf-8").rstrip()
+    return artifacts
+
+
+def render_report(
+    artifacts: Dict[str, str], title: str = "MIRA reproduction report"
+) -> str:
+    """Render the collected artifacts as one markdown document."""
+    lines = [f"# {title}", ""]
+    missing = []
+    for stem, heading in SECTIONS:
+        if stem in artifacts:
+            lines += [f"## {heading}", "", "```", artifacts[stem], "```", ""]
+        else:
+            missing.append(heading)
+    if missing:
+        lines += ["## Not present in this run", ""]
+        lines += [f"- {name}" for name in missing]
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(
+    results_dir: Path, output: Optional[Path] = None
+) -> Path:
+    """Generate ``REPORT.md`` from *results_dir*; returns the path."""
+    results_dir = Path(results_dir)
+    if not results_dir.is_dir():
+        raise FileNotFoundError(f"no results directory at {results_dir}")
+    artifacts = collect_artifacts(results_dir)
+    if not artifacts:
+        raise FileNotFoundError(
+            f"no benchmark artifacts in {results_dir}; run "
+            "`pytest benchmarks/ --benchmark-only` first"
+        )
+    output = output or results_dir / "REPORT.md"
+    output.write_text(render_report(artifacts), encoding="utf-8")
+    return output

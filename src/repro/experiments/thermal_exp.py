@@ -1,0 +1,100 @@
+"""Shutdown power and thermal experiments (Fig. 13a-c)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.cache.hierarchy import generate_trace
+from repro.core.arch import ArchitectureConfig, make_2db, make_3dm, make_3dme
+from repro.experiments.config import ExperimentSettings
+from repro.experiments.runner import run_uniform_point
+from repro.power.gating import shutdown_saving
+from repro.thermal.hotspot import temperature_drop
+from repro.traffic.workloads import WORKLOADS
+
+
+def fig13a_short_flit_fractions(
+    settings: Optional[ExperimentSettings] = None,
+) -> Dict[str, float]:
+    """Fig. 13a: short-flit percentage of each workload's traffic.
+
+    Measured from generated traces (payload flits with one active word
+    group), not read from the profile, so it validates the whole payload
+    pipeline.
+    """
+    settings = settings or ExperimentSettings.from_env()
+    config = make_2db()
+    out: Dict[str, float] = {}
+    for name in settings.workloads:
+        records, _ = generate_trace(
+            config,
+            WORKLOADS[name],
+            cycles=max(20000, settings.trace_cycles // 3),
+            seed=settings.seed,
+        )
+        short = 0
+        total = 0
+        for record in records:
+            if record.payload_groups is None:
+                continue
+            for groups in record.payload_groups[1:]:  # skip header flit
+                total += 1
+                short += groups == 1
+        out[name] = short / total if total else 0.0
+    return out
+
+
+def fig13b_shutdown_savings(
+    short_fractions: Tuple[float, ...] = (0.25, 0.50),
+    configs: Optional[List[ArchitectureConfig]] = None,
+) -> Dict[str, Dict[float, float]]:
+    """Fig. 13b: dynamic-power saving of the shutdown technique.
+
+    Returns arch -> {short fraction -> saved fraction}.  The paper
+    evaluates 2DB, 3DM and 3DM-E (the technique applies to all three;
+    Sec. 4.2.2).
+    """
+    configs = configs or [make_2db(), make_3dm(), make_3dme()]
+    out: Dict[str, Dict[float, float]] = {}
+    for config in configs:
+        out[config.name] = {
+            s: shutdown_saving(config, s).saving_fraction for s in short_fractions
+        }
+    return out
+
+
+def fig13c_temperature_reduction(
+    settings: Optional[ExperimentSettings] = None,
+    rates: Optional[Tuple[float, ...]] = None,
+    short_fraction: float = 0.50,
+    config: Optional[ArchitectureConfig] = None,
+) -> Dict[float, float]:
+    """Fig. 13c: average temperature drop of 3DM with 50% short flits.
+
+    For each injection rate, the same UR workload is simulated with 0%
+    short flits (shutdown moot) and with ``short_fraction`` short flits
+    (shutdown active); the per-node router powers feed the thermal solver
+    and the average-temperature difference is reported.
+    """
+    settings = settings or ExperimentSettings.from_env()
+    config = config or make_3dm()
+    if rates is None:
+        rates = tuple(settings.uniform_rates[:3])
+    out: Dict[float, float] = {}
+    for rate in rates:
+        base = run_uniform_point(
+            config, rate, settings, short_flit_fraction=0.0, shutdown_enabled=True
+        )
+        gated = run_uniform_point(
+            config,
+            rate,
+            settings,
+            short_flit_fraction=short_fraction,
+            shutdown_enabled=True,
+        )
+        out[rate] = temperature_drop(
+            config,
+            base.router_power_per_node(),
+            gated.router_power_per_node(),
+        )
+    return out

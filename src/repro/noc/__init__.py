@@ -1,0 +1,58 @@
+"""Cycle-accurate NoC simulator substrate.
+
+This package is the reproduction of the paper's in-house "cycle-accurate
+NoC simulator" (Sec. 4): a flit-level, wormhole-switched, virtual-channel
+network model with
+
+* credit-based flow control,
+* two-stage separable virtual-channel and switch allocation,
+* deterministic dimension-ordered (and express-aware) routing, and
+* a configurable router pipeline depth so the 3DM/3DM-E designs can merge
+  the switch-traversal and link-traversal stages into one cycle (Fig. 8d).
+
+The entry points most users need are :class:`~repro.noc.network.Network`
+and :class:`~repro.noc.simulator.Simulator`.
+"""
+
+from repro.noc.packet import Flit, FlitType, Packet, PacketClass
+from repro.noc.buffer import VirtualChannelBuffer
+from repro.noc.arbiter import MatrixArbiter, RoundRobinArbiter
+from repro.noc.routing import (
+    ExpressXYRouting,
+    RoutingFunction,
+    TorusXYRouting,
+    XYRouting,
+    XYZRouting,
+    routing_for_topology,
+)
+from repro.noc.adaptive import WestFirstAdaptiveRouting
+from repro.noc.router import Router
+from repro.noc.network import Network
+from repro.noc.simulator import SimulationResult, Simulator
+from repro.noc.stats import EventCounts, NetworkStats
+from repro.noc.tracer import PacketTracer, TraverseEvent
+
+__all__ = [
+    "Flit",
+    "FlitType",
+    "Packet",
+    "PacketClass",
+    "VirtualChannelBuffer",
+    "RoundRobinArbiter",
+    "MatrixArbiter",
+    "RoutingFunction",
+    "XYRouting",
+    "XYZRouting",
+    "ExpressXYRouting",
+    "TorusXYRouting",
+    "routing_for_topology",
+    "Router",
+    "Network",
+    "Simulator",
+    "SimulationResult",
+    "EventCounts",
+    "NetworkStats",
+    "WestFirstAdaptiveRouting",
+    "PacketTracer",
+    "TraverseEvent",
+]

@@ -1,0 +1,65 @@
+"""Per-virtual-channel input buffers.
+
+On-chip routers use small register-file buffers, one FIFO per virtual
+channel (Sec. 3.2.1).  The 3DM design splits each buffer word across the
+stacked layers (word lines span layers, bit lines stay planar), which is a
+physical-layout concern modelled by :mod:`repro.core.layers`; functionally
+the buffer remains a bounded FIFO.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.noc.packet import Flit
+
+
+class VirtualChannelBuffer:
+    """Bounded flit FIFO for one (input port, virtual channel) pair."""
+
+    def __init__(self, depth: int) -> None:
+        if depth < 1:
+            raise ValueError(f"buffer depth must be >= 1, got {depth}")
+        self.depth = depth
+        self._fifo: Deque[Flit] = deque()
+        #: Cumulative write count, for power accounting.
+        self.writes = 0
+        #: Cumulative read (dequeue) count.
+        self.reads = 0
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    @property
+    def free_slots(self) -> int:
+        return self.depth - len(self._fifo)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._fifo) >= self.depth
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._fifo
+
+    def push(self, flit: Flit) -> None:
+        """Append *flit*; raises on overflow (a flow-control violation)."""
+        if self.is_full:
+            raise OverflowError(
+                "buffer overflow: credit-based flow control should make this "
+                "impossible"
+            )
+        self._fifo.append(flit)
+        self.writes += 1
+
+    def front(self) -> Optional[Flit]:
+        """The flit at the head of the FIFO, or ``None`` when empty."""
+        return self._fifo[0] if self._fifo else None
+
+    def pop(self) -> Flit:
+        """Remove and return the head flit; raises on underflow."""
+        if not self._fifo:
+            raise IndexError("pop from empty virtual-channel buffer")
+        self.reads += 1
+        return self._fifo.popleft()

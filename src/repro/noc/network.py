@@ -1,0 +1,265 @@
+"""The network: routers + links + injection/ejection plumbing.
+
+The network owns the per-cycle event buckets (flit arrivals, credit
+returns, ejections), the per-node source queues, and the global event
+counters.  It is deliberately separate from :class:`repro.noc.simulator.
+Simulator`, which adds warm-up/measurement/drain orchestration and power
+integration on top.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.noc.packet import Flit, Packet
+from repro.noc.router import Router
+from repro.noc.routing import RoutingFunction, routing_for_topology
+from repro.noc.stats import EventCounts, NetworkStats
+from repro.topology.base import LinkSpec, Topology
+
+#: Callback invoked when a packet's tail flit leaves the network.
+DeliveryCallback = Callable[[Packet, int], None]
+
+
+class _SourceQueue:
+    """Per-node injection queue.
+
+    Packets wait FIFO; the head packet is dealt to a free local-port VC and
+    streamed one flit per cycle (the local port has the same single-flit
+    bandwidth as any other port).
+    """
+
+    __slots__ = ("packets", "flits", "flit_idx", "vc")
+
+    def __init__(self) -> None:
+        self.packets: Deque[Packet] = deque()
+        self.flits: List[Flit] = []
+        self.flit_idx = 0
+        self.vc: int = -1
+
+    @property
+    def idle(self) -> bool:
+        return not self.packets and not self.flits
+
+
+class Network:
+    """A set of routers connected per a topology.
+
+    Args:
+        topology: the interconnect graph.
+        num_vcs: virtual channels per physical port (the paper fixes 2).
+        buffer_depth: flits per VC buffer (8 word lines, Sec. 3.2.1).
+        combined_st_lt: merge switch and link traversal into one stage
+            (valid only when the timing model allows it; Fig. 8d).
+        layer_groups: word groups per flit (stacked layers), default 4.
+        shutdown_enabled: model the short-flit layer-shutdown technique in
+            the activity-weighted event counters.
+        routing: routing function override; defaults to the canonical
+            deterministic routing for the topology.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        num_vcs: int = 2,
+        buffer_depth: int = 8,
+        combined_st_lt: bool = False,
+        layer_groups: int = 4,
+        shutdown_enabled: bool = False,
+        routing: Optional[RoutingFunction] = None,
+        speculative_sa: bool = False,
+        lookahead_rc: bool = False,
+        qos_enabled: bool = False,
+        vc_by_class: bool = False,
+    ) -> None:
+        self.topology = topology
+        self.num_vcs = num_vcs
+        self.buffer_depth = buffer_depth
+        self.combined_st_lt = combined_st_lt
+        self.layer_groups = layer_groups
+        self.shutdown_enabled = shutdown_enabled
+        self.speculative_sa = speculative_sa
+        self.lookahead_rc = lookahead_rc
+        self.qos_enabled = qos_enabled
+        self.vc_by_class = vc_by_class
+        self.routing = routing or routing_for_topology(topology)
+        self.events = EventCounts()
+        self.stats = NetworkStats()
+
+        self.routers: List[Router] = [
+            Router(
+                node=node,
+                topology=topology,
+                routing=self.routing,
+                num_vcs=num_vcs,
+                buffer_depth=buffer_depth,
+                combined_st_lt=combined_st_lt,
+                layer_groups=layer_groups,
+                shutdown_enabled=shutdown_enabled,
+                events=self.events,
+                speculative_sa=speculative_sa,
+                lookahead_rc=lookahead_rc,
+                qos_enabled=qos_enabled,
+                vc_by_class=vc_by_class,
+            )
+            for node in topology.iter_nodes()
+        ]
+        for router in self.routers:
+            router.attach(self)
+
+        # Event buckets keyed by cycle.
+        self._arrivals: Dict[int, List[Tuple[int, int, int, Flit]]] = {}
+        self._credits: Dict[int, List[Tuple[int, int, int]]] = {}
+        self._ejections: Dict[int, List[Flit]] = {}
+        self._sources: List[_SourceQueue] = [
+            _SourceQueue() for _ in topology.iter_nodes()
+        ]
+        self._busy_sources: set[int] = set()
+        self.delivery_callbacks: List[DeliveryCallback] = []
+        #: Debug hooks invoked on every switch traversal as
+        #: ``(cycle, node, flit, out_port_name)`` — see
+        #: :class:`repro.noc.tracer.PacketTracer`.  Empty = zero cost.
+        self.traverse_callbacks: List = []
+        self.cycle = 0
+
+    # -- scheduling hooks used by routers -----------------------------------
+
+    def schedule_arrival(
+        self, link: LinkSpec, vc: int, flit: Flit, cycle: int
+    ) -> None:
+        """Queue *flit* to appear at the link's destination input buffer."""
+        dst_router = self.routers[link.dst]
+        dst_port = dst_router.port_index[link.dst_port]
+        self._arrivals.setdefault(cycle, []).append((link.dst, dst_port, vc, flit))
+
+    def return_credit(self, node: int, in_port: int, vc: int, cycle: int) -> None:
+        """Return one credit to the router feeding ``(node, in_port)``."""
+        port_name = self.routers[node].port_names[in_port]
+        link = self.topology.in_ports[node].get(port_name)
+        if link is None:
+            raise RuntimeError(f"no upstream link into node {node} port {port_name}")
+        src_router = self.routers[link.src]
+        src_port = src_router.port_index[link.src_port]
+        self._credits.setdefault(cycle, []).append((link.src, src_port, vc))
+
+    def schedule_ejection(self, flit: Flit, cycle: int) -> None:
+        self._ejections.setdefault(cycle, []).append(flit)
+
+    # -- injection -----------------------------------------------------------
+
+    def enqueue_packet(self, packet: Packet) -> None:
+        """Hand *packet* to its source node's injection queue."""
+        if not 0 <= packet.src < self.topology.num_nodes:
+            raise ValueError(f"packet source {packet.src} not in network")
+        if not 0 <= packet.dst < self.topology.num_nodes:
+            raise ValueError(f"packet destination {packet.dst} not in network")
+        self._sources[packet.src].packets.append(packet)
+        self._busy_sources.add(packet.src)
+        self.stats.note_injected(packet)
+
+    def pending_injections(self) -> int:
+        """Flits still waiting in source queues (including in-flight packets)."""
+        total = 0
+        for src in self._sources:
+            total += sum(p.size_flits for p in src.packets)
+            total += len(src.flits) - src.flit_idx
+        return total
+
+    def in_flight(self) -> int:
+        """Flits buffered in routers or travelling on links."""
+        buffered = sum(router.occupancy() for router in self.routers)
+        travelling = sum(len(v) for v in self._arrivals.values())
+        ejecting = sum(len(v) for v in self._ejections.values())
+        return buffered + travelling + ejecting
+
+    def idle(self) -> bool:
+        """True when no flit is queued, buffered, or in flight."""
+        return (
+            not self._busy_sources
+            and self.in_flight() == 0
+            and self.pending_injections() == 0
+        )
+
+    def _inject(self, cycle: int) -> None:
+        done_sources: List[int] = []
+        for node in sorted(self._busy_sources):
+            src = self._sources[node]
+            router = self.routers[node]
+            if not src.flits:
+                if not src.packets:
+                    done_sources.append(node)
+                    continue
+                if self.vc_by_class:
+                    # Inject on the traffic class's dedicated VC.
+                    from repro.noc.packet import PacketClass
+
+                    wanted = (
+                        1 if src.packets[0].klass is PacketClass.DATA else 0
+                    )
+                    vc = (
+                        wanted
+                        if router.free_local_vc_is(wanted)
+                        else None
+                    )
+                else:
+                    vc = router.free_local_vc()
+                if vc is None:
+                    continue
+                packet = src.packets.popleft()
+                src.flits = packet.make_flits(self.layer_groups)
+                src.flit_idx = 0
+                src.vc = vc
+                packet.injected_cycle = cycle
+                if self.lookahead_rc:
+                    # First-hop route computed at injection (Fig. 8c).
+                    src.flits[0].lookahead_port = self.routing.output_port(
+                        node, packet.dst
+                    )
+                    self.events.rc_computations += 1
+            if router.local_vc_has_space(src.vc):
+                flit = src.flits[src.flit_idx]
+                router.receive_flit(router.local_port, src.vc, flit, cycle)
+                src.flit_idx += 1
+                if src.flit_idx >= len(src.flits):
+                    src.flits = []
+                    src.flit_idx = 0
+                    src.vc = -1
+                    if not src.packets:
+                        done_sources.append(node)
+        for node in done_sources:
+            src = self._sources[node]
+            if src.idle:
+                self._busy_sources.discard(node)
+
+    # -- main loop -------------------------------------------------------------
+
+    def step(self) -> None:
+        """Advance the network by one clock cycle."""
+        cycle = self.cycle
+
+        for node, port, vc, flit in self._arrivals.pop(cycle, ()):
+            self.routers[node].receive_flit(port, vc, flit, cycle)
+
+        for node, port, vc in self._credits.pop(cycle, ()):
+            self.routers[node].receive_credit(port, vc)
+
+        for flit in self._ejections.pop(cycle, ()):
+            if flit.is_tail:
+                packet = flit.packet
+                packet.delivered_cycle = cycle
+                self.stats.note_delivered(packet)
+                for callback in self.delivery_callbacks:
+                    callback(packet, cycle)
+
+        self._inject(cycle)
+
+        for router in self.routers:
+            router.step(cycle)
+
+        self.cycle = cycle + 1
+
+    def run(self, cycles: int) -> None:
+        """Advance the network by *cycles* clock cycles."""
+        for _ in range(cycles):
+            self.step()

@@ -1,0 +1,404 @@
+"""The virtual-channel wormhole router pipeline.
+
+Models the canonical four-stage pipeline of Fig. 8a — routing computation
+(RC), virtual-channel allocation (VA), switch allocation (SA), switch
+traversal (ST) — followed by link traversal (LT).  Head flits walk all
+stages; body/tail flits inherit the route and VC and only arbitrate for
+the switch, which is wormhole flow control.
+
+Stage timing is enforced with per-VC ``ready_cycle`` stamps: a VC performs
+at most one pipeline action per cycle.  With a switch-allocation grant at
+cycle ``c`` the flit reaches the next router's input buffer ready for RC
+at ``c + 2`` when ST and LT are merged (the 3DM/3DM-E single-stage
+traversal of Fig. 8d) or ``c + 3`` otherwise, which yields the paper's
+4-cycle vs 5-cycle per-hop latency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.noc.allocator import (
+    SARequest,
+    SwitchAllocator,
+    VARequest,
+    VirtualChannelAllocator,
+)
+from repro.noc.buffer import VirtualChannelBuffer
+from repro.noc.packet import Flit
+from repro.noc.routing import RoutingFunction
+from repro.noc.stats import EventCounts
+from repro.topology.base import LOCAL_PORT, LinkSpec, Topology
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.noc.network import Network
+
+# Input-VC pipeline states.
+_IDLE, _RC, _VA, _ACTIVE = 0, 1, 2, 3
+
+#: Cycles from SA grant to the flit being RC-ready at the next router.
+ST_LT_MERGED_CYCLES = 2
+ST_LT_SPLIT_CYCLES = 3
+
+
+class _InputVC:
+    """State machine for one (input port, VC) pair."""
+
+    __slots__ = ("port", "vc", "buffer", "state", "out_port", "out_vc", "ready_cycle")
+
+    def __init__(self, port: int, vc: int, depth: int) -> None:
+        self.port = port
+        self.vc = vc
+        self.buffer = VirtualChannelBuffer(depth)
+        self.state = _IDLE
+        self.out_port: int = -1
+        self.out_vc: int = -1
+        self.ready_cycle = 0
+
+
+class Router:
+    """One NoC router instance.
+
+    Created by :class:`~repro.noc.network.Network`; not normally
+    instantiated directly.
+    """
+
+    def __init__(
+        self,
+        node: int,
+        topology: Topology,
+        routing: RoutingFunction,
+        num_vcs: int,
+        buffer_depth: int,
+        combined_st_lt: bool,
+        layer_groups: int,
+        shutdown_enabled: bool,
+        events: EventCounts,
+        speculative_sa: bool = False,
+        lookahead_rc: bool = False,
+        qos_enabled: bool = False,
+        vc_by_class: bool = False,
+    ) -> None:
+        self.node = node
+        self.topology = topology
+        self.routing = routing
+        self.num_vcs = num_vcs
+        self.buffer_depth = buffer_depth
+        self.combined_st_lt = combined_st_lt
+        self.layer_groups = layer_groups
+        self.shutdown_enabled = shutdown_enabled
+        self.events = events
+        #: Fig. 8b: switch allocation speculatively overlaps VA.
+        self.speculative_sa = speculative_sa
+        #: Fig. 8c: the route arrives with the head flit (computed one
+        #: hop upstream), so RC is off the critical path.
+        self.lookahead_rc = lookahead_rc
+        #: Priority-aware switch allocation (QoS provisioning, Sec. 3.3).
+        self.qos_enabled = qos_enabled
+        #: Sec. 3.2.4 (ii): dedicate one VC to control and one to data
+        #: traffic — VC 0 carries control packets, VC 1 data packets.
+        self.vc_by_class = vc_by_class
+        if vc_by_class and num_vcs < 2:
+            raise ValueError("vc_by_class needs at least 2 virtual channels")
+        #: Adaptive routing functions offer several productive ports; the
+        #: RC stage then picks the one with the most downstream credits.
+        self._adaptive = bool(getattr(routing, "is_adaptive", False))
+        #: Routing functions with a VC discipline (torus datelines)
+        #: dictate the permissible out VCs per packet at VA time.
+        self._vc_discipline = bool(getattr(routing, "has_vc_discipline", False))
+        if self._vc_discipline and vc_by_class:
+            raise ValueError(
+                "vc_by_class cannot be combined with a routing VC discipline"
+            )
+        if self._vc_discipline and num_vcs < 2:
+            raise ValueError("dateline VC discipline needs >= 2 VCs")
+        self._network: Optional["Network"] = None
+
+        self.port_names: List[str] = topology.port_names(node)
+        self.port_index: Dict[str, int] = {
+            name: i for i, name in enumerate(self.port_names)
+        }
+        self.num_ports = len(self.port_names)
+        self.local_port = self.port_index[LOCAL_PORT]
+
+        self.in_vcs: List[_InputVC] = [
+            _InputVC(p, v, buffer_depth)
+            for p in range(self.num_ports)
+            for v in range(num_vcs)
+        ]
+        # Output-side state. Local output has effectively infinite credits
+        # (the ejection sink always accepts); model with None.
+        self.out_links: List[Optional[LinkSpec]] = [None] * self.num_ports
+        for name, link in topology.out_ports[node].items():
+            self.out_links[self.port_index[name]] = link
+        self.credits: List[Optional[List[int]]] = []
+        for p in range(self.num_ports):
+            if p == self.local_port or self.out_links[p] is None:
+                self.credits.append(None)
+            else:
+                self.credits.append([buffer_depth] * num_vcs)
+        self.out_owner: List[List[Optional[Tuple[int, int]]]] = [
+            [None] * num_vcs for _ in range(self.num_ports)
+        ]
+
+        self._va = VirtualChannelAllocator(self.num_ports, num_vcs)
+        self._sa = SwitchAllocator(self.num_ports, num_vcs)
+        self._hop_cycles = (
+            ST_LT_MERGED_CYCLES if combined_st_lt else ST_LT_SPLIT_CYCLES
+        )
+        #: Flits this router has switched (for per-node power/thermal maps).
+        self.flits_switched = 0
+        # Flat indices of input VCs that may have work this cycle.
+        self._active: set[int] = set()
+
+    def attach(self, network: "Network") -> None:
+        self._network = network
+
+    # -- helpers -----------------------------------------------------------
+
+    def _vc(self, port: int, vc: int) -> _InputVC:
+        return self.in_vcs[port * self.num_vcs + vc]
+
+    def _weight(self, flit: Flit) -> float:
+        """Activity weight of *flit* for separable-module energy."""
+        if not self.shutdown_enabled:
+            return 1.0
+        return flit.active_groups / self.layer_groups
+
+    @staticmethod
+    def _class_vc(flit: Flit) -> int:
+        """VC dedicated to this flit's traffic class: 0 ctrl, 1 data."""
+        from repro.noc.packet import PacketClass
+
+        return 1 if flit.packet.klass is PacketClass.DATA else 0
+
+    def _pick_adaptive_port(self, dst: int) -> int:
+        """Most-credited candidate port (ties keep preference order)."""
+        best_idx = -1
+        best_score = -1
+        for name in self.routing.candidate_ports(self.node, dst):
+            idx = self.port_index[name]
+            credits = self.credits[idx]
+            score = (1 << 30) if credits is None else sum(credits)
+            if score > best_score:
+                best_idx, best_score = idx, score
+        if best_idx < 0:
+            raise RuntimeError(
+                f"router {self.node}: adaptive routing offered no candidates"
+            )
+        return best_idx
+
+    def free_local_vc(self) -> Optional[int]:
+        """An idle, empty local-port VC available for injection."""
+        for v in range(self.num_vcs):
+            unit = self._vc(self.local_port, v)
+            if unit.state == _IDLE and unit.buffer.is_empty:
+                return v
+        return None
+
+    def free_local_vc_is(self, vc: int) -> bool:
+        """True when the specific local VC is idle and empty."""
+        unit = self._vc(self.local_port, vc)
+        return unit.state == _IDLE and unit.buffer.is_empty
+
+    def local_vc_has_space(self, vc: int) -> bool:
+        return not self._vc(self.local_port, vc).buffer.is_full
+
+    @property
+    def busy(self) -> bool:
+        return bool(self._active)
+
+    def occupancy(self) -> int:
+        """Total buffered flits, across all input VCs."""
+        return sum(len(unit.buffer) for unit in self.in_vcs)
+
+    # -- flit reception ----------------------------------------------------
+
+    def receive_flit(self, port: int, vc: int, flit: Flit, cycle: int) -> None:
+        """Write an arriving flit into its input VC buffer."""
+        unit = self._vc(port, vc)
+        unit.buffer.push(flit)
+        self.events.buffer_writes += 1
+        self.events.buffer_writes_weighted += self._weight(flit)
+        if unit.state == _IDLE:
+            if not flit.is_head:
+                raise RuntimeError(
+                    f"router {self.node}: body flit arrived on idle VC "
+                    f"({port},{vc}); wormhole ordering violated"
+                )
+            if self.lookahead_rc and flit.lookahead_port is not None:
+                # The route travelled with the flit: skip straight to VA.
+                unit.out_port = self.port_index[flit.lookahead_port]
+                unit.state = _VA
+            else:
+                unit.state = _RC
+            unit.ready_cycle = cycle
+        self._active.add(port * self.num_vcs + vc)
+
+    def receive_credit(self, port: int, vc: int) -> None:
+        credits = self.credits[port]
+        if credits is None:
+            raise RuntimeError(f"credit for local/unconnected port {port}")
+        credits[vc] += 1
+        if credits[vc] > self.buffer_depth:
+            raise RuntimeError(
+                f"router {self.node}: credit overflow on port {port} vc {vc}"
+            )
+
+    # -- pipeline ----------------------------------------------------------
+
+    def step(self, cycle: int) -> None:
+        if not self._active:
+            return
+        active_units = [self.in_vcs[i] for i in sorted(self._active)]
+
+        # --- RC stage ---
+        for unit in active_units:
+            if unit.state == _RC and unit.ready_cycle <= cycle:
+                flit = unit.buffer.front()
+                if flit is None:
+                    continue
+                if self._adaptive:
+                    unit.out_port = self._pick_adaptive_port(flit.packet.dst)
+                else:
+                    port_name = self.routing.output_port(
+                        self.node, flit.packet.dst
+                    )
+                    unit.out_port = self.port_index[port_name]
+                unit.state = _VA
+                unit.ready_cycle = cycle + 1
+                self.events.rc_computations += 1
+
+        # --- VA stage ---
+        requests: List[VARequest] = []
+        for unit in active_units:
+            if unit.state == _VA and unit.ready_cycle <= cycle:
+                allowed = None
+                flit = unit.buffer.front()
+                if flit is not None:
+                    if self._vc_discipline:
+                        allowed = tuple(
+                            self.routing.allowed_vcs(
+                                flit, self.node, self.port_names[unit.out_port]
+                            )
+                        )
+                    elif self.vc_by_class:
+                        allowed = (self._class_vc(flit),)
+                requests.append(
+                    VARequest(unit.port, unit.vc, unit.out_port, allowed)
+                )
+        if requests:
+            free = {
+                req.out_port: [
+                    owner is None for owner in self.out_owner[req.out_port]
+                ]
+                for req in requests
+            }
+            grants = self._va.allocate(requests, free)
+            for (in_port, in_vc), (out_port, out_vc) in grants.items():
+                unit = self._vc(in_port, in_vc)
+                unit.out_vc = out_vc
+                unit.state = _ACTIVE
+                # Speculative switch allocation (Fig. 8b): the flit bids
+                # for the crossbar in the same cycle its VC is granted.
+                unit.ready_cycle = cycle if self.speculative_sa else cycle + 1
+                self.out_owner[out_port][out_vc] = (in_port, in_vc)
+                self.events.va_allocations += 1
+
+        # --- SA + ST stage ---
+        sa_requests: List[SARequest] = []
+        for unit in active_units:
+            if (
+                unit.state == _ACTIVE
+                and unit.ready_cycle <= cycle
+                and not unit.buffer.is_empty
+            ):
+                credits = self.credits[unit.out_port]
+                if credits is None or credits[unit.out_vc] > 0:
+                    sa_requests.append(SARequest(unit.port, unit.vc, unit.out_port))
+        if sa_requests:
+            priorities = None
+            if self.qos_enabled:
+                priorities = {}
+                for req in sa_requests:
+                    flit = self._vc(req.in_port, req.in_vc).buffer.front()
+                    if flit is not None:
+                        priorities[(req.in_port, req.in_vc)] = flit.packet.priority
+            for grant in self._sa.allocate(sa_requests, priorities):
+                self._traverse(grant, cycle)
+
+        # Prune VCs with no buffered flits and no pending pipeline work.
+        for unit in active_units:
+            if unit.buffer.is_empty:
+                self._active.discard(unit.port * self.num_vcs + unit.vc)
+
+    def _traverse(self, grant: SARequest, cycle: int) -> None:
+        """Move one flit through the crossbar and onto its output."""
+        assert self._network is not None, "router not attached to a network"
+        unit = self._vc(grant.in_port, grant.in_vc)
+        flit = unit.buffer.pop()
+        weight = self._weight(flit)
+        ev = self.events
+        ev.buffer_reads += 1
+        ev.buffer_reads_weighted += weight
+        ev.sa_allocations += 1
+        ev.xbar_traversals += 1
+        ev.xbar_traversals_weighted += weight
+        ev.flit_hops += 1
+        self.flits_switched += 1
+        if flit.active_groups == 1:
+            ev.short_flit_hops += 1
+        if self._network.traverse_callbacks:
+            port_name = self.port_names[unit.out_port]
+            for callback in self._network.traverse_callbacks:
+                callback(cycle, self.node, flit, port_name)
+
+        out_port, out_vc = unit.out_port, unit.out_vc
+        credits = self.credits[out_port]
+        if credits is not None:
+            credits[out_vc] -= 1
+            if credits[out_vc] < 0:
+                raise RuntimeError(
+                    f"router {self.node}: negative credit on port {out_port}"
+                )
+        if grant.in_port != self.local_port:
+            self._network.return_credit(self.node, grant.in_port, grant.in_vc, cycle + 1)
+
+        if out_port == self.local_port:
+            # Ejection: one ST cycle, no link traversal.
+            self._network.schedule_ejection(flit, cycle + 1)
+        else:
+            link = self.out_links[out_port]
+            assert link is not None
+            if flit.is_head:
+                flit.packet.hops += 1
+                if self._vc_discipline:
+                    self.routing.note_traverse(flit, link)
+                if self.lookahead_rc:
+                    # NRC: compute the route for the *next* router while
+                    # the flit crosses the switch (off the critical path).
+                    flit.lookahead_port = self.routing.output_port(
+                        link.dst, flit.packet.dst
+                    )
+                    ev.rc_computations += 1
+            ev.count_link(
+                link.kind.value, link.length_mm, weight, (link.src, link.dst)
+            )
+            self._network.schedule_arrival(link, out_vc, flit, cycle + self._hop_cycles)
+
+        if flit.is_tail:
+            self.out_owner[out_port][out_vc] = None
+            unit.out_port = -1
+            unit.out_vc = -1
+            if unit.buffer.is_empty:
+                unit.state = _IDLE
+            else:
+                nxt = unit.buffer.front()
+                if nxt is None or not nxt.is_head:
+                    raise RuntimeError(
+                        f"router {self.node}: non-head flit follows tail in VC"
+                    )
+                unit.state = _RC
+                unit.ready_cycle = cycle + 1
+        else:
+            unit.ready_cycle = cycle + 1

@@ -1,0 +1,192 @@
+"""Deterministic routing functions.
+
+All experiments in the paper use deterministic dimension-ordered (X-Y)
+routing (Sec. 4).  The 3DB network extends it to X-Y-Z order, and the
+3DM-E network uses an express-aware variant: while the remaining distance
+in the current dimension is at least the express span, take the express
+channel (Dally's express-cube routing); otherwise take the normal channel.
+Dimension order is preserved across normal and express channels, so the
+channel dependence graph stays acyclic and the routing deadlock-free.
+
+A routing function maps ``(current_node, destination)`` to the *output
+port name* to take; the router resolves the name to a port index.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.topology.base import LOCAL_PORT, Topology
+from repro.topology.express_mesh import EXPRESS_FOR, ExpressMesh
+from repro.topology.mesh2d import EAST, Mesh2D, NORTH, SOUTH, WEST
+from repro.topology.mesh3d import DOWN, Mesh3D, UP
+
+
+class RoutingFunction(Protocol):
+    """Deterministic output-port selector."""
+
+    def output_port(self, node: int, dst: int) -> str:
+        """Port name to take from *node* towards *dst*.
+
+        Returns :data:`~repro.topology.base.LOCAL_PORT` when
+        ``node == dst``.
+        """
+        ...
+
+
+class XYRouting:
+    """Dimension-ordered routing for a 2D mesh: X fully first, then Y."""
+
+    def __init__(self, topology: Mesh2D) -> None:
+        self.topology = topology
+
+    def output_port(self, node: int, dst: int) -> str:
+        x, y = self.topology.coordinates(node)
+        dx, dy = self.topology.coordinates(dst)
+        if x < dx:
+            return EAST
+        if x > dx:
+            return WEST
+        if y < dy:
+            return SOUTH
+        if y > dy:
+            return NORTH
+        return LOCAL_PORT
+
+
+class XYZRouting:
+    """Dimension-ordered routing for a 3D mesh: X, then Y, then Z."""
+
+    def __init__(self, topology: Mesh3D) -> None:
+        self.topology = topology
+
+    def output_port(self, node: int, dst: int) -> str:
+        x, y, z = self.topology.coordinates(node)
+        dx, dy, dz = self.topology.coordinates(dst)
+        if x < dx:
+            return EAST
+        if x > dx:
+            return WEST
+        if y < dy:
+            return SOUTH
+        if y > dy:
+            return NORTH
+        if z < dz:
+            return UP
+        if z > dz:
+            return DOWN
+        return LOCAL_PORT
+
+
+class ExpressXYRouting:
+    """X-Y routing that prefers express channels for long in-dimension runs.
+
+    From a node with an express channel in the productive direction, the
+    express channel is taken whenever the remaining distance in that
+    dimension is at least the express span; otherwise the normal channel is
+    taken.  Both channel types advance monotonically in strict X-then-Y
+    order, preserving deadlock freedom.
+    """
+
+    def __init__(self, topology: ExpressMesh) -> None:
+        self.topology = topology
+
+    def output_port(self, node: int, dst: int) -> str:
+        x, y = self.topology.coordinates(node)
+        dx, dy = self.topology.coordinates(dst)
+        span = self.topology.span
+        if x != dx:
+            direction = EAST if x < dx else WEST
+            if abs(dx - x) >= span:
+                express = EXPRESS_FOR[direction]
+                if express in self.topology.out_ports[node]:
+                    return express
+            return direction
+        if y != dy:
+            direction = SOUTH if y < dy else NORTH
+            if abs(dy - y) >= span:
+                express = EXPRESS_FOR[direction]
+                if express in self.topology.out_ports[node]:
+                    return express
+            return direction
+        return LOCAL_PORT
+
+
+class TorusXYRouting:
+    """Shortest-direction dimension-ordered routing on a 2D torus, with
+    Dally's dateline VC discipline for deadlock freedom.
+
+    In each dimension the packet takes the shorter way around the ring
+    (ties go east/south).  Packets request VC 0 until they traverse a
+    wrap channel in the current dimension, then VC 1 — the dateline
+    split that cuts each ring's cyclic channel dependency.  The router
+    consults :meth:`allowed_vcs` at VA time and calls
+    :meth:`note_traverse` on every switch traversal.
+    """
+
+    #: Routers must ask us for the permitted VCs per packet.
+    has_vc_discipline = True
+
+    def __init__(self, topology: "Torus2D") -> None:
+        from repro.topology.torus import Torus2D
+
+        if not isinstance(topology, Torus2D):
+            raise TypeError("torus routing requires a Torus2D topology")
+        self.topology = topology
+
+    def _delta(self, src: int, dst: int, size: int) -> int:
+        """Signed shortest step count (+ = increasing coordinate)."""
+        forward = (dst - src) % size
+        backward = (src - dst) % size
+        if forward == 0:
+            return 0
+        return forward if forward <= backward else -backward
+
+    def output_port(self, node: int, dst: int) -> str:
+        x, y = self.topology.coordinates(node)
+        dx, dy = self.topology.coordinates(dst)
+        step_x = self._delta(x, dx, self.topology.width)
+        if step_x > 0:
+            return EAST
+        if step_x < 0:
+            return WEST
+        step_y = self._delta(y, dy, self.topology.height)
+        if step_y > 0:
+            return SOUTH
+        if step_y < 0:
+            return NORTH
+        return LOCAL_PORT
+
+    # -- dateline discipline hooks -----------------------------------------
+
+    def allowed_vcs(self, flit, node: int, out_port: str) -> tuple:
+        """VC set the packet may claim on *out_port* at *node*."""
+        if out_port in (EAST, WEST):
+            return (1,) if flit.wrapped_x else (0,)
+        if out_port in (NORTH, SOUTH):
+            return (1,) if flit.wrapped_y else (0,)
+        return (0, 1)  # ejection: any
+
+    def note_traverse(self, flit, link) -> None:
+        """Update dateline state when a wrap channel is crossed."""
+        if not link.wrap:
+            return
+        if link.src_port in (EAST, WEST):
+            flit.wrapped_x = True
+        else:
+            flit.wrapped_y = True
+
+
+def routing_for_topology(topology: Topology) -> RoutingFunction:
+    """Pick the canonical deterministic routing function for *topology*."""
+    from repro.topology.torus import Torus2D
+
+    if isinstance(topology, Torus2D):
+        return TorusXYRouting(topology)
+    if isinstance(topology, ExpressMesh):
+        return ExpressXYRouting(topology)
+    if isinstance(topology, Mesh3D):
+        return XYZRouting(topology)
+    if isinstance(topology, Mesh2D):
+        return XYRouting(topology)
+    raise TypeError(f"no routing function registered for {type(topology).__name__}")

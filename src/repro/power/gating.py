@@ -1,0 +1,63 @@
+"""Analytic layer-shutdown savings (Fig. 13b).
+
+Separately from the full simulation flow, the paper reports the power
+saving of the shutdown technique as a function of the short-flit fraction
+(25% and 50% bars in Fig. 13b).  This module gives the closed-form model:
+the separable datapath (buffers, crossbar slices, link slices) scales
+with the expected active-layer fraction, the rest does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.arch import ArchitectureConfig
+from repro.core.shutdown import shutdown_power_factor
+from repro.power.orion import RouterEnergyModel
+
+#: Word groups a flit is sliced into (also the shutdown granularity for
+#: the 2DB word-slice variant the paper evaluates in Fig. 13b).
+SHUTDOWN_GROUPS = 4
+
+
+@dataclass(frozen=True)
+class ShutdownSaving:
+    """Outcome of the analytic shutdown model."""
+
+    name: str
+    short_fraction: float
+    separable_share: float
+    power_factor: float
+
+    @property
+    def saving_fraction(self) -> float:
+        """Fraction of dynamic router+link power saved."""
+        return 1.0 - self.power_factor
+
+
+def separable_share(config: ArchitectureConfig) -> float:
+    """Share of per-flit-hop dynamic energy in separable modules."""
+    breakdown = RouterEnergyModel.for_config(config).flit_hop_breakdown()
+    total = sum(breakdown.values())
+    separable = breakdown["buffer"] + breakdown["crossbar"] + breakdown["link"]
+    return separable / total
+
+
+def shutdown_saving(
+    config: ArchitectureConfig, short_fraction: float
+) -> ShutdownSaving:
+    """Expected dynamic-power multiplier with layer shutdown active.
+
+    ``power_factor`` multiplies total dynamic power: the separable share
+    follows :func:`~repro.core.shutdown.shutdown_power_factor`, the
+    non-separable share is unaffected.
+    """
+    share = separable_share(config)
+    sep_factor = shutdown_power_factor(short_fraction, layers=SHUTDOWN_GROUPS)
+    factor = share * sep_factor + (1.0 - share)
+    return ShutdownSaving(
+        name=config.name,
+        short_fraction=short_fraction,
+        separable_share=share,
+        power_factor=factor,
+    )

@@ -1,0 +1,92 @@
+"""Orion-style per-event dynamic energy model (Sec. 3.4.2, Fig. 9).
+
+Orion computes router energy from switched capacitance of each structure.
+We keep the same structure-by-structure decomposition, with capacitances
+derived from the geometry the area model establishes:
+
+* **crossbar** — energy grows with the bus wire length a bit must drive,
+  i.e. with the per-layer crossbar side (quartered in 3DM);
+* **link** — energy per mm of repeated wire per bit (halved pitch for the
+  multi-layer footprint, near-zero for TSV hops);
+* **buffer** — per-bit read/write energies (the same bits are stored
+  regardless of layering, so this component barely changes across
+  architectures — which is why the paper's 3DM saving is ~35%, not 4x);
+* **arbiters / RC** — small per-operation energies scaling with arbiter
+  size;
+* **control** — a fixed per-flit-hop overhead for clocking and pipeline
+  registers (non-separable).
+
+Events can carry an activity weight (active word groups / layers) which
+is how layer shutdown discounts the separable components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.arch import ArchitectureConfig
+from repro.power import technology as tech
+from repro.power.area import xbar_side_um
+
+
+@dataclass(frozen=True)
+class RouterEnergyModel:
+    """Per-event energies (in joules) for one router architecture."""
+
+    config: ArchitectureConfig
+    buffer_write_j: float
+    buffer_read_j: float
+    xbar_traversal_j: float
+    link_j_per_mm: float
+    va_allocation_j: float
+    sa_allocation_j: float
+    rc_compute_j: float
+    control_j: float
+
+    @classmethod
+    def for_config(cls, config: ArchitectureConfig) -> "RouterEnergyModel":
+        W = config.flit_bits
+        L = config.datapath_layers
+        side_um = xbar_side_um(config.ports, W, L)
+        # One flit crosses L crossbar slices (one per layer), each carrying
+        # W/L bits over a bus of the per-layer side length.
+        xbar_j = tech.XBAR_FJ_PER_UM_BIT * side_um * (W / L) * L * 1e-15
+        link_j_per_mm = tech.LINK_FJ_PER_UM_BIT * 1e3 * W * 1e-15
+        arb_n = config.ports * config.vcs
+        return cls(
+            config=config,
+            buffer_write_j=tech.BUFFER_WRITE_FJ_PER_BIT * W * 1e-15,
+            buffer_read_j=tech.BUFFER_READ_FJ_PER_BIT * W * 1e-15,
+            xbar_traversal_j=xbar_j,
+            link_j_per_mm=link_j_per_mm,
+            va_allocation_j=tech.ARBITER_FJ_PER_LINE * arb_n * 2 * 1e-15,
+            sa_allocation_j=tech.ARBITER_FJ_PER_LINE * arb_n * 1e-15,
+            rc_compute_j=tech.RC_FJ_PER_COMPUTE * 1e-15,
+            control_j=tech.CONTROL_FJ_PER_FLIT * 1e-15,
+        )
+
+    # -- per-flit-hop breakdown (Fig. 9) ----------------------------------
+
+    def flit_hop_breakdown(self, link_length_mm: float = None) -> dict:
+        """Energy per flit per hop, by component (joules).
+
+        ``link_length_mm`` defaults to the architecture's normal link
+        pitch.  Buffer energy counts one write and one read; VA/RC are
+        charged per packet and amortised over a 5-flit data packet.
+        """
+        length = (
+            self.config.pitch_mm if link_length_mm is None else link_length_mm
+        )
+        per_packet_flits = 5.0
+        return {
+            "buffer": self.buffer_write_j + self.buffer_read_j,
+            "crossbar": self.xbar_traversal_j,
+            "arbitration": self.sa_allocation_j
+            + (self.va_allocation_j + self.rc_compute_j) / per_packet_flits,
+            "link": self.link_j_per_mm * length,
+            "control": self.control_j,
+        }
+
+    def flit_hop_energy_j(self, link_length_mm: float = None) -> float:
+        """Total energy per flit per hop (joules)."""
+        return sum(self.flit_hop_breakdown(link_length_mm).values())

@@ -1,0 +1,66 @@
+"""90 nm technology constants.
+
+All constants are calibrated so the analytic models reproduce the paper's
+published numbers:
+
+* area constants fit Table 1 (TSMC 90 nm synthesis results),
+* delay constants fit Tables 2 and 3 (see :mod:`repro.timing.wires`),
+* energy constants produce a 2DB per-flit-hop energy budget whose
+  breakdown matches Fig. 9's qualitative shape (link > crossbar > buffer >
+  arbitration) and whose architecture ratios land near the paper's
+  reported savings.
+
+DESIGN.md's calibration notes record each fit.
+"""
+
+from __future__ import annotations
+
+#: Router and core clock (Sec. 4): 2 GHz.
+CLOCK_HZ = 2.0e9
+CYCLE_S = 1.0 / CLOCK_HZ
+
+# --- area constants (um^2), fitted to Table 1 --------------------------------
+
+#: RC logic area per physical port.
+RC_AREA_PER_PORT = 343.4
+#: VA stage-1 area per V:1 arbiter (one per input VC).
+VA1_AREA_PER_ARBITER = 201.6
+#: SA stage-1 area per V:1 arbiter.
+SA1_AREA_PER_ARBITER = 100.8
+#: VA stage-2 matrix arbiter area: a*n^2 + b*n (least squares on Table 1).
+VA2_ARBITER_QUAD = 12.846
+VA2_ARBITER_LIN = 152.5
+#: SA stage-2 matrix arbiter area: a*n^2 + b*n (least squares on Table 1).
+SA2_ARBITER_QUAD = 5.0424
+SA2_ARBITER_LIN = 59.31
+#: Buffer register-file cell area per bit (read+write ported).
+BUFFER_AREA_PER_BIT = 15.9154
+#: Crossbar wire pitch (um per bit track); square matrix crossbar.
+XBAR_PITCH_UM = 0.75
+
+# --- energy constants ---------------------------------------------------------
+
+#: Crossbar traversal energy per um of bus length per bit (fJ).
+XBAR_FJ_PER_UM_BIT = 0.25
+#: Repeated link wire energy per um per bit (fJ).
+LINK_FJ_PER_UM_BIT = 0.0593
+#: Buffer write energy per bit (fJ).
+BUFFER_WRITE_FJ_PER_BIT = 50.0
+#: Buffer read energy per bit (fJ).
+BUFFER_READ_FJ_PER_BIT = 40.0
+#: Matrix arbiter energy per arbitration per request line (fJ).
+ARBITER_FJ_PER_LINE = 30.0
+#: Routing computation energy per head flit (fJ).
+RC_FJ_PER_COMPUTE = 120.0
+#: Fixed per-flit-hop control/clocking overhead (fJ); not separable, so it
+#: damps the architecture-to-architecture energy ratios the way real
+#: control logic does.
+CONTROL_FJ_PER_FLIT = 3000.0
+
+#: Leakage power density (W per mm^2 of router area) at 90 nm.
+LEAKAGE_W_PER_MM2 = 0.02
+
+#: CPU core power (W): Sun Niagara class at 90 nm (Sec. 4.2.3).
+CPU_CORE_POWER_W = 8.0
+#: 512 KB L2 cache bank power (W), from CACTI (Sec. 4.2.3).
+CACHE_BANK_POWER_W = 0.1

@@ -1,0 +1,37 @@
+"""HotSpot-style thermal model for 2D and stacked 3D chips.
+
+The paper feeds per-component power traces into HotSpot 4.0 (Sec. 4.2.3).
+HotSpot is a compact RC-network solver; this package rebuilds the same
+physics at tile granularity:
+
+* :mod:`repro.thermal.stack` — the die-stack material parameters
+  (silicon layers, inter-layer bonds, heat-sink boundary).
+* :mod:`repro.thermal.floorplan` — per-architecture tile grids with power
+  assignment (8 W CPU cores, 0.1 W cache banks, simulated router power;
+  Fig. 10 layouts).
+* :mod:`repro.thermal.solver` — steady-state sparse conductance solve.
+* :mod:`repro.thermal.hotspot` — the high-level API used by experiments.
+"""
+
+from repro.thermal.stack import StackParameters
+from repro.thermal.floorplan import Floorplan, floorplan_for
+from repro.thermal.solver import ThermalGrid
+from repro.thermal.hotspot import ThermalResult, steady_state, temperature_drop
+from repro.thermal.transient import (
+    TransientSolver,
+    power_trace_from_activity,
+    transient_temperatures,
+)
+
+__all__ = [
+    "TransientSolver",
+    "power_trace_from_activity",
+    "transient_temperatures",
+    "StackParameters",
+    "Floorplan",
+    "floorplan_for",
+    "ThermalGrid",
+    "ThermalResult",
+    "steady_state",
+    "temperature_drop",
+]

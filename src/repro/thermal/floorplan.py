@@ -1,0 +1,157 @@
+"""Per-architecture thermal floorplans (Fig. 10 layouts).
+
+A floorplan is a ``layers x ny x nx`` grid of thermal cells with a power
+assignment.  Layer 0 is the top layer (heat-sink side) — note this is the
+*reverse* of the topology's z axis, where ``z = depth - 1`` is the top.
+
+Power assignment rules follow Sec. 4.2.3:
+
+* each CPU tile dissipates 8 W, each cache tile 0.1 W (static),
+* router power comes from the NoC simulation,
+* in the multi-layer (3DM/3DM-E) configurations, core and cache power is
+  divided equally among the four layers; router power is split according
+  to the layer plan (logic concentrated in the top layer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.arch import Architecture, ArchitectureConfig
+from repro.power import technology as tech
+
+#: Router dynamic-power split across the four layers of a multi-layer
+#: router: the top layer holds RC/SA/VA1 plus its datapath slice
+#: (Sec. 3.2.7), so it runs hotter than the bottom three.
+MULTILAYER_ROUTER_SPLIT = (0.40, 0.20, 0.20, 0.20)
+
+
+@dataclass
+class Floorplan:
+    """A thermal grid with power sources.
+
+    Attributes:
+        name: architecture tag.
+        layers, ny, nx: grid dimensions (layer 0 = top).
+        pitch_m: cell edge length in metres.
+        power_w: per-cell power array, shape ``(layers, ny, nx)``.
+    """
+
+    name: str
+    layers: int
+    ny: int
+    nx: int
+    pitch_m: float
+    power_w: np.ndarray
+
+    def __post_init__(self) -> None:
+        expected = (self.layers, self.ny, self.nx)
+        if self.power_w.shape != expected:
+            raise ValueError(
+                f"power array shape {self.power_w.shape} != grid {expected}"
+            )
+        if np.any(self.power_w < 0):
+            raise ValueError("cell powers must be non-negative")
+
+    @property
+    def cell_area_m2(self) -> float:
+        return self.pitch_m * self.pitch_m
+
+    @property
+    def total_power_w(self) -> float:
+        return float(self.power_w.sum())
+
+
+def _node_powers(
+    config: ArchitectureConfig,
+    router_power_w: Sequence[float],
+    cpu_power_w: float,
+    cache_power_w: float,
+) -> Dict[int, float]:
+    cpu_set = set(config.cpu_nodes)
+    powers: Dict[int, float] = {}
+    for node in range(config.num_nodes):
+        core = cpu_power_w if node in cpu_set else cache_power_w
+        powers[node] = core + router_power_w[node]
+    return powers
+
+
+def floorplan_for(
+    config: ArchitectureConfig,
+    router_power_w: Optional[Sequence[float]] = None,
+    cpu_power_w: float = tech.CPU_CORE_POWER_W,
+    cache_power_w: float = tech.CACHE_BANK_POWER_W,
+) -> Floorplan:
+    """Build the thermal floorplan for *config*.
+
+    Args:
+        router_power_w: per-node router power (W); defaults to zero.
+    """
+    if router_power_w is None:
+        router_power_w = [0.0] * config.num_nodes
+    if len(router_power_w) != config.num_nodes:
+        raise ValueError(
+            f"need {config.num_nodes} router powers, got {len(router_power_w)}"
+        )
+
+    if config.arch is Architecture.BASELINE_3D:
+        width, height, depth = config.dims
+        power = np.zeros((depth, height, width))
+        topo_powers = _node_powers(config, router_power_w, cpu_power_w, cache_power_w)
+        plane = width * height
+        for node, watts in topo_powers.items():
+            z, rest = divmod(node, plane)
+            y, x = divmod(rest, width)
+            thermal_layer = depth - 1 - z  # topology top layer -> layer 0
+            power[thermal_layer, y, x] = watts
+        return Floorplan(
+            name=config.name,
+            layers=depth,
+            ny=height,
+            nx=width,
+            pitch_m=config.pitch_mm * 1e-3,
+            power_w=power,
+        )
+
+    width, height = config.dims
+    node_powers = _node_powers(config, router_power_w, cpu_power_w, cache_power_w)
+    if not config.is_multilayer:
+        power = np.zeros((1, height, width))
+        for node, watts in node_powers.items():
+            y, x = divmod(node, width)
+            power[0, y, x] = watts
+        return Floorplan(
+            name=config.name,
+            layers=1,
+            ny=height,
+            nx=width,
+            pitch_m=config.pitch_mm * 1e-3,
+            power_w=power,
+        )
+
+    # Multi-layer: cores/caches split evenly across layers, routers per
+    # the layer plan split.
+    layers = config.layers
+    power = np.zeros((layers, height, width))
+    cpu_set = set(config.cpu_nodes)
+    split = MULTILAYER_ROUTER_SPLIT
+    if len(split) != layers:
+        split = tuple(1.0 / layers for _ in range(layers))
+    for node in range(config.num_nodes):
+        y, x = divmod(node, width)
+        core = cpu_power_w if node in cpu_set else cache_power_w
+        for layer in range(layers):
+            power[layer, y, x] = (
+                core / layers + router_power_w[node] * split[layer]
+            )
+    return Floorplan(
+        name=config.name,
+        layers=layers,
+        ny=height,
+        nx=width,
+        pitch_m=config.pitch_mm * 1e-3,
+        power_w=power,
+    )

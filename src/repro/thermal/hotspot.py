@@ -1,0 +1,61 @@
+"""High-level thermal API (the HotSpot stand-in used by experiments)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.arch import ArchitectureConfig
+from repro.thermal.floorplan import floorplan_for
+from repro.thermal.solver import ThermalGrid
+from repro.thermal.stack import StackParameters
+
+
+@dataclass(frozen=True)
+class ThermalResult:
+    """Steady-state chip temperatures (Kelvin)."""
+
+    name: str
+    avg_k: float
+    max_k: float
+    per_layer_avg_k: List[float]
+    total_power_w: float
+
+
+def steady_state(
+    config: ArchitectureConfig,
+    router_power_w: Optional[Sequence[float]] = None,
+    params: StackParameters = StackParameters(),
+) -> ThermalResult:
+    """Solve the steady-state thermal field for one configuration.
+
+    ``router_power_w`` is the per-node router power from the NoC
+    simulation (CPU/cache tile power is added per Sec. 4.2.3).
+    """
+    floorplan = floorplan_for(config, router_power_w)
+    grid = ThermalGrid(floorplan, params)
+    temps = grid.solve()
+    avg, peak, per_layer = grid.stats(temps)
+    return ThermalResult(
+        name=config.name,
+        avg_k=avg,
+        max_k=peak,
+        per_layer_avg_k=per_layer,
+        total_power_w=floorplan.total_power_w,
+    )
+
+
+def temperature_drop(
+    config: ArchitectureConfig,
+    router_power_base_w: Sequence[float],
+    router_power_reduced_w: Sequence[float],
+    params: StackParameters = StackParameters(),
+) -> float:
+    """Average temperature reduction when router power drops (Fig. 13c).
+
+    The two power vectors are typically the same workload simulated with
+    0% and 50% short flits (layer shutdown off/on).
+    """
+    base = steady_state(config, router_power_base_w, params)
+    reduced = steady_state(config, router_power_reduced_w, params)
+    return base.avg_k - reduced.avg_k

@@ -1,0 +1,93 @@
+"""Steady-state thermal solve on a stacked conductance grid.
+
+Standard compact thermal modelling (the physics inside HotSpot): each
+cell is a node in a resistive network, with lateral conductances inside a
+layer, vertical conductances between layers, and a heat-sink conductance
+from every top-layer cell to ambient.  Steady state solves ``G T = P``
+with ambient folded into the right-hand side.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from scipy.sparse import csr_matrix, lil_matrix
+from scipy.sparse.linalg import spsolve
+
+from repro.thermal.floorplan import Floorplan
+from repro.thermal.stack import StackParameters
+
+
+class ThermalGrid:
+    """Conductance network for one floorplan geometry.
+
+    The matrix is assembled once; :meth:`solve` may be called repeatedly
+    with different power maps (the matrix factors are cheap at tile
+    granularity, so a plain sparse solve suffices).
+    """
+
+    def __init__(
+        self, floorplan: Floorplan, params: StackParameters = StackParameters()
+    ) -> None:
+        self.floorplan = floorplan
+        self.params = params
+        self._matrix = self._assemble()
+
+    def _index(self, layer: int, y: int, x: int) -> int:
+        fp = self.floorplan
+        return (layer * fp.ny + y) * fp.nx + x
+
+    def _assemble(self) -> csr_matrix:
+        fp = self.floorplan
+        params = self.params
+        n = fp.layers * fp.ny * fp.nx
+        g_lat = params.lateral_conductance(fp.pitch_m)
+        g_vert = params.vertical_conductance(fp.cell_area_m2)
+        g_sink = params.sink_conductance(fp.cell_area_m2)
+
+        matrix = lil_matrix((n, n))
+
+        def couple(a: int, b: int, g: float) -> None:
+            matrix[a, a] += g
+            matrix[b, b] += g
+            matrix[a, b] -= g
+            matrix[b, a] -= g
+
+        for layer in range(fp.layers):
+            for y in range(fp.ny):
+                for x in range(fp.nx):
+                    idx = self._index(layer, y, x)
+                    if x + 1 < fp.nx:
+                        couple(idx, self._index(layer, y, x + 1), g_lat)
+                    if y + 1 < fp.ny:
+                        couple(idx, self._index(layer, y + 1, x), g_lat)
+                    if layer + 1 < fp.layers:
+                        couple(idx, self._index(layer + 1, y, x), g_vert)
+                    if layer == 0:
+                        # Heat sink to ambient: only the diagonal term; the
+                        # ambient contribution lands on the RHS.
+                        matrix[idx, idx] += g_sink
+        return csr_matrix(matrix)
+
+    def solve(self, power_w: np.ndarray = None) -> np.ndarray:
+        """Steady-state temperature field (K), shape ``(layers, ny, nx)``."""
+        fp = self.floorplan
+        power = fp.power_w if power_w is None else power_w
+        if power.shape != fp.power_w.shape:
+            raise ValueError(
+                f"power shape {power.shape} != floorplan {fp.power_w.shape}"
+            )
+        rhs = power.ravel().astype(float).copy()
+        g_sink = self.params.sink_conductance(fp.cell_area_m2)
+        # Ambient folded into the RHS for top-layer cells.
+        top = np.zeros_like(rhs)
+        top[: fp.ny * fp.nx] = g_sink * self.params.ambient_k
+        rhs += top
+        temps = spsolve(self._matrix, rhs)
+        return temps.reshape((fp.layers, fp.ny, fp.nx))
+
+    def stats(self, temps: np.ndarray) -> Tuple[float, float, list]:
+        """(average, maximum, per-layer averages) of a temperature field."""
+        per_layer = [float(temps[layer].mean()) for layer in range(temps.shape[0])]
+        return float(temps.mean()), float(temps.max()), per_layer

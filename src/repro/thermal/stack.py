@@ -1,0 +1,64 @@
+"""Die-stack material and boundary parameters.
+
+Face-to-back TSV stacking (Sec. 2.2): each active silicon layer conducts
+laterally and couples vertically to its neighbour through a thinned
+silicon + bond interface; the top layer (layer 0 in our numbering)
+attaches to the heat spreader / sink.  Values are standard 3D-IC compact
+model parameters; the heat-sink resistance is the usual forced-air
+package figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Ambient temperature (K) used by HotSpot-style steady-state solves.
+AMBIENT_K = 318.15  # 45 C chassis ambient, HotSpot's default neighbourhood
+
+
+@dataclass(frozen=True)
+class StackParameters:
+    """Compact thermal model constants.
+
+    Attributes:
+        k_silicon_w_mk: silicon thermal conductivity (W / m K).
+        layer_thickness_m: active-layer silicon thickness.
+        bond_conductance_w_m2k: vertical conductance per unit area of one
+            thinned-silicon + bond interface between adjacent layers.
+        sink_resistance_k_m2_w: heat-sink + spreader resistance normalised
+            per unit area (K m^2 / W); dividing by cell area gives the
+            per-cell conductance.
+        ambient_k: ambient temperature (K).
+    """
+
+    k_silicon_w_mk: float = 150.0
+    layer_thickness_m: float = 50e-6
+    bond_conductance_w_m2k: float = 2.0e5
+    sink_resistance_k_m2_w: float = 2.5e-5
+    ambient_k: float = AMBIENT_K
+
+    def __post_init__(self) -> None:
+        if min(
+            self.k_silicon_w_mk,
+            self.layer_thickness_m,
+            self.bond_conductance_w_m2k,
+            self.sink_resistance_k_m2_w,
+        ) <= 0:
+            raise ValueError("all stack parameters must be positive")
+
+    def lateral_conductance(self, pitch_m: float) -> float:
+        """Cell-to-cell lateral conductance inside one layer (W/K).
+
+        Conduction cross-section is (thickness x pitch) over a pitch-long
+        path, so the pitch cancels: G = k * t.
+        """
+        del pitch_m
+        return self.k_silicon_w_mk * self.layer_thickness_m
+
+    def vertical_conductance(self, cell_area_m2: float) -> float:
+        """Layer-to-layer conductance through one bond interface (W/K)."""
+        return self.bond_conductance_w_m2k * cell_area_m2
+
+    def sink_conductance(self, cell_area_m2: float) -> float:
+        """Top-layer cell to ambient conductance via the heat sink (W/K)."""
+        return cell_area_m2 / self.sink_resistance_k_m2_w

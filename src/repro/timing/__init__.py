@@ -1,0 +1,31 @@
+"""Wire/crossbar delay models and pipeline-merge validation (Tables 2, 3).
+
+The structural argument at the heart of MIRA (Sec. 3.4.1): splitting the
+router over four layers quarters the crossbar wire length and halves the
+inter-router link length, so switch traversal plus link traversal fit in a
+single 500 ps stage at 2 GHz — one pipeline stage less per hop.
+"""
+
+from repro.timing.wires import (
+    CROSSBAR_WIRE_PITCH_UM,
+    repeated_wire_delay_ps,
+    unbuffered_crossbar_delay_ps,
+)
+from repro.timing.delay import (
+    DelayReport,
+    can_combine_st_lt,
+    crossbar_delay_ps,
+    link_delay_ps,
+    stage_delay_report,
+)
+
+__all__ = [
+    "CROSSBAR_WIRE_PITCH_UM",
+    "repeated_wire_delay_ps",
+    "unbuffered_crossbar_delay_ps",
+    "crossbar_delay_ps",
+    "link_delay_ps",
+    "can_combine_st_lt",
+    "stage_delay_report",
+    "DelayReport",
+]

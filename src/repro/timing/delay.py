@@ -1,0 +1,85 @@
+"""Per-stage delay computation and ST+LT merge validation (Table 3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.timing.wires import (
+    CROSSBAR_WIRE_PITCH_UM,
+    repeated_wire_delay_ps,
+    unbuffered_crossbar_delay_ps,
+)
+
+#: Router clock of the evaluation platform (Sec. 4): 2 GHz -> 500 ps.
+DEFAULT_STAGE_BUDGET_PS = 500.0
+
+
+def crossbar_side_um(ports: int, flit_bits: int, layers: int) -> float:
+    """Side length of one per-layer crossbar slice.
+
+    A matrix crossbar routing ``ports`` buses of ``flit_bits / layers``
+    bits at :data:`CROSSBAR_WIRE_PITCH_UM` spacing (Sec. 3.2.2, Fig. 5).
+    """
+    if ports < 1 or flit_bits < 1 or layers < 1:
+        raise ValueError("ports, flit_bits and layers must be >= 1")
+    if flit_bits % layers:
+        raise ValueError(f"flit width {flit_bits} not divisible by {layers} layers")
+    return ports * (flit_bits // layers) * CROSSBAR_WIRE_PITCH_UM
+
+
+def crossbar_delay_ps(ports: int, flit_bits: int, layers: int) -> float:
+    """Switch-traversal delay for one crossbar slice."""
+    return unbuffered_crossbar_delay_ps(crossbar_side_um(ports, flit_bits, layers))
+
+
+def link_delay_ps(link_length_mm: float) -> float:
+    """Link-traversal delay over a repeated wire of the given length."""
+    return repeated_wire_delay_ps(link_length_mm)
+
+
+@dataclass(frozen=True)
+class DelayReport:
+    """Table 3 row: can ST and LT share one pipeline stage?"""
+
+    name: str
+    xbar_ps: float
+    link_ps: float
+    budget_ps: float
+
+    @property
+    def combined_ps(self) -> float:
+        return self.xbar_ps + self.link_ps
+
+    @property
+    def can_combine(self) -> bool:
+        return self.combined_ps <= self.budget_ps
+
+
+def stage_delay_report(
+    name: str,
+    ports: int,
+    flit_bits: int,
+    layers: int,
+    link_length_mm: float,
+    budget_ps: float = DEFAULT_STAGE_BUDGET_PS,
+) -> DelayReport:
+    """Build the Table 3 delay-validation row for one router design."""
+    return DelayReport(
+        name=name,
+        xbar_ps=crossbar_delay_ps(ports, flit_bits, layers),
+        link_ps=link_delay_ps(link_length_mm),
+        budget_ps=budget_ps,
+    )
+
+
+def can_combine_st_lt(
+    ports: int,
+    flit_bits: int,
+    layers: int,
+    link_length_mm: float,
+    budget_ps: float = DEFAULT_STAGE_BUDGET_PS,
+) -> bool:
+    """True when switch + link traversal fit in one clock stage."""
+    return stage_delay_report(
+        "check", ports, flit_bits, layers, link_length_mm, budget_ps
+    ).can_combine

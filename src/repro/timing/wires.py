@@ -1,0 +1,55 @@
+"""Wire delay primitives at the paper's 90 nm node.
+
+Two wire regimes matter:
+
+* **Inter-router links** use optimally repeated global wires, so delay is
+  linear in length.  The effective constant is recovered from Table 3:
+  309.48 ps over the 2DB node pitch and 154.74 ps over the 3DM pitch give
+  97.94 ps/mm at a 3.16 mm / 1.58 mm pitch.  (Table 2's 254 ps/mm figure
+  is the unoptimised reference wire the paper starts from.)
+
+* **Crossbar wires** are unrepeated on-die wires inside the switch, so
+  delay grows quadratically with length on top of a fixed gate overhead.
+  The quadratic is fitted exactly through the paper's three published
+  crossbar delays (378.57 / 142.86 / 182.85 ps for side lengths 480 / 120
+  / 216 um).
+"""
+
+from __future__ import annotations
+
+#: Crossbar wire pitch (um per bit track); (P*W*pitch)^2 reproduces the
+#: paper's crossbar areas exactly (Table 1).
+CROSSBAR_WIRE_PITCH_UM = 0.75
+
+#: Effective delay of an optimally repeated link wire, ps per mm.
+REPEATED_WIRE_PS_PER_MM = 97.94
+
+#: Unoptimised reference wire delay from Table 2, ps per mm.
+REFERENCE_WIRE_PS_PER_MM = 254.0
+
+#: Inverter FO4-ish delay from Table 2 (HSPICE), ps.
+INVERTER_DELAY_PS = 9.81
+
+# Quadratic crossbar delay fit t(L) = A*L^2 + B*L + C  (L in um, t in ps),
+# solved exactly through the three (side length, delay) points of Table 3.
+_XBAR_A = 9.0218e-4
+_XBAR_B = 0.11342
+_XBAR_C = 116.26
+
+
+def repeated_wire_delay_ps(length_mm: float) -> float:
+    """Delay of a repeated link wire of *length_mm* millimetres."""
+    if length_mm < 0:
+        raise ValueError(f"negative wire length: {length_mm}")
+    return REPEATED_WIRE_PS_PER_MM * length_mm
+
+
+def unbuffered_crossbar_delay_ps(side_um: float) -> float:
+    """Delay through a matrix crossbar with side length *side_um*.
+
+    Covers the input/output bus wire RC plus the fixed tri-state buffer
+    and control overhead.
+    """
+    if side_um < 0:
+        raise ValueError(f"negative crossbar side: {side_um}")
+    return _XBAR_A * side_um * side_um + _XBAR_B * side_um + _XBAR_C

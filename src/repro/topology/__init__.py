@@ -1,0 +1,29 @@
+"""Network topologies for the MIRA evaluation.
+
+Three topologies appear in the paper (Sec. 4.1.1, Figs. 3, 7, 10):
+
+* a 6x6 2D mesh used by the 2DB, 3DM and 3DM-E architectures,
+* a 3x3x4 3D mesh used by the 3DB architecture, and
+* a 6x6 express mesh (2D mesh plus multi-hop express channels, Fig. 7)
+  used by 3DM-E.
+
+All topologies expose the :class:`~repro.topology.base.Topology` interface:
+a set of nodes with geometric coordinates and a set of directed links with
+named ports, physical lengths and link kinds.
+"""
+
+from repro.topology.base import LinkKind, LinkSpec, Topology
+from repro.topology.mesh2d import Mesh2D
+from repro.topology.mesh3d import Mesh3D
+from repro.topology.express_mesh import ExpressMesh
+from repro.topology.torus import Torus2D
+
+__all__ = [
+    "LinkKind",
+    "LinkSpec",
+    "Topology",
+    "Mesh2D",
+    "Mesh3D",
+    "ExpressMesh",
+    "Torus2D",
+]

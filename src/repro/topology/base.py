@@ -1,0 +1,160 @@
+"""Common topology abstractions.
+
+A topology is a directed graph of router nodes.  Every directed link is
+described by a :class:`LinkSpec` carrying the source/destination nodes, the
+*port names* used on either side (e.g. ``"E"`` on the sender pairs with
+``"W"`` on the receiver), the physical wire length in millimetres and the
+link kind (planar, vertical through-silicon via, or multi-hop express
+channel).
+
+Port names are symbolic; the network builder assigns integer port indices
+per router (index 0 is always the local injection/ejection port).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+#: Name of the local (processing-element) port present on every router.
+LOCAL_PORT = "L"
+
+
+class LinkKind(enum.Enum):
+    """Physical flavour of an inter-router channel."""
+
+    #: Planar wire between adjacent tiles.
+    NORMAL = "normal"
+    #: Vertical through-silicon-via channel between stacked layers (3DB).
+    VERTICAL = "vertical"
+    #: Multi-hop express channel between non-adjacent tiles (3DM-E).
+    EXPRESS = "express"
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One directed inter-router channel.
+
+    Attributes:
+        src: source node id.
+        dst: destination node id.
+        src_port: port name on the source router (e.g. ``"E"``).
+        dst_port: port name on the destination router (e.g. ``"W"``).
+        kind: physical link kind.
+        length_mm: physical wire length in millimetres.
+        span: how many mesh hops the channel covers (1 for normal links,
+            >1 for express channels).
+    """
+
+    src: int
+    dst: int
+    src_port: str
+    dst_port: str
+    kind: LinkKind
+    length_mm: float
+    span: int = 1
+    #: True for a torus wrap-around channel (crosses the dateline); the
+    #: dateline VC discipline keys off this flag.
+    wrap: bool = False
+
+
+class Topology:
+    """Base class for all topologies.
+
+    Subclasses populate :attr:`links` and implement :meth:`coordinates`.
+    The base class derives the per-node port tables used by the network
+    builder and by routing functions.
+    """
+
+    def __init__(self, num_nodes: int, links: Sequence[LinkSpec]) -> None:
+        if num_nodes <= 0:
+            raise ValueError(f"num_nodes must be positive, got {num_nodes}")
+        self.num_nodes = num_nodes
+        self.links: List[LinkSpec] = list(links)
+        self._validate_links()
+        # node -> port name -> LinkSpec leaving through that port
+        self.out_ports: Dict[int, Dict[str, LinkSpec]] = {
+            n: {} for n in range(num_nodes)
+        }
+        # node -> port name -> LinkSpec arriving at that port
+        self.in_ports: Dict[int, Dict[str, LinkSpec]] = {
+            n: {} for n in range(num_nodes)
+        }
+        for link in self.links:
+            if link.src_port in self.out_ports[link.src]:
+                raise ValueError(
+                    f"duplicate output port {link.src_port!r} on node {link.src}"
+                )
+            if link.dst_port in self.in_ports[link.dst]:
+                raise ValueError(
+                    f"duplicate input port {link.dst_port!r} on node {link.dst}"
+                )
+            self.out_ports[link.src][link.src_port] = link
+            self.in_ports[link.dst][link.dst_port] = link
+
+    def _validate_links(self) -> None:
+        for link in self.links:
+            for node in (link.src, link.dst):
+                if not 0 <= node < self.num_nodes:
+                    raise ValueError(f"link {link} references unknown node {node}")
+            if link.src == link.dst:
+                raise ValueError(f"self-loop link on node {link.src}")
+            if link.length_mm < 0:
+                raise ValueError(f"negative link length: {link}")
+            if link.span < 1:
+                raise ValueError(f"link span must be >= 1: {link}")
+
+    # -- geometry ---------------------------------------------------------
+
+    def coordinates(self, node: int) -> Tuple[int, ...]:
+        """Integer grid coordinates of *node* (dimension depends on mesh)."""
+        raise NotImplementedError
+
+    def node_at(self, coords: Tuple[int, ...]) -> int:
+        """Inverse of :meth:`coordinates`."""
+        raise NotImplementedError
+
+    # -- convenience ------------------------------------------------------
+
+    def port_names(self, node: int) -> List[str]:
+        """Symbolic names of all ports on *node*, local port first.
+
+        A port name appears once even when it is used for both an input and
+        an output channel (the usual full-duplex case).
+        """
+        names = [LOCAL_PORT]
+        seen = {LOCAL_PORT}
+        for name in list(self.out_ports[node]) + list(self.in_ports[node]):
+            if name not in seen:
+                seen.add(name)
+                names.append(name)
+        return names
+
+    def neighbors(self, node: int) -> List[int]:
+        """Nodes reachable from *node* over a single channel."""
+        return [link.dst for link in self.out_ports[node].values()]
+
+    def degree(self, node: int) -> int:
+        """Number of non-local output ports on *node*."""
+        return len(self.out_ports[node])
+
+    def max_radix(self) -> int:
+        """Largest router radix in the network, counting the local port."""
+        return 1 + max(self.degree(n) for n in range(self.num_nodes))
+
+    def link_between(self, src: int, dst: int) -> LinkSpec:
+        """The directed link from *src* to *dst* (raises if absent)."""
+        for link in self.out_ports[src].values():
+            if link.dst == dst:
+                return link
+        raise KeyError(f"no link from {src} to {dst}")
+
+    def iter_nodes(self) -> Iterable[int]:
+        return range(self.num_nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(nodes={self.num_nodes}, "
+            f"links={len(self.links)})"
+        )

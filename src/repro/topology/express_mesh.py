@@ -1,0 +1,100 @@
+"""Express mesh topology for 3DM-E (Fig. 7).
+
+The 3DM architecture halves its per-layer link width, leaving half of the
+fixed bisection wiring unused (Sec. 3.2.3 / Fig. 6c).  3DM-E spends that
+spare bandwidth on one extra physical channel per cardinal direction,
+implemented as a *multi-hop express channel* in the style of Dally's
+express cubes [39].  Every router therefore has up to nine ports: the local
+port, four normal mesh ports and four express ports ("EE", "WW", "NN",
+"SS") that skip ``span`` tiles at once.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.topology.base import LinkKind, LinkSpec
+from repro.topology.mesh2d import EAST, Mesh2D, NORTH, SOUTH, WEST
+
+EXPRESS_EAST, EXPRESS_WEST = "EE", "WW"
+EXPRESS_NORTH, EXPRESS_SOUTH = "NN", "SS"
+
+#: Maps the express port name to (dx, dy) unit direction.
+EXPRESS_DIRECTIONS = {
+    EXPRESS_EAST: (1, 0),
+    EXPRESS_WEST: (-1, 0),
+    EXPRESS_SOUTH: (0, 1),
+    EXPRESS_NORTH: (0, -1),
+}
+
+_EXPRESS_OPPOSITE = {
+    EXPRESS_EAST: EXPRESS_WEST,
+    EXPRESS_WEST: EXPRESS_EAST,
+    EXPRESS_NORTH: EXPRESS_SOUTH,
+    EXPRESS_SOUTH: EXPRESS_NORTH,
+}
+
+#: Express port name for a normal cardinal direction.
+EXPRESS_FOR = {
+    EAST: EXPRESS_EAST,
+    WEST: EXPRESS_WEST,
+    NORTH: EXPRESS_NORTH,
+    SOUTH: EXPRESS_SOUTH,
+}
+
+
+class ExpressMesh(Mesh2D):
+    """A 2D mesh augmented with span-``span`` express channels.
+
+    An express channel leaves every node whose target
+    ``(x +/- span, y +/- span)`` is still inside the grid, so interior nodes
+    reach the full 9-port radix while edge nodes keep a smaller radix, just
+    as in a plain mesh.
+    """
+
+    def __init__(
+        self, width: int, height: int, pitch_mm: float, span: int = 2
+    ) -> None:
+        if span < 2:
+            raise ValueError(f"express span must be >= 2, got {span}")
+        self.span = span
+        super().__init__(width, height, pitch_mm)
+
+    def _build_links(self) -> List[LinkSpec]:
+        links = super()._build_links()
+        span = self.span
+
+        def node(x: int, y: int) -> int:
+            return y * self.width + x
+
+        for y in range(self.height):
+            for x in range(self.width):
+                src = node(x, y)
+                candidates = [
+                    (EXPRESS_EAST, x + span, y),
+                    (EXPRESS_WEST, x - span, y),
+                    (EXPRESS_SOUTH, x, y + span),
+                    (EXPRESS_NORTH, x, y - span),
+                ]
+                for port, tx, ty in candidates:
+                    if 0 <= tx < self.width and 0 <= ty < self.height:
+                        links.append(
+                            LinkSpec(
+                                src=src,
+                                dst=node(tx, ty),
+                                src_port=port,
+                                dst_port=_EXPRESS_OPPOSITE[port],
+                                kind=LinkKind.EXPRESS,
+                                length_mm=self.pitch_mm * span,
+                                span=span,
+                            )
+                        )
+        return links
+
+    def express_ports(self, nodeid: int) -> List[str]:
+        """Express output port names available at *nodeid*."""
+        return [
+            name
+            for name, link in self.out_ports[nodeid].items()
+            if link.kind is LinkKind.EXPRESS
+        ]

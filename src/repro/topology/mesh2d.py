@@ -1,0 +1,76 @@
+"""2D mesh topology (the 2DB / 3DM logical network, Fig. 3a/3c)."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.topology.base import LinkKind, LinkSpec, Topology
+
+#: Cardinal port names: east, west, north, south.
+EAST, WEST, NORTH, SOUTH = "E", "W", "N", "S"
+
+#: Opposite cardinal direction, used to pair sender/receiver port names.
+OPPOSITE = {EAST: WEST, WEST: EAST, NORTH: SOUTH, SOUTH: NORTH}
+
+
+class Mesh2D(Topology):
+    """A ``width`` x ``height`` 2D mesh of routers.
+
+    Node ids are assigned in row-major order: node ``y * width + x`` sits at
+    grid position ``(x, y)``.  ``pitch_mm`` is the physical centre-to-centre
+    tile distance and therefore the inter-router link length; the paper uses
+    3.16 mm for the 2DB layout and 1.58 mm for the quarter-footprint 3DM
+    layout (Table 2 / Sec. 3.4.1).
+    """
+
+    def __init__(self, width: int, height: int, pitch_mm: float) -> None:
+        if width < 1 or height < 1:
+            raise ValueError(f"mesh dimensions must be >= 1, got {width}x{height}")
+        if pitch_mm <= 0:
+            raise ValueError(f"pitch_mm must be positive, got {pitch_mm}")
+        self.width = width
+        self.height = height
+        self.pitch_mm = pitch_mm
+        links = self._build_links()
+        super().__init__(width * height, links)
+
+    def _build_links(self) -> List[LinkSpec]:
+        links: List[LinkSpec] = []
+
+        def node(x: int, y: int) -> int:
+            return y * self.width + x
+
+        for y in range(self.height):
+            for x in range(self.width):
+                src = node(x, y)
+                if x + 1 < self.width:
+                    links.append(self._link(src, node(x + 1, y), EAST))
+                if x - 1 >= 0:
+                    links.append(self._link(src, node(x - 1, y), WEST))
+                if y + 1 < self.height:
+                    links.append(self._link(src, node(x, y + 1), SOUTH))
+                if y - 1 >= 0:
+                    links.append(self._link(src, node(x, y - 1), NORTH))
+        return links
+
+    def _link(self, src: int, dst: int, direction: str) -> LinkSpec:
+        return LinkSpec(
+            src=src,
+            dst=dst,
+            src_port=direction,
+            dst_port=OPPOSITE[direction],
+            kind=LinkKind.NORMAL,
+            length_mm=self.pitch_mm,
+            span=1,
+        )
+
+    def coordinates(self, node: int) -> Tuple[int, int]:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range")
+        return node % self.width, node // self.width
+
+    def node_at(self, coords: Tuple[int, ...]) -> int:
+        x, y = coords
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ValueError(f"coordinates {coords} out of range")
+        return y * self.width + x

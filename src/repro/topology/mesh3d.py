@@ -1,0 +1,128 @@
+"""3D mesh topology (the naive stacked 3DB network, Fig. 3b).
+
+The 3DB design groups the 36 tiles into a 3x3x4 stack: a 3x3 planar mesh on
+each of four silicon layers, with vertical through-silicon-via channels
+between vertically adjacent routers.  Each router gains two extra ports
+("U" up towards the heat sink, "D" down) relative to a 2D router, which is
+exactly the 7x7-crossbar baseline the paper compares against.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.topology.base import LinkKind, LinkSpec, Topology
+from repro.topology.mesh2d import EAST, NORTH, OPPOSITE, SOUTH, WEST
+
+UP, DOWN = "U", "D"
+
+#: Physical length of a through-silicon via channel in millimetres.  Layer
+#: thickness in a 90 nm F2B stack is tens of micrometres, so vertical hops
+#: are electrically almost free compared to millimetre-scale planar wires.
+TSV_LENGTH_MM = 0.05
+
+_OPPOSITE_3D = dict(OPPOSITE)
+_OPPOSITE_3D.update({UP: DOWN, DOWN: UP})
+
+
+class Mesh3D(Topology):
+    """A ``width`` x ``height`` x ``depth`` 3D mesh.
+
+    Node ids are assigned layer-major: node
+    ``z * width * height + y * width + x`` sits at ``(x, y, z)``.  Layer
+    ``z = depth - 1`` is the top layer (closest to the heat sink), matching
+    the paper's placement of processor cores (Fig. 10c).
+    """
+
+    def __init__(
+        self,
+        width: int,
+        height: int,
+        depth: int,
+        pitch_mm: float,
+        tsv_length_mm: float = TSV_LENGTH_MM,
+    ) -> None:
+        if min(width, height, depth) < 1:
+            raise ValueError(
+                f"mesh dimensions must be >= 1, got {width}x{height}x{depth}"
+            )
+        if pitch_mm <= 0:
+            raise ValueError(f"pitch_mm must be positive, got {pitch_mm}")
+        self.width = width
+        self.height = height
+        self.depth = depth
+        self.pitch_mm = pitch_mm
+        self.tsv_length_mm = tsv_length_mm
+        links = self._build_links()
+        super().__init__(width * height * depth, links)
+
+    def _build_links(self) -> List[LinkSpec]:
+        links: List[LinkSpec] = []
+
+        def node(x: int, y: int, z: int) -> int:
+            return z * self.width * self.height + y * self.width + x
+
+        for z in range(self.depth):
+            for y in range(self.height):
+                for x in range(self.width):
+                    src = node(x, y, z)
+                    planar = [
+                        (EAST, x + 1 < self.width, node(min(x + 1, self.width - 1), y, z)),
+                        (WEST, x - 1 >= 0, node(max(x - 1, 0), y, z)),
+                        (SOUTH, y + 1 < self.height, node(x, min(y + 1, self.height - 1), z)),
+                        (NORTH, y - 1 >= 0, node(x, max(y - 1, 0), z)),
+                    ]
+                    for direction, valid, dst in planar:
+                        if valid:
+                            links.append(
+                                LinkSpec(
+                                    src=src,
+                                    dst=dst,
+                                    src_port=direction,
+                                    dst_port=_OPPOSITE_3D[direction],
+                                    kind=LinkKind.NORMAL,
+                                    length_mm=self.pitch_mm,
+                                    span=1,
+                                )
+                            )
+                    if z + 1 < self.depth:
+                        links.append(
+                            LinkSpec(
+                                src=src,
+                                dst=node(x, y, z + 1),
+                                src_port=UP,
+                                dst_port=DOWN,
+                                kind=LinkKind.VERTICAL,
+                                length_mm=self.tsv_length_mm,
+                                span=1,
+                            )
+                        )
+                    if z - 1 >= 0:
+                        links.append(
+                            LinkSpec(
+                                src=src,
+                                dst=node(x, y, z - 1),
+                                src_port=DOWN,
+                                dst_port=UP,
+                                kind=LinkKind.VERTICAL,
+                                length_mm=self.tsv_length_mm,
+                                span=1,
+                            )
+                        )
+        return links
+
+    def coordinates(self, node: int) -> Tuple[int, int, int]:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range")
+        plane = self.width * self.height
+        z, rest = divmod(node, plane)
+        y, x = divmod(rest, self.width)
+        return x, y, z
+
+    def node_at(self, coords: Tuple[int, ...]) -> int:
+        x, y, z = coords
+        if not (
+            0 <= x < self.width and 0 <= y < self.height and 0 <= z < self.depth
+        ):
+            raise ValueError(f"coordinates {coords} out of range")
+        return z * self.width * self.height + y * self.width + x

@@ -1,0 +1,86 @@
+"""2D torus topology (library extension beyond the paper's meshes).
+
+A k-ary 2-cube: the mesh plus wrap-around channels closing each row and
+column.  Wrap channels are flagged (``LinkSpec.wrap``) so the dateline
+virtual-channel discipline in
+:class:`repro.noc.routing.TorusXYRouting` can keep wormhole routing
+deadlock-free: packets travel on VC 0 until they cross a wrap channel in
+the current dimension, then switch to VC 1 (Dally's dateline scheme),
+which breaks the cyclic channel dependency each ring would otherwise
+form.
+
+Physically the wrap wire is modelled with the folded-torus layout, where
+every channel is twice the mesh pitch (the standard equalised-length
+embedding).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.topology.base import LinkKind, LinkSpec, Topology
+from repro.topology.mesh2d import EAST, NORTH, OPPOSITE, SOUTH, WEST
+
+
+class Torus2D(Topology):
+    """A ``width`` x ``height`` 2D torus (width, height >= 3).
+
+    Node ids are row-major like :class:`~repro.topology.mesh2d.Mesh2D`.
+    Every router has the full 5-port radix; all channels have the
+    folded-torus length ``2 * pitch_mm``.
+    """
+
+    def __init__(self, width: int, height: int, pitch_mm: float) -> None:
+        if width < 3 or height < 3:
+            raise ValueError(
+                f"torus dimensions must be >= 3 (got {width}x{height}); "
+                "2-rings degenerate into duplicate channels"
+            )
+        if pitch_mm <= 0:
+            raise ValueError(f"pitch_mm must be positive, got {pitch_mm}")
+        self.width = width
+        self.height = height
+        self.pitch_mm = pitch_mm
+        super().__init__(width * height, self._build_links())
+
+    def _build_links(self) -> List[LinkSpec]:
+        links: List[LinkSpec] = []
+        length = 2 * self.pitch_mm  # folded-torus equalised wires
+
+        def node(x: int, y: int) -> int:
+            return (y % self.height) * self.width + (x % self.width)
+
+        for y in range(self.height):
+            for x in range(self.width):
+                src = node(x, y)
+                moves = [
+                    (EAST, node(x + 1, y), x == self.width - 1),
+                    (WEST, node(x - 1, y), x == 0),
+                    (SOUTH, node(x, y + 1), y == self.height - 1),
+                    (NORTH, node(x, y - 1), y == 0),
+                ]
+                for direction, dst, wraps in moves:
+                    links.append(
+                        LinkSpec(
+                            src=src,
+                            dst=dst,
+                            src_port=direction,
+                            dst_port=OPPOSITE[direction],
+                            kind=LinkKind.NORMAL,
+                            length_mm=length,
+                            span=1,
+                            wrap=wraps,
+                        )
+                    )
+        return links
+
+    def coordinates(self, node: int) -> Tuple[int, int]:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range")
+        return node % self.width, node // self.width
+
+    def node_at(self, coords: Tuple[int, ...]) -> int:
+        x, y = coords
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ValueError(f"coordinates {coords} out of range")
+        return y * self.width + x

@@ -1,0 +1,52 @@
+"""Traffic generation: synthetic patterns, NUCA traffic, workload models.
+
+The paper evaluates with three traffic regimes (Sec. 4.2.1):
+
+* **UR** — uniform random: any node sends to any other node.
+* **NUCA-UR** — bimodal request/response traffic obeying the NUCA layout:
+  8 CPU nodes issue short requests to 28 cache nodes, every request is
+  answered with a data packet.
+* **MP traces** — application memory traces run through the NUCA cache
+  hierarchy; reproduced here by workload models calibrated to the paper's
+  published traffic statistics (Figs. 1, 2, 13a) feeding the
+  :mod:`repro.cache` substrate.
+"""
+
+from repro.traffic.base import ScheduledTraffic, TrafficSource
+from repro.traffic.synthetic import (
+    BitComplementTraffic,
+    BurstyUniformRandomTraffic,
+    HotspotTraffic,
+    TransposeTraffic,
+    UniformRandomTraffic,
+)
+from repro.traffic.nuca import NucaUniformTraffic
+from repro.traffic.patterns import (
+    PatternKind,
+    classify_word,
+    classify_line,
+    line_active_groups,
+)
+from repro.traffic.workloads import WORKLOADS, WorkloadProfile
+from repro.traffic.traces import TraceRecord, TraceTraffic, read_trace, write_trace
+
+__all__ = [
+    "TrafficSource",
+    "ScheduledTraffic",
+    "UniformRandomTraffic",
+    "BurstyUniformRandomTraffic",
+    "BitComplementTraffic",
+    "TransposeTraffic",
+    "HotspotTraffic",
+    "NucaUniformTraffic",
+    "PatternKind",
+    "classify_word",
+    "classify_line",
+    "line_active_groups",
+    "WorkloadProfile",
+    "WORKLOADS",
+    "TraceRecord",
+    "TraceTraffic",
+    "read_trace",
+    "write_trace",
+]

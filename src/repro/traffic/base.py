@@ -1,0 +1,63 @@
+"""Traffic-source protocol shared by all generators."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Protocol, runtime_checkable
+
+from repro.noc.packet import Packet
+
+
+@runtime_checkable
+class TrafficSource(Protocol):
+    """Produces packets for the simulator.
+
+    ``packets_for_cycle(cycle)`` is called once per simulated cycle and
+    returns packets *created* at that cycle (their ``created_cycle`` may be
+    later — e.g. a cache bank emitting a response after its access
+    latency — and the simulator will hold them until due).
+
+    ``on_delivered(packet, cycle)`` is the closed-loop hook: it is invoked
+    whenever any packet is ejected and may return new packets (responses).
+
+    ``finished(cycle)`` lets finite sources (trace replay) signal
+    exhaustion so the simulator can stop injecting and drain.
+    """
+
+    def packets_for_cycle(self, cycle: int) -> Iterable[Packet]: ...
+
+    def on_delivered(self, packet: Packet, cycle: int) -> Iterable[Packet]: ...
+
+    def finished(self, cycle: int) -> bool: ...
+
+
+class BaseTraffic:
+    """Convenience base with open-loop defaults."""
+
+    def packets_for_cycle(self, cycle: int) -> Iterable[Packet]:
+        return ()
+
+    def on_delivered(self, packet: Packet, cycle: int) -> Iterable[Packet]:
+        return ()
+
+    def finished(self, cycle: int) -> bool:
+        return False
+
+
+class ScheduledTraffic(BaseTraffic):
+    """Replays an explicit, pre-built packet list (useful in tests).
+
+    Packets are emitted at their ``created_cycle``.
+    """
+
+    def __init__(self, packets: Iterable[Packet]) -> None:
+        self._by_cycle: dict[int, List[Packet]] = {}
+        self._last_cycle = -1
+        for packet in packets:
+            self._by_cycle.setdefault(packet.created_cycle, []).append(packet)
+            self._last_cycle = max(self._last_cycle, packet.created_cycle)
+
+    def packets_for_cycle(self, cycle: int) -> Iterable[Packet]:
+        return self._by_cycle.pop(cycle, ())
+
+    def finished(self, cycle: int) -> bool:
+        return cycle > self._last_cycle

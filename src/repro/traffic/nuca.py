@@ -1,0 +1,91 @@
+"""NUCA-constrained bimodal request/response traffic (Fig. 11b).
+
+The paper's NUCA-UR workload models the layout-constrained communication
+of a NUCA CMP: only the 8 CPU nodes *initiate* traffic, each request goes
+to a uniformly random cache node as a one-flit control packet, and every
+request is matched by a five-flit data response from the cache back to the
+CPU after the bank access latency (Sec. 4.2.1).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Sequence
+
+from repro.noc.packet import Packet, PacketClass, ctrl_packet, data_packet
+from repro.traffic.base import BaseTraffic
+
+#: L2 bank access latency in cycles at 2 GHz (Table 4).
+DEFAULT_BANK_LATENCY = 4
+
+
+class NucaUniformTraffic(BaseTraffic):
+    """Request/response traffic between CPU and cache node sets.
+
+    Args:
+        cpu_nodes: node ids hosting processors (request initiators).
+        cache_nodes: node ids hosting L2 banks (responders).
+        request_rate: requests per CPU per cycle (Bernoulli).
+        bank_latency: cycles between request delivery and response
+            injection at the bank.
+        short_flit_fraction: probability each response payload flit is
+            short (drives the layer-shutdown studies).
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        cpu_nodes: Sequence[int],
+        cache_nodes: Sequence[int],
+        request_rate: float,
+        bank_latency: int = DEFAULT_BANK_LATENCY,
+        short_flit_fraction: float = 0.0,
+        seed: int = 1,
+    ) -> None:
+        if not cpu_nodes or not cache_nodes:
+            raise ValueError("need non-empty CPU and cache node sets")
+        if set(cpu_nodes) & set(cache_nodes):
+            raise ValueError("CPU and cache node sets must be disjoint")
+        if request_rate <= 0:
+            raise ValueError(f"request_rate must be positive, got {request_rate}")
+        if bank_latency < 0:
+            raise ValueError("bank_latency must be non-negative")
+        if not 0.0 <= short_flit_fraction <= 1.0:
+            raise ValueError("short_flit_fraction must be in [0, 1]")
+        self.cpu_nodes = list(cpu_nodes)
+        self.cache_nodes = list(cache_nodes)
+        self.request_rate = request_rate
+        self.bank_latency = bank_latency
+        self.short_flit_fraction = short_flit_fraction
+        self.rng = random.Random(seed)
+
+    def packets_for_cycle(self, cycle: int) -> Iterable[Packet]:
+        packets: List[Packet] = []
+        for cpu in self.cpu_nodes:
+            if self.rng.random() < self.request_rate:
+                bank = self.rng.choice(self.cache_nodes)
+                request = ctrl_packet(src=cpu, dst=bank, created_cycle=cycle)
+                request.reply_tag = ("nuca-request", cpu)
+                packets.append(request)
+        return packets
+
+    def _response_groups(self) -> Optional[List[int]]:
+        if self.short_flit_fraction <= 0.0:
+            return None
+        groups = [1]
+        for _ in range(4):
+            groups.append(1 if self.rng.random() < self.short_flit_fraction else 4)
+        return groups
+
+    def on_delivered(self, packet: Packet, cycle: int) -> Iterable[Packet]:
+        tag = packet.reply_tag
+        if not (isinstance(tag, tuple) and tag and tag[0] == "nuca-request"):
+            return ()
+        cpu = tag[1]
+        response = data_packet(
+            src=packet.dst,
+            dst=cpu,
+            created_cycle=cycle + self.bank_latency,
+            payload_groups=self._response_groups(),
+        )
+        return (response,)

@@ -1,0 +1,130 @@
+"""Trace file format and trace-replay traffic source.
+
+The MP-trace experiments (Figs. 11c, 12c) replay message traces produced
+by the NUCA cache hierarchy (:mod:`repro.cache`).  The on-disk format is a
+plain text file, one record per line::
+
+    cycle,src,dst,class,groups
+
+where ``class`` is ``data``/``ctrl`` and ``groups`` is a ``|``-separated
+list of per-flit active word-group counts (empty for default payloads).
+Lines starting with ``#`` are comments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence, Union
+
+from repro.noc.packet import (
+    CTRL_PACKET_FLITS,
+    DATA_PACKET_FLITS,
+    Packet,
+    PacketClass,
+)
+from repro.traffic.base import BaseTraffic
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One packet-injection event in a trace."""
+
+    cycle: int
+    src: int
+    dst: int
+    klass: PacketClass
+    payload_groups: Optional[tuple] = None
+
+    @property
+    def size_flits(self) -> int:
+        if self.payload_groups is not None:
+            return len(self.payload_groups)
+        return DATA_PACKET_FLITS if self.klass is PacketClass.DATA else CTRL_PACKET_FLITS
+
+    def to_packet(self) -> Packet:
+        return Packet(
+            src=self.src,
+            dst=self.dst,
+            size_flits=self.size_flits,
+            klass=self.klass,
+            created_cycle=self.cycle,
+            payload_groups=list(self.payload_groups)
+            if self.payload_groups is not None
+            else None,
+        )
+
+    def to_line(self) -> str:
+        groups = (
+            "|".join(str(g) for g in self.payload_groups)
+            if self.payload_groups is not None
+            else ""
+        )
+        return f"{self.cycle},{self.src},{self.dst},{self.klass.value},{groups}"
+
+    @classmethod
+    def from_line(cls, line: str) -> "TraceRecord":
+        parts = line.strip().split(",")
+        if len(parts) != 5:
+            raise ValueError(f"malformed trace line: {line!r}")
+        cycle, src, dst, klass, groups = parts
+        payload = (
+            tuple(int(g) for g in groups.split("|")) if groups else None
+        )
+        return cls(
+            cycle=int(cycle),
+            src=int(src),
+            dst=int(dst),
+            klass=PacketClass(klass),
+            payload_groups=payload,
+        )
+
+
+def write_trace(path: Union[str, Path], records: Iterable[TraceRecord]) -> int:
+    """Write *records* to *path*; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("# repro MIRA trace v1: cycle,src,dst,class,groups\n")
+        for record in records:
+            fh.write(record.to_line() + "\n")
+            count += 1
+    return count
+
+
+def read_trace(path: Union[str, Path]) -> List[TraceRecord]:
+    """Read all records from *path*."""
+    records: List[TraceRecord] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            records.append(TraceRecord.from_line(line))
+    return records
+
+
+class TraceTraffic(BaseTraffic):
+    """Replays a trace, injecting each packet at its recorded cycle.
+
+    Records must be sorted by cycle (the cache hierarchy and
+    :func:`write_trace` produce them that way); an unsorted list raises.
+    """
+
+    def __init__(self, records: Sequence[TraceRecord]) -> None:
+        cycles = [r.cycle for r in records]
+        if any(b < a for a, b in zip(cycles, cycles[1:])):
+            raise ValueError("trace records must be sorted by cycle")
+        self._records = list(records)
+        self._pos = 0
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "TraceTraffic":
+        return cls(read_trace(path))
+
+    def packets_for_cycle(self, cycle: int) -> Iterator[Packet]:
+        while self._pos < len(self._records) and self._records[self._pos].cycle <= cycle:
+            yield self._records[self._pos].to_packet()
+            self._pos += 1
+
+    def finished(self, cycle: int) -> bool:
+        return self._pos >= len(self._records)

@@ -1,0 +1,288 @@
+"""Workload models standing in for the paper's Simics traces.
+
+The paper drove its NoC with full-system memory traces of commercial and
+scientific workloads (Sec. 4.1.2): TPC-W, SPECjbb, Apache, Zeus, SPEComp
+(apsi/art/swim/mgrid), SPLASH-2 (barnes/ocean) and MediaBench.  Those
+traces are proprietary and require Simics; we substitute *statistical
+workload models* calibrated to every traffic characteristic the paper
+publishes:
+
+* short-flit fraction per application (Fig. 13a: up to 58%, 40% average
+  over the six presented applications),
+* data-pattern mix of payload words (Fig. 1: all-0 / all-1 dominated),
+* packet-type split between control and data (Fig. 2),
+* low NUCA injection rates (Sec. 3.2.4).
+
+Each profile also carries the memory-side parameters (miss rates, sharing,
+read fraction, working set) used by the :mod:`repro.cache` hierarchy when
+synthesising full message traces.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.traffic.patterns import WORD_MASK, WORDS_PER_LINE
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Statistical model of one application's NUCA traffic.
+
+    Attributes:
+        name: short workload tag used in the paper's figures.
+        short_flit_fraction: fraction of payload flits that are short
+            (calibrated to Fig. 13a).
+        zero_word_fraction: probability a payload word is all zeros.
+        one_word_fraction: probability a payload word is all ones.
+        sign_word_fraction: probability a payload word is a narrow
+            sign-extended value (Fig. 1's remaining frequent patterns).
+        ctrl_packet_fraction: fraction of network packets that are
+            control/coherence packets (Fig. 2).
+        request_rate: memory requests per CPU per cycle presented to the
+            cache hierarchy (NUCA loads are low; Sec. 3.2.4).
+        read_fraction: fraction of memory operations that are loads.
+        l1_miss_rate: fraction of CPU memory operations missing in L1 (and
+            therefore producing network traffic).
+        sharing_fraction: probability a miss touches a line shared with
+            another CPU (drives invalidation traffic).
+        working_set_lines: number of distinct cache lines the synthetic
+            address stream cycles through.
+    """
+
+    name: str
+    short_flit_fraction: float
+    zero_word_fraction: float
+    one_word_fraction: float
+    sign_word_fraction: float
+    ctrl_packet_fraction: float
+    request_rate: float
+    read_fraction: float
+    l1_miss_rate: float
+    sharing_fraction: float
+    working_set_lines: int
+
+    def __post_init__(self) -> None:
+        fractions = {
+            "short_flit_fraction": self.short_flit_fraction,
+            "zero_word_fraction": self.zero_word_fraction,
+            "one_word_fraction": self.one_word_fraction,
+            "sign_word_fraction": self.sign_word_fraction,
+            "ctrl_packet_fraction": self.ctrl_packet_fraction,
+            "read_fraction": self.read_fraction,
+            "l1_miss_rate": self.l1_miss_rate,
+            "sharing_fraction": self.sharing_fraction,
+        }
+        for field_name, value in fractions.items():
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{field_name} must be in [0, 1], got {value}")
+        if (
+            self.zero_word_fraction
+            + self.one_word_fraction
+            + self.sign_word_fraction
+            > 1.0
+        ):
+            raise ValueError("word pattern fractions must sum to <= 1")
+        if self.request_rate <= 0:
+            raise ValueError("request_rate must be positive")
+        if self.working_set_lines < 1:
+            raise ValueError("working_set_lines must be >= 1")
+
+    # -- payload synthesis ------------------------------------------------
+
+    def sample_word(self, rng: random.Random) -> int:
+        """Draw one 32-bit payload word from the pattern mix."""
+        r = rng.random()
+        if r < self.zero_word_fraction:
+            return 0
+        r -= self.zero_word_fraction
+        if r < self.one_word_fraction:
+            return WORD_MASK
+        r -= self.one_word_fraction
+        if r < self.sign_word_fraction:
+            # Narrow sign-extended value, skewed small.
+            value = rng.randrange(-128, 128)
+            return value & WORD_MASK
+        return rng.getrandbits(32) or 1  # avoid degenerate zero
+
+    def sample_line(self, rng: random.Random) -> List[int]:
+        """Draw a 64-byte cache line honouring the short-flit fraction.
+
+        Each of the line's four flits is forced short with probability
+        :attr:`short_flit_fraction` (top word valid, lower words zeroed);
+        otherwise all four words are drawn from the pattern mix.
+        """
+        words: List[int] = []
+        for _ in range(WORDS_PER_LINE // 4):
+            if rng.random() < self.short_flit_fraction:
+                top = self.sample_word(rng)
+                words.extend([top, 0, 0, 0])
+            else:
+                flit = [self.sample_word(rng) for _ in range(4)]
+                # A fully-redundant draw would be a short flit by accident;
+                # force at least one live lower word to keep the calibrated
+                # short fraction exact.
+                if all(w in (0, WORD_MASK) for w in flit[1:]):
+                    flit[3] = rng.getrandbits(32) | (1 << 20)
+                words.extend(flit)
+        return words
+
+
+def _profile(**kwargs) -> WorkloadProfile:
+    return WorkloadProfile(**kwargs)
+
+
+#: The workload suite.  Short-flit fractions for the six presented
+#: applications average 40% with a 58% peak, matching Fig. 13a's summary
+#: statistics; the remaining values are calibrated estimates consistent
+#: with Figs. 1 and 2 (exact bar heights are not published).
+WORKLOADS: Dict[str, WorkloadProfile] = {
+    "tpcw": _profile(
+        name="tpcw",
+        short_flit_fraction=0.50,
+        zero_word_fraction=0.42,
+        one_word_fraction=0.06,
+        sign_word_fraction=0.18,
+        ctrl_packet_fraction=0.62,
+        request_rate=0.035,
+        read_fraction=0.72,
+        l1_miss_rate=0.065,
+        sharing_fraction=0.22,
+        working_set_lines=65536,
+    ),
+    "sjbb": _profile(
+        name="sjbb",
+        short_flit_fraction=0.44,
+        zero_word_fraction=0.38,
+        one_word_fraction=0.05,
+        sign_word_fraction=0.20,
+        ctrl_packet_fraction=0.58,
+        request_rate=0.040,
+        read_fraction=0.70,
+        l1_miss_rate=0.055,
+        sharing_fraction=0.25,
+        working_set_lines=49152,
+    ),
+    "apache": _profile(
+        name="apache",
+        short_flit_fraction=0.30,
+        zero_word_fraction=0.26,
+        one_word_fraction=0.04,
+        sign_word_fraction=0.16,
+        ctrl_packet_fraction=0.55,
+        request_rate=0.045,
+        read_fraction=0.68,
+        l1_miss_rate=0.075,
+        sharing_fraction=0.30,
+        working_set_lines=81920,
+    ),
+    "zeus": _profile(
+        name="zeus",
+        short_flit_fraction=0.36,
+        zero_word_fraction=0.30,
+        one_word_fraction=0.05,
+        sign_word_fraction=0.15,
+        ctrl_packet_fraction=0.56,
+        request_rate=0.042,
+        read_fraction=0.69,
+        l1_miss_rate=0.070,
+        sharing_fraction=0.28,
+        working_set_lines=81920,
+    ),
+    "art": _profile(
+        name="art",
+        short_flit_fraction=0.22,
+        zero_word_fraction=0.18,
+        one_word_fraction=0.03,
+        sign_word_fraction=0.10,
+        ctrl_packet_fraction=0.45,
+        request_rate=0.060,
+        read_fraction=0.80,
+        l1_miss_rate=0.120,
+        sharing_fraction=0.10,
+        working_set_lines=131072,
+    ),
+    "apsi": _profile(
+        name="apsi",
+        short_flit_fraction=0.28,
+        zero_word_fraction=0.22,
+        one_word_fraction=0.03,
+        sign_word_fraction=0.12,
+        ctrl_packet_fraction=0.46,
+        request_rate=0.055,
+        read_fraction=0.78,
+        l1_miss_rate=0.100,
+        sharing_fraction=0.12,
+        working_set_lines=131072,
+    ),
+    "swim": _profile(
+        name="swim",
+        short_flit_fraction=0.25,
+        zero_word_fraction=0.20,
+        one_word_fraction=0.03,
+        sign_word_fraction=0.10,
+        ctrl_packet_fraction=0.44,
+        request_rate=0.065,
+        read_fraction=0.79,
+        l1_miss_rate=0.130,
+        sharing_fraction=0.08,
+        working_set_lines=163840,
+    ),
+    "mgrid": _profile(
+        name="mgrid",
+        short_flit_fraction=0.26,
+        zero_word_fraction=0.21,
+        one_word_fraction=0.03,
+        sign_word_fraction=0.11,
+        ctrl_packet_fraction=0.44,
+        request_rate=0.058,
+        read_fraction=0.81,
+        l1_miss_rate=0.110,
+        sharing_fraction=0.09,
+        working_set_lines=147456,
+    ),
+    "barnes": _profile(
+        name="barnes",
+        short_flit_fraction=0.32,
+        zero_word_fraction=0.26,
+        one_word_fraction=0.04,
+        sign_word_fraction=0.14,
+        ctrl_packet_fraction=0.52,
+        request_rate=0.048,
+        read_fraction=0.74,
+        l1_miss_rate=0.060,
+        sharing_fraction=0.35,
+        working_set_lines=40960,
+    ),
+    "ocean": _profile(
+        name="ocean",
+        short_flit_fraction=0.29,
+        zero_word_fraction=0.23,
+        one_word_fraction=0.04,
+        sign_word_fraction=0.12,
+        ctrl_packet_fraction=0.48,
+        request_rate=0.052,
+        read_fraction=0.76,
+        l1_miss_rate=0.090,
+        sharing_fraction=0.20,
+        working_set_lines=98304,
+    ),
+    "multimedia": _profile(
+        name="multimedia",
+        short_flit_fraction=0.58,
+        zero_word_fraction=0.50,
+        one_word_fraction=0.08,
+        sign_word_fraction=0.14,
+        ctrl_packet_fraction=0.50,
+        request_rate=0.050,
+        read_fraction=0.75,
+        l1_miss_rate=0.080,
+        sharing_fraction=0.05,
+        working_set_lines=57344,
+    ),
+}
+
+#: The six applications shown in the paper's result figures.
+PRESENTED_WORKLOADS = ["tpcw", "sjbb", "apache", "zeus", "art", "multimedia"]

@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.arch import make_2db, make_3db, make_3dm, make_3dme
+from repro.experiments.config import ExperimentSettings
+
+
+@pytest.fixture
+def cfg_2db():
+    return make_2db()
+
+
+@pytest.fixture
+def cfg_3db():
+    return make_3db()
+
+
+@pytest.fixture
+def cfg_3dm():
+    return make_3dm()
+
+
+@pytest.fixture
+def cfg_3dme():
+    return make_3dme()
+
+
+@pytest.fixture
+def all_configs(cfg_2db, cfg_3db, cfg_3dm, cfg_3dme):
+    return [cfg_2db, cfg_3db, cfg_3dm, cfg_3dme]
+
+
+@pytest.fixture
+def tiny_settings():
+    """Very small cycle budgets for fast simulation tests."""
+    return ExperimentSettings(
+        warmup_cycles=200,
+        measure_cycles=800,
+        drain_cycles=5000,
+        uniform_rates=(0.05, 0.2),
+        nuca_rates=(0.05, 0.15),
+        trace_cycles=8000,
+        workloads=("tpcw",),
+        seed=11,
+    )

@@ -1,0 +1,66 @@
+"""3DB CPU-placement ablation tests (the Sec. 3.1 thermal argument)."""
+
+import pytest
+
+from repro.core.arch import make_3db
+from repro.experiments.ablations import ablate_3db_cpu_placement
+from repro.experiments.config import ExperimentSettings
+
+
+@pytest.fixture(scope="module")
+def settings():
+    return ExperimentSettings(
+        warmup_cycles=300,
+        measure_cycles=1500,
+        drain_cycles=10000,
+        uniform_rates=(0.1,),
+        nuca_rates=(0.1,),
+        trace_cycles=5000,
+        workloads=("tpcw",),
+        seed=7,
+    )
+
+
+class TestPlacementFactory:
+    def test_top_placement_is_default(self):
+        assert make_3db().cpu_nodes == make_3db(cpu_placement="top").cpu_nodes
+
+    def test_top_cpus_on_heat_sink_layer(self):
+        config = make_3db(cpu_placement="top")
+        assert all(node // 9 == 3 for node in config.cpu_nodes)
+
+    def test_spread_cpus_on_multiple_layers(self):
+        config = make_3db(cpu_placement="spread")
+        layers = {node // 9 for node in config.cpu_nodes}
+        assert len(layers) >= 3
+
+    def test_spread_cpu_count_correct(self):
+        config = make_3db(cpu_placement="spread")
+        assert len(config.cpu_nodes) == 8
+        assert len(set(config.cpu_nodes)) == 8
+        assert not set(config.cpu_nodes) & set(config.cache_nodes)
+
+    def test_unknown_placement_rejected(self):
+        with pytest.raises(ValueError):
+            make_3db(cpu_placement="bogus")
+
+
+class TestPlacementTradeoff:
+    @pytest.fixture(scope="class")
+    def results(self, settings):
+        return ablate_3db_cpu_placement(settings)
+
+    def test_spread_improves_nuca_hops(self, results):
+        """Distributing CPUs shortens CPU-cache paths (what 3DB-top
+        sacrifices, per Fig. 11d's discussion)."""
+        assert results["spread"]["avg_hops"] < results["top"]["avg_hops"]
+
+    def test_spread_improves_latency(self, results):
+        assert results["spread"]["avg_latency"] < results["top"]["avg_latency"]
+
+    def test_spread_runs_hotter(self, results):
+        """...but stacks 8 W cores away from the heat sink (Sec. 3.1:
+        'such a design would significantly increase the on-chip
+        temperature')."""
+        assert results["spread"]["max_temp_k"] > results["top"]["max_temp_k"] + 2
+        assert results["spread"]["avg_temp_k"] > results["top"]["avg_temp_k"]

@@ -1,0 +1,98 @@
+"""Ablation-harness tests (sensitivity of the paper's fixed choices)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ablate_buffer_depth,
+    ablate_express_span,
+    ablate_link_failures,
+    ablate_pipeline_depth,
+    ablate_qos,
+    ablate_vc_count,
+)
+
+
+@pytest.fixture(scope="module")
+def settings(request):
+    from repro.experiments.config import ExperimentSettings
+
+    return ExperimentSettings(
+        warmup_cycles=300,
+        measure_cycles=1500,
+        drain_cycles=10000,
+        uniform_rates=(0.2,),
+        nuca_rates=(0.1,),
+        trace_cycles=5000,
+        workloads=("tpcw",),
+        seed=7,
+    )
+
+
+def test_pipeline_depth_monotone(settings):
+    results = ablate_pipeline_depth(settings, rate=0.15)
+    lat = {label: p.avg_latency for label, p in results.items()}
+    assert lat["2DB +spec SA (Fig.8b, 4cyc/hop)"] < lat["2DB 4-stage (Fig.8a, 5cyc/hop)"]
+    assert (
+        lat["2DB +lookahead (Fig.8c, 3cyc/hop)"]
+        < lat["2DB +spec SA (Fig.8b, 4cyc/hop)"]
+    )
+    assert (
+        lat["3DM merged+spec+lookahead (2cyc/hop)"]
+        == min(lat.values())
+    )
+
+
+def test_vc_count_two_is_sweet_spot_at_low_load(settings):
+    """More VCs help at saturation but the paper's 2 suffices at NUCA-like
+    loads: going 2 -> 4 must change latency far less than 1 -> 2 helps or
+    costs."""
+    results = ablate_vc_count(settings, rate=0.2, counts=(1, 2, 4))
+    lat = {vcs: p.avg_latency for vcs, p in results.items()}
+    assert lat[2] <= lat[1] * 1.05
+    assert abs(lat[4] - lat[2]) / lat[2] < 0.1
+
+
+def test_buffer_depth_diminishing_returns(settings):
+    results = ablate_buffer_depth(settings, rate=0.2, depths=(2, 8, 16))
+    lat = {d: p.avg_latency for d, p in results.items()}
+    assert lat[8] <= lat[2]
+    gain_2_to_8 = lat[2] - lat[8]
+    gain_8_to_16 = lat[8] - lat[16]
+    assert gain_8_to_16 <= gain_2_to_8 + 0.5
+
+
+def test_express_span_tradeoff(settings):
+    """On a 6x6 mesh span 2 strictly dominates span 3: it covers the
+    distance distribution better (fewer hops) AND keeps the ST+LT merge
+    (span-3 channels exceed the 500 ps stage) — the paper's choice."""
+    results = ablate_express_span(settings, rate=0.2, spans=(2, 3))
+    assert results[2].avg_hops <= results[3].avg_hops + 0.05
+    assert results[2].avg_latency < results[3].avg_latency
+
+
+def test_span3_forfeits_pipeline_merge():
+    from repro.core.arch import make_3dme
+
+    assert make_3dme(span=2).combined_st_lt
+    assert not make_3dme(span=3).combined_st_lt
+
+
+def test_qos_separates_classes(settings):
+    results = ablate_qos(settings, rate=0.3, high_priority_fraction=0.2)
+    assert results["qos"][1] < results["qos"][0]
+    qos_gap = results["qos"][0] - results["qos"][1]
+    fifo_gap = results["fifo"][0] - results["fifo"][1]
+    assert qos_gap > fifo_gap
+
+
+def test_link_failures_degrade_gracefully(settings):
+    results = ablate_link_failures(settings, rate=0.12,
+                                   failure_counts=(0, 2, 4))
+    assert results[0] <= results[2] * 1.02
+    # Four dead full-duplex links cost well under 50% extra latency.
+    assert results[4] < results[0] * 1.5
+
+
+def test_link_failures_validates_count(settings):
+    with pytest.raises(ValueError):
+        ablate_link_failures(settings, failure_counts=(99,))

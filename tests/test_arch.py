@@ -1,0 +1,161 @@
+"""Architecture configuration tests (the paper's evaluated designs)."""
+
+import pytest
+
+from repro.core.arch import (
+    Architecture,
+    make_2db,
+    make_3db,
+    make_3dm,
+    make_3dme,
+    make_architecture,
+    standard_configs,
+)
+from repro.topology.express_mesh import ExpressMesh
+from repro.topology.mesh2d import Mesh2D
+from repro.topology.mesh3d import Mesh3D
+
+
+class Test2DB:
+    def test_geometry(self, cfg_2db):
+        assert cfg_2db.dims == (6, 6)
+        assert cfg_2db.num_nodes == 36
+        assert cfg_2db.ports == 5
+        assert cfg_2db.layers == 1
+        assert cfg_2db.datapath_layers == 1
+
+    def test_pitch_matches_table2(self, cfg_2db):
+        assert cfg_2db.pitch_mm == pytest.approx(3.16)
+
+    def test_pipeline_not_merged(self, cfg_2db):
+        """Table 3: 688 ps > 500 ps, so 2DB cannot merge ST and LT."""
+        assert not cfg_2db.combined_st_lt
+
+    def test_topology_type(self, cfg_2db):
+        assert isinstance(cfg_2db.build_topology(), Mesh2D)
+
+    def test_cpu_layout_in_middle(self, cfg_2db):
+        """Fig. 10a: 8 CPUs spread over the middle of the 6x6 mesh."""
+        assert len(cfg_2db.cpu_nodes) == 8
+        assert set(cfg_2db.cpu_nodes) == {13, 14, 15, 16, 19, 20, 21, 22}
+
+    def test_cache_nodes_complement(self, cfg_2db):
+        assert len(cfg_2db.cache_nodes) == 28
+        assert set(cfg_2db.cpu_nodes) | set(cfg_2db.cache_nodes) == set(range(36))
+
+
+class Test3DB:
+    def test_geometry(self, cfg_3db):
+        assert cfg_3db.dims == (3, 3, 4)
+        assert cfg_3db.num_nodes == 36
+        assert cfg_3db.ports == 7
+        assert cfg_3db.datapath_layers == 1  # planar router per layer
+
+    def test_cpus_on_top_layer(self, cfg_3db):
+        """Fig. 10c: processors live on the heat-sink layer (z=3)."""
+        plane = 9
+        for node in cfg_3db.cpu_nodes:
+            assert node // plane == 3
+
+    def test_one_cache_on_top_layer(self, cfg_3db):
+        plane = 9
+        top_caches = [n for n in cfg_3db.cache_nodes if n // plane == 3]
+        assert len(top_caches) == 1
+
+    def test_topology_type(self, cfg_3db):
+        assert isinstance(cfg_3db.build_topology(), Mesh3D)
+
+    def test_pipeline_not_merged(self, cfg_3db):
+        assert not cfg_3db.combined_st_lt
+
+
+class Test3DM:
+    def test_geometry(self, cfg_3dm):
+        assert cfg_3dm.dims == (6, 6)
+        assert cfg_3dm.ports == 5
+        assert cfg_3dm.layers == 4
+        assert cfg_3dm.datapath_layers == 4
+        assert cfg_3dm.is_multilayer
+
+    def test_half_pitch(self, cfg_3dm, cfg_2db):
+        """Sec. 3.4.1: inter-router distance halves in the 3DM layout."""
+        assert cfg_3dm.pitch_mm == pytest.approx(cfg_2db.pitch_mm / 2)
+
+    def test_pipeline_merged(self, cfg_3dm):
+        """Table 3: 297.6 ps < 500 ps, ST+LT share a stage."""
+        assert cfg_3dm.combined_st_lt
+
+    def test_nc_variant_not_merged(self):
+        nc = make_3dm(nc=True)
+        assert nc.arch is Architecture.MIRA_3DM_NC
+        assert not nc.combined_st_lt
+
+    def test_same_logical_layout_as_2db(self, cfg_3dm, cfg_2db):
+        assert cfg_3dm.cpu_nodes == cfg_2db.cpu_nodes
+
+
+class Test3DME:
+    def test_nine_ports(self, cfg_3dme):
+        assert cfg_3dme.ports == 9
+        assert cfg_3dme.express_span == 2
+
+    def test_express_topology(self, cfg_3dme):
+        topo = cfg_3dme.build_topology()
+        assert isinstance(topo, ExpressMesh)
+        assert topo.max_radix() == 9
+
+    def test_max_link_is_express_length(self, cfg_3dme):
+        assert cfg_3dme.max_link_mm == pytest.approx(3.16)
+
+    def test_pipeline_merged_despite_long_express(self, cfg_3dme):
+        """Table 3: 492.3 ps < 500 ps — just fits."""
+        assert cfg_3dme.combined_st_lt
+
+    def test_nc_variant(self):
+        nc = make_3dme(nc=True)
+        assert nc.arch is Architecture.MIRA_3DM_E_NC
+        assert not nc.combined_st_lt
+
+
+class TestFactories:
+    def test_make_architecture_all_variants(self):
+        for arch in Architecture:
+            config = make_architecture(arch)
+            assert config.arch is arch
+            assert config.num_nodes == 36
+
+    def test_standard_configs_order_and_count(self):
+        configs = standard_configs()
+        assert [c.name for c in configs] == [
+            "2DB", "3DB", "3DM(NC)", "3DM", "3DM-E(NC)", "3DM-E",
+        ]
+        assert [c.name for c in standard_configs(include_nc=False)] == [
+            "2DB", "3DB", "3DM", "3DM-E",
+        ]
+
+    def test_build_network_reflects_config(self, cfg_3dm):
+        network = cfg_3dm.build_network(shutdown_enabled=True)
+        assert network.combined_st_lt
+        assert network.shutdown_enabled
+        assert network.num_vcs == 2
+        assert network.buffer_depth == 8
+        assert network.topology.num_nodes == 36
+
+    def test_custom_mesh_size(self):
+        config = make_2db(width=4, height=4, num_cpus=4)
+        assert config.num_nodes == 16
+        assert len(config.cpu_nodes) == 4
+
+    def test_tiny_mesh_cpu_fallback(self):
+        config = make_2db(width=2, height=2, num_cpus=2)
+        assert len(config.cpu_nodes) == 2
+
+    def test_too_many_cpus_rejected(self):
+        with pytest.raises(ValueError):
+            make_2db(width=2, height=2, num_cpus=5)
+
+    def test_common_parameters(self, all_configs):
+        for config in all_configs:
+            assert config.flit_bits == 128
+            assert config.vcs == 2
+            assert config.buffer_depth == 8

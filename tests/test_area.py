@@ -1,0 +1,115 @@
+"""Area-model tests: Table 1 reproduction tolerances."""
+
+import pytest
+
+from repro.core.arch import make_2db, make_3db, make_3dm, make_3dme
+from repro.power.area import (
+    PAPER_TABLE1,
+    buffer_layer_area_um2,
+    rc_area_um2,
+    router_area,
+    sa1_area_um2,
+    va1_area_um2,
+    xbar_layer_area_um2,
+)
+
+EXACT_MODULES = ("RC", "SA1", "VA1", "Crossbar", "Buffer")
+FITTED_MODULES = ("SA2", "VA2")
+
+
+@pytest.fixture(params=[make_2db, make_3db, make_3dm, make_3dme])
+def config(request):
+    return request.param()
+
+
+def test_exact_modules_match_table1(config):
+    """Crossbar/buffer/RC/VA1/SA1 reproduce Table 1 to <0.1%."""
+    area = router_area(config)
+    paper = PAPER_TABLE1[config.name]
+    for module in EXACT_MODULES:
+        assert area.per_layer[module] == pytest.approx(paper[module], rel=1e-3), module
+
+
+def test_fitted_arbiters_within_13pct(config):
+    """The least-squares matrix-arbiter model lands within ~13%."""
+    area = router_area(config)
+    paper = PAPER_TABLE1[config.name]
+    for module in FITTED_MODULES:
+        assert area.per_layer[module] == pytest.approx(paper[module], rel=0.13), module
+
+
+def test_total_area_within_1pct(config):
+    area = router_area(config)
+    assert area.total == pytest.approx(PAPER_TABLE1[config.name]["Total"], rel=0.01)
+
+
+def test_3dm_crossbar_sixteen_times_smaller_per_layer():
+    """(W/4)^2 scaling: per-layer crossbar is 1/16 of 2DB's (Fig. 5)."""
+    xbar_2db = router_area(make_2db()).per_layer["Crossbar"]
+    xbar_3dm = router_area(make_3dm()).per_layer["Crossbar"]
+    assert xbar_2db / xbar_3dm == pytest.approx(16.0)
+
+
+def test_3dm_total_crossbar_four_times_smaller():
+    """Summed over 4 layers the crossbar is still 4x smaller (Sec. 3.2.2)."""
+    cfg = make_3dm()
+    total_3dm = 4 * router_area(cfg).per_layer["Crossbar"]
+    total_2db = router_area(make_2db()).per_layer["Crossbar"]
+    assert total_2db / total_3dm == pytest.approx(4.0)
+
+
+def test_3dme_total_relative_sizes():
+    """Sec. 3.3: 3DM-E is ~2.4x the 3DM router and ~0.7x the 2DB one
+    in a single layer... measured on totals here."""
+    total_3dme = router_area(make_3dme()).total
+    total_3dm = router_area(make_3dm()).total
+    total_2db = router_area(make_2db()).total
+    assert total_3dme / total_3dm == pytest.approx(2.45, abs=0.15)
+    assert total_3dme / total_2db < 1.6
+
+
+def test_via_counts():
+    assert router_area(make_2db()).total_vias == 0
+    assert router_area(make_3db()).total_vias == 128   # W vertical-link TSVs
+    assert router_area(make_3dm()).total_vias == 36    # 2P + PV + Vk
+    assert router_area(make_3dme()).total_vias == 52
+
+
+def test_via_overhead_below_two_percent(config):
+    """Table 1 footnote: via overhead per layer stays under ~2%."""
+    assert router_area(config).via_overhead_fraction < 0.02
+
+
+def test_total_mm2_conversion():
+    area = router_area(make_2db())
+    assert area.total_mm2 == pytest.approx(area.total / 1e6)
+
+
+def test_component_formulas_linear_in_ports():
+    assert rc_area_um2(10) == pytest.approx(2 * rc_area_um2(5))
+    assert va1_area_um2(10, 2) == pytest.approx(2 * va1_area_um2(5, 2))
+    assert sa1_area_um2(5, 4) == pytest.approx(2 * sa1_area_um2(5, 2))
+
+
+def test_buffer_area_scales_with_depth():
+    shallow = buffer_layer_area_um2(5, 2, 4, 128, 1)
+    deep = buffer_layer_area_um2(5, 2, 8, 128, 1)
+    assert deep == pytest.approx(2 * shallow)
+
+
+def test_xbar_area_quadratic_in_ports():
+    small = xbar_layer_area_um2(5, 128, 1)
+    big = xbar_layer_area_um2(10, 128, 1)
+    assert big == pytest.approx(4 * small)
+
+
+def test_area_ordering_matches_paper():
+    """3DM < 2DB < 3DM-E < 3DB in total router area."""
+    totals = {
+        name: router_area(make()).total
+        for name, make in [
+            ("2DB", make_2db), ("3DB", make_3db),
+            ("3DM", make_3dm), ("3DM-E", make_3dme),
+        ]
+    }
+    assert totals["3DM"] < totals["2DB"] < totals["3DM-E"] < totals["3DB"]

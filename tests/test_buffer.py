@@ -1,0 +1,80 @@
+"""Virtual-channel buffer tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.noc.buffer import VirtualChannelBuffer
+from repro.noc.packet import FlitType, Flit, ctrl_packet
+
+
+def _flit():
+    return Flit(ctrl_packet(0, 1), FlitType.SINGLE, 0)
+
+
+def test_starts_empty():
+    buf = VirtualChannelBuffer(4)
+    assert buf.is_empty and not buf.is_full
+    assert len(buf) == 0
+    assert buf.free_slots == 4
+    assert buf.front() is None
+
+
+def test_push_pop_fifo_order():
+    buf = VirtualChannelBuffer(4)
+    flits = [_flit() for _ in range(3)]
+    for f in flits:
+        buf.push(f)
+    assert [buf.pop() for _ in range(3)] == flits
+
+
+def test_overflow_raises():
+    buf = VirtualChannelBuffer(2)
+    buf.push(_flit())
+    buf.push(_flit())
+    with pytest.raises(OverflowError):
+        buf.push(_flit())
+
+
+def test_underflow_raises():
+    buf = VirtualChannelBuffer(2)
+    with pytest.raises(IndexError):
+        buf.pop()
+
+
+def test_counts_reads_and_writes():
+    buf = VirtualChannelBuffer(4)
+    buf.push(_flit())
+    buf.push(_flit())
+    buf.pop()
+    assert buf.writes == 2
+    assert buf.reads == 1
+
+
+def test_front_does_not_consume():
+    buf = VirtualChannelBuffer(4)
+    f = _flit()
+    buf.push(f)
+    assert buf.front() is f
+    assert len(buf) == 1
+
+
+def test_invalid_depth():
+    with pytest.raises(ValueError):
+        VirtualChannelBuffer(0)
+
+
+@given(st.lists(st.booleans(), max_size=60), st.integers(min_value=1, max_value=8))
+def test_property_occupancy_invariant(ops, depth):
+    """Occupancy always in [0, depth]; free_slots complements it."""
+    buf = VirtualChannelBuffer(depth)
+    expected = 0
+    for is_push in ops:
+        if is_push and not buf.is_full:
+            buf.push(_flit())
+            expected += 1
+        elif not is_push and not buf.is_empty:
+            buf.pop()
+            expected -= 1
+        assert len(buf) == expected
+        assert buf.free_slots == depth - expected
+        assert 0 <= len(buf) <= depth

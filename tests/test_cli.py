@@ -1,0 +1,96 @@
+"""CLI tests (direct invocation of the argparse entry point)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_area_command(capsys):
+    assert main(["area"]) == 0
+    out = capsys.readouterr().out
+    assert "Crossbar" in out
+    assert "230,400" in out
+
+
+def test_delays_command(capsys):
+    assert main(["delays"]) == 0
+    out = capsys.readouterr().out
+    assert "378.56" in out
+    assert "Yes" in out and "No" in out
+
+
+def test_workloads_command(capsys):
+    assert main(["workloads"]) == 0
+    out = capsys.readouterr().out
+    assert "tpcw" in out and "multimedia" in out
+
+
+def test_simulate_command(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "quick")
+    assert main(["simulate", "--arch", "3DM-E", "--rate", "0.1"]) == 0
+    out = capsys.readouterr().out
+    assert "avg latency" in out
+    assert "3DM-E" in out
+
+
+def test_simulate_nuca_with_short_flits(capsys):
+    assert main([
+        "simulate", "--arch", "3DM", "--traffic", "nuca",
+        "--rate", "0.05", "--short-flits", "0.5",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "NUCA" in out
+
+
+def test_simulate_unknown_arch_exits():
+    with pytest.raises(SystemExit):
+        main(["simulate", "--arch", "bogus"])
+
+
+def test_trace_command(tmp_path, capsys):
+    output = tmp_path / "trace.txt"
+    assert main([
+        "trace", "--workload", "tpcw", "--cycles", "5000",
+        "--output", str(output),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "wrote" in out
+    assert output.exists()
+    from repro.traffic.traces import read_trace
+
+    assert len(read_trace(output)) > 0
+
+
+def test_trace_unknown_workload_exits(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["trace", "--workload", "nope", "--output",
+              str(tmp_path / "t.txt")])
+
+
+def test_experiment_fig9(capsys):
+    assert main(["experiment", "fig9"]) == 0
+    out = capsys.readouterr().out
+    assert "crossbar" in out
+
+
+def test_experiment_unknown_exits():
+    with pytest.raises(SystemExit):
+        main(["experiment", "nope"])
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_report_command(tmp_path, capsys):
+    results = tmp_path / "results"
+    results.mkdir()
+    (results / "table1_area.txt").write_text("areas\n")
+    assert main(["report", "--results", str(results)]) == 0
+    assert (results / "REPORT.md").exists()
+
+
+def test_report_command_missing_dir(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        main(["report", "--results", str(tmp_path / "nope")])

@@ -1,0 +1,120 @@
+"""FPC compression tests (encoding + trace transform + experiment)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.compression import (
+    COMPRESSION_LATENCY_CYCLES,
+    compress_record,
+    compress_trace,
+    compressed_payload_flits,
+    compression_ratio,
+    fpc_encoded_bits,
+)
+from repro.noc.packet import PacketClass
+from repro.traffic.patterns import WORD_MASK, WORDS_PER_LINE
+from repro.traffic.traces import TraceRecord
+
+
+def _line(fill=0x12345678):
+    return [fill] * WORDS_PER_LINE
+
+
+class TestEncoding:
+    def test_all_zero_line_compresses_maximally(self):
+        bits = fpc_encoded_bits(_line(0))
+        assert bits == WORDS_PER_LINE * 3
+        assert compressed_payload_flits(_line(0)) == 1
+        assert compression_ratio(_line(0)) > 10
+
+    def test_random_line_does_not_compress(self):
+        line = [0x9ABCDEF0 + i * 0x01010101 for i in range(WORDS_PER_LINE)]
+        assert compressed_payload_flits(line) == 4
+        assert compression_ratio(line) == pytest.approx(1.0)
+
+    def test_sign8_line(self):
+        bits = fpc_encoded_bits(_line(5))
+        assert bits == WORDS_PER_LINE * 11
+        assert compressed_payload_flits(_line(5)) == 2
+
+    def test_mixed_line(self):
+        line = [0] * 8 + [0x13572468] * 8
+        # 8 * 3 + 8 * 35 = 304 bits -> 3 flits.
+        assert fpc_encoded_bits(line) == 304
+        assert compressed_payload_flits(line) == 3
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            fpc_encoded_bits([0] * 4)
+
+    @given(st.lists(st.integers(0, WORD_MASK), min_size=16, max_size=16))
+    def test_property_flits_bounded(self, words):
+        flits = compressed_payload_flits(words)
+        assert 1 <= flits <= 4
+
+    @given(st.lists(st.integers(0, WORD_MASK), min_size=16, max_size=16))
+    def test_property_ratio_at_least_one(self, words):
+        assert compression_ratio(words) >= 1.0
+
+
+class TestTraceTransform:
+    def _data_record(self, groups):
+        return TraceRecord(cycle=10, src=0, dst=5, klass=PacketClass.DATA,
+                           payload_groups=tuple(groups))
+
+    def test_short_flit_heavy_record_shrinks(self):
+        record = self._data_record([1, 1, 1, 1, 1])  # all-short payload
+        compressed = compress_record(record)
+        # 4 live words (128 b) + 16 prefixes (48 b) = 176 b -> 2 payload
+        # flits + header.
+        assert compressed.size_flits == 3
+        assert compressed.payload_groups == (1, 4, 4)
+
+    def test_dense_record_keeps_five_flits(self):
+        record = self._data_record([1, 4, 4, 4, 4])
+        compressed = compress_record(record)
+        assert compressed.size_flits == 5
+
+    def test_compression_latency_added(self):
+        record = self._data_record([1, 1, 1, 1, 1])
+        assert compress_record(record).cycle == 10 + COMPRESSION_LATENCY_CYCLES
+
+    def test_ctrl_records_untouched(self):
+        record = TraceRecord(cycle=3, src=0, dst=5, klass=PacketClass.CTRL)
+        assert compress_record(record) is record
+
+    def test_compress_trace_sorted_and_smaller(self):
+        records = [
+            self._data_record([1, 1, 1, 1, 1]),
+            TraceRecord(cycle=11, src=1, dst=4, klass=PacketClass.CTRL),
+            self._data_record([1, 4, 1, 4, 1]),
+        ]
+        records.sort(key=lambda r: r.cycle)
+        compressed = compress_trace(records)
+        cycles = [r.cycle for r in compressed]
+        assert cycles == sorted(cycles)
+        assert sum(r.size_flits for r in compressed) < sum(
+            r.size_flits for r in records
+        )
+
+
+class TestExperiment:
+    def test_compression_vs_shutdown_shapes(self, tiny_settings):
+        from repro.experiments.compression_exp import compression_vs_shutdown
+
+        results = compression_vs_shutdown(tiny_settings, workload="multimedia")
+        base = results["baseline"]
+        shut = results["shutdown"]
+        fpc = results["fpc"]
+        # Shutdown cuts power, not latency.
+        assert shut.total_power_w < base.total_power_w
+        assert shut.avg_latency == pytest.approx(base.avg_latency, rel=0.02)
+        # Compression cuts both packet length (latency) and power.
+        assert fpc.avg_latency < base.avg_latency
+        assert fpc.total_power_w < base.total_power_w
+
+    def test_unknown_workload_rejected(self, tiny_settings):
+        from repro.experiments.compression_exp import compression_vs_shutdown
+
+        with pytest.raises(ValueError):
+            compression_vs_shutdown(tiny_settings, workload="nope")

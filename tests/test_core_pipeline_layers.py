@@ -1,0 +1,108 @@
+"""Pipeline-spec and layer-plan tests (Fig. 8, Sec. 3.2.7, Table 1 vias)."""
+
+import pytest
+
+from repro.core.layers import (
+    LayerPlan,
+    NON_SEPARABLE_MODULES,
+    SEPARABLE_MODULES,
+    VIA_AREA_UM2,
+    layer_plan_for,
+    signal_vias,
+)
+from repro.core.pipeline import (
+    FOUR_STAGE_PLUS_LT,
+    MERGED_ST_LT,
+    pipeline_for,
+)
+
+
+class TestPipelineSpec:
+    def test_four_stage_shape(self):
+        assert FOUR_STAGE_PLUS_LT.stages == ("RC", "VA", "SA", "ST", "LT")
+        assert FOUR_STAGE_PLUS_LT.cycles_per_hop == 5
+
+    def test_merged_shape(self):
+        assert MERGED_ST_LT.stages == ("RC", "VA", "SA", "ST+LT")
+        assert MERGED_ST_LT.cycles_per_hop == 4
+
+    def test_pipeline_for_configs(self, cfg_2db, cfg_3db, cfg_3dm, cfg_3dme):
+        assert pipeline_for(cfg_2db) == FOUR_STAGE_PLUS_LT
+        assert pipeline_for(cfg_3db) == FOUR_STAGE_PLUS_LT
+        assert pipeline_for(cfg_3dm) == MERGED_ST_LT
+        assert pipeline_for(cfg_3dme) == MERGED_ST_LT
+
+    def test_pipeline_for_advanced_options(self, cfg_2db):
+        spec = pipeline_for(cfg_2db.with_pipeline_options(speculative_sa=True))
+        assert spec.cycles_per_hop == 4
+        both = pipeline_for(
+            cfg_2db.with_pipeline_options(speculative_sa=True, lookahead_rc=True)
+        )
+        assert both.cycles_per_hop == 3
+        look = pipeline_for(cfg_2db.with_pipeline_options(lookahead_rc=True))
+        assert look.cycles_per_hop == 4
+
+    def test_simulated_hop_cost_matches_spec(self, cfg_2db, cfg_3dm):
+        """The cycle-accurate router honours the pipeline spec."""
+        from repro.noc.router import ST_LT_MERGED_CYCLES, ST_LT_SPLIT_CYCLES
+
+        assert ST_LT_SPLIT_CYCLES - ST_LT_MERGED_CYCLES == (
+            FOUR_STAGE_PLUS_LT.cycles_per_hop - MERGED_ST_LT.cycles_per_hop
+        )
+
+
+class TestSignalVias:
+    def test_table1_formula_3dm(self):
+        """Table 1: 2P + PV + Vk with P=5, V=2, k=8 -> 36 vias."""
+        assert signal_vias(5, 2, 8) == 36
+
+    def test_table1_formula_3dme(self):
+        assert signal_vias(9, 2, 8) == 52
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            signal_vias(0, 2, 8)
+
+
+class TestLayerPlan:
+    def test_single_layer_trivial(self, cfg_2db):
+        plan = layer_plan_for(cfg_2db)
+        assert plan.layers == 1
+        assert plan.total_vias == 0
+        for module in SEPARABLE_MODULES + NON_SEPARABLE_MODULES:
+            assert plan.placement[module] == (0,)
+
+    def test_3db_router_is_single_layer(self, cfg_3db):
+        """3DB stacks planar routers; each router spans one layer."""
+        assert layer_plan_for(cfg_3db).layers == 1
+
+    def test_3dm_logic_on_top_layer(self, cfg_3dm):
+        """Sec. 3.2.7: RC, SA and VA1 sit closest to the heat sink."""
+        plan = layer_plan_for(cfg_3dm)
+        for module in ("rc", "sa1", "sa2", "va1"):
+            assert plan.placement[module] == (0,)
+
+    def test_3dm_va2_spread_over_bottom_layers(self, cfg_3dm):
+        plan = layer_plan_for(cfg_3dm)
+        assert plan.placement["va2"] == (1, 2, 3)
+
+    def test_3dm_datapath_spans_all_layers(self, cfg_3dm):
+        plan = layer_plan_for(cfg_3dm)
+        for module in SEPARABLE_MODULES:
+            assert plan.placement[module] == (0, 1, 2, 3)
+
+    def test_3dm_via_budget(self, cfg_3dm):
+        plan = layer_plan_for(cfg_3dm)
+        assert plan.total_vias == 36
+        assert plan.via_area_um2() == pytest.approx(36 * VIA_AREA_UM2)
+
+    def test_modules_on_layer(self, cfg_3dm):
+        plan = layer_plan_for(cfg_3dm)
+        top = plan.modules_on_layer(0)
+        assert "sa2" in top and "va2" not in top
+        bottom = plan.modules_on_layer(3)
+        assert "va2" in bottom and "rc" not in bottom
+
+    def test_modules_on_layer_validates(self, cfg_3dm):
+        with pytest.raises(ValueError):
+            layer_plan_for(cfg_3dm).modules_on_layer(4)

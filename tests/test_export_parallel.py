@@ -1,0 +1,113 @@
+"""JSON export and parallel-sweep tests."""
+
+import json
+
+import pytest
+
+from repro.core.arch import Architecture, make_2db
+from repro.experiments.config import ExperimentSettings
+from repro.experiments.export import (
+    export_json,
+    point_to_dict,
+    sweep_to_dict,
+    workload_matrix_to_dict,
+)
+from repro.experiments.parallel import parallel_sweep
+from repro.experiments.runner import run_uniform_point
+
+
+@pytest.fixture(scope="module")
+def settings():
+    return ExperimentSettings(
+        warmup_cycles=200,
+        measure_cycles=800,
+        drain_cycles=4000,
+        uniform_rates=(0.1,),
+        nuca_rates=(0.1,),
+        trace_cycles=4000,
+        workloads=("tpcw",),
+        seed=17,
+    )
+
+
+@pytest.fixture(scope="module")
+def point(settings):
+    return run_uniform_point(make_2db(), 0.1, settings)
+
+
+class TestExport:
+    def test_point_dict_fields(self, point):
+        data = point_to_dict(point)
+        assert data["arch"] == "2DB"
+        assert data["avg_latency_cycles"] > 0
+        assert data["power_w"]["total"] == pytest.approx(point.total_power_w)
+        assert set(data["power_w"]["breakdown"]) == {
+            "buffer", "crossbar", "link", "arbitration", "control",
+        }
+
+    def test_point_dict_json_serialisable(self, point):
+        json.dumps(point_to_dict(point))
+
+    def test_sweep_to_dict(self, point):
+        sweep = {"2DB": [(0.1, point)]}
+        data = sweep_to_dict(sweep)
+        assert data["2DB"][0]["rate"] == 0.1
+
+    def test_workload_matrix(self, point):
+        data = workload_matrix_to_dict({"tpcw": {"2DB": point}})
+        assert data["tpcw"]["2DB"]["arch"] == "2DB"
+
+    def test_export_json_roundtrip(self, tmp_path, point):
+        path = export_json(
+            {"sweep": sweep_to_dict({"2DB": [(0.1, point)]})},
+            tmp_path / "out" / "run.json",
+        )
+        assert path.exists()
+        loaded = json.loads(path.read_text())
+        assert loaded["sweep"]["2DB"][0]["arch"] == "2DB"
+
+    def test_export_json_handles_dataclasses_and_tuples(self, tmp_path):
+        from repro.timing.delay import stage_delay_report
+
+        report = stage_delay_report("x", 5, 128, 4, 1.58)
+        path = export_json({"t3": [report], "pair": (1, 2)},
+                           tmp_path / "t.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["t3"][0]["xbar_ps"] == pytest.approx(142.86, rel=1e-3)
+        assert loaded["pair"] == [1, 2]
+
+
+class TestParallelSweep:
+    def test_matches_serial_results(self, settings):
+        serial = run_uniform_point(make_2db(), 0.1, settings)
+        sweep = parallel_sweep(
+            [Architecture.BASELINE_2D], [0.1], settings, processes=2
+        )
+        (rate, point), = sweep["2DB"]
+        assert rate == 0.1
+        assert point.avg_latency == serial.avg_latency  # determinism holds
+
+    def test_multiple_archs_and_rates(self, settings):
+        sweep = parallel_sweep(
+            [Architecture.BASELINE_2D, Architecture.MIRA_3DM],
+            [0.05, 0.1],
+            settings,
+            processes=2,
+        )
+        assert set(sweep) == {"2DB", "3DM"}
+        for series in sweep.values():
+            assert [r for r, _ in series] == [0.05, 0.1]
+
+    def test_single_process_fallback(self, settings):
+        sweep = parallel_sweep(
+            [Architecture.MIRA_3DM_E], [0.1], settings, processes=1
+        )
+        assert "3DM-E" in sweep
+
+    def test_validation(self, settings):
+        with pytest.raises(ValueError):
+            parallel_sweep([Architecture.BASELINE_2D], [0.1], settings,
+                           processes=0)
+        with pytest.raises(ValueError):
+            parallel_sweep([Architecture.BASELINE_2D], [0.1], settings,
+                           kind="bogus", processes=1)

@@ -1,0 +1,59 @@
+"""Analytic layer-shutdown saving tests (Fig. 13b)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.arch import make_2db, make_3dm, make_3dme
+from repro.power.gating import separable_share, shutdown_saving
+
+
+def test_separable_share_dominates():
+    """Buffers + crossbar + links carry most of the flit energy."""
+    for make in (make_2db(), make_3dm(), make_3dme()):
+        share = separable_share(make)
+        assert 0.75 <= share <= 0.95
+
+
+def test_headline_saving_at_50pct():
+    """Sec. 4.2.2: 'up to 36% power' saved at 50% short flits — the
+    total-dynamic saving lands in the 25-36% band once the
+    non-separable share damps it."""
+    for config in (make_2db(), make_3dm(), make_3dme()):
+        saving = shutdown_saving(config, 0.50).saving_fraction
+        assert 0.25 <= saving <= 0.37, config.name
+
+
+def test_saving_at_25pct_roughly_half_of_50pct():
+    config = make_3dm()
+    s25 = shutdown_saving(config, 0.25).saving_fraction
+    s50 = shutdown_saving(config, 0.50).saving_fraction
+    assert s25 == pytest.approx(s50 / 2, rel=0.15)
+
+
+def test_zero_short_fraction_costs_overhead():
+    saving = shutdown_saving(make_3dm(), 0.0)
+    assert saving.saving_fraction == pytest.approx(-0.01 * saving.separable_share, abs=1e-9)
+
+
+def test_result_carries_inputs():
+    saving = shutdown_saving(make_3dm(), 0.25)
+    assert saving.name == "3DM"
+    assert saving.short_fraction == 0.25
+    assert saving.power_factor == pytest.approx(
+        saving.separable_share * (0.75 + 0.25 / 4 + 0.01)
+        + (1 - saving.separable_share)
+    )
+
+
+@given(st.floats(min_value=0.0, max_value=1.0))
+def test_property_factor_in_unit_range(short):
+    saving = shutdown_saving(make_3dm(), short)
+    assert 0.2 <= saving.power_factor <= 1.01
+
+
+@given(st.integers(min_value=0, max_value=10))
+def test_property_saving_monotone(tenths):
+    config = make_3dme()
+    lo = shutdown_saving(config, tenths / 10).saving_fraction
+    hi = shutdown_saving(config, min(1.0, tenths / 10 + 0.1)).saving_fraction
+    assert hi >= lo

@@ -1,0 +1,88 @@
+"""Golden-value regression tests.
+
+Pin exact simulator outputs for fixed seeds.  Any change here means the
+cycle model's behaviour changed — intentionally or not — and the
+committed EXPERIMENTS.md numbers need regeneration.  (Python's ``random``
+module is stable across platforms/versions, so these are portable.)
+"""
+
+import pytest
+
+from repro.core.arch import make_2db, make_3dme
+from repro.noc.network import Network
+from repro.noc.packet import ctrl_packet, data_packet
+from repro.noc.simulator import Simulator
+from repro.topology.mesh2d import Mesh2D
+from repro.traffic.base import ScheduledTraffic
+from repro.traffic.synthetic import UniformRandomTraffic
+
+
+def test_golden_zero_load_latencies():
+    """Hand-derived pipeline latencies (see test_router_pipeline.py)."""
+    cases = [
+        # (combined, hops, size, expected latency)
+        (False, 1, 1, 8),
+        (False, 3, 1, 18),
+        (True, 1, 1, 7),
+        (True, 3, 1, 15),
+        (False, 1, 5, 12),
+        (True, 3, 5, 19),
+    ]
+    for combined, hops, size, expected in cases:
+        packet = (
+            ctrl_packet(0, hops, created_cycle=0)
+            if size == 1
+            else data_packet(0, hops, created_cycle=0)
+        )
+        network = Network(Mesh2D(4, 1, pitch_mm=1.0), combined_st_lt=combined)
+        Simulator(network, ScheduledTraffic([packet]), warmup_cycles=0,
+                  measure_cycles=100, drain_cycles=400).run()
+        assert packet.latency == expected, (combined, hops, size)
+
+
+@pytest.fixture(scope="module")
+def golden_run():
+    config = make_2db()
+    network = config.build_network()
+    sim = Simulator(
+        network,
+        UniformRandomTraffic(num_nodes=36, flit_rate=0.1, seed=12345),
+        warmup_cycles=500,
+        measure_cycles=2000,
+        drain_cycles=10000,
+    )
+    return sim.run()
+
+
+class TestGoldenUniformRun:
+    """One fully pinned 2DB run at seed 12345."""
+
+    def test_packets_measured(self, golden_run):
+        assert golden_run.packets_measured == 2453
+
+    def test_avg_latency(self, golden_run):
+        assert golden_run.avg_latency == pytest.approx(26.0211985, abs=1e-4)
+
+    def test_avg_hops(self, golden_run):
+        assert golden_run.avg_hops == pytest.approx(4.0073379, abs=1e-4)
+
+    def test_flit_hops(self, golden_run):
+        assert golden_run.events.flit_hops == 37257
+
+    def test_not_saturated(self, golden_run):
+        assert not golden_run.saturated
+
+
+def test_golden_area_totals():
+    """Area model totals are pure functions of the constants."""
+    from repro.power.area import router_area
+
+    assert router_area(make_2db()).total == pytest.approx(431697.4, abs=1.0)
+    assert router_area(make_3dme()).total == pytest.approx(637149.7, abs=1.0)
+
+
+def test_golden_energy_per_flit_hop():
+    from repro.power.orion import RouterEnergyModel
+
+    e_2db = RouterEnergyModel.for_config(make_2db()).flit_hop_energy_j()
+    assert e_2db * 1e12 == pytest.approx(54.31, abs=0.05)

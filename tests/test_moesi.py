@@ -1,0 +1,252 @@
+"""MOESI protocol variant tests (cache-to-cache forwarding)."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cachesim import LineState
+from repro.cache.directory import DirState, DirectoryBank
+from repro.cache.hierarchy import CmpSystem, generate_trace
+from repro.cache.messages import CoherenceMessage, MessageType
+from repro.core.arch import make_2db
+from repro.traffic.workloads import WORKLOADS
+
+CPUS = [100, 101, 102, 103]
+BANK_NODE = 50
+LINE = 0x1C0
+
+
+class MoesiHarness:
+    def __init__(self):
+        self.sent = []
+        self.bank = DirectoryBank(
+            bank_index=0, node=BANK_NODE, cpu_nodes=CPUS,
+            profile=WORKLOADS["tpcw"],
+            send=lambda msg, delay: self.sent.append((msg, delay)),
+            seed=5, protocol="moesi",
+        )
+
+    def request(self, mtype, cpu, line=LINE, requester=None):
+        self.bank.handle(CoherenceMessage(
+            mtype=mtype, src=CPUS[cpu], dst=BANK_NODE, address=line,
+            requester=cpu if requester is None else requester,
+        ))
+
+    def take(self):
+        out, self.sent = self.sent, []
+        return out
+
+
+@pytest.fixture
+def harness():
+    return MoesiHarness()
+
+
+class TestDirectoryForwarding:
+    def test_second_reader_gets_forward_not_recall(self, harness):
+        harness.request(MessageType.GETS, cpu=0)
+        harness.take()
+        harness.request(MessageType.GETS, cpu=1)
+        ((fwd, _),) = harness.take()
+        assert fwd.mtype is MessageType.FWD_GETS
+        assert fwd.dst == CPUS[0]           # goes to the owner
+        assert fwd.requester == 1           # names the forward target
+        assert harness.bank.entries[LINE].busy
+
+    def test_fwd_done_adopts_owned_state(self, harness):
+        harness.request(MessageType.GETS, cpu=0)
+        harness.take()
+        harness.request(MessageType.GETS, cpu=1)
+        harness.take()
+        harness.request(MessageType.FWD_DONE, cpu=0)
+        entry = harness.bank.entries[LINE]
+        assert entry.state is DirState.OWNED
+        assert entry.owner == 0
+        assert entry.sharers == {1}
+        assert not entry.busy
+
+    def test_fwd_miss_falls_back_to_l2(self, harness):
+        harness.request(MessageType.GETS, cpu=0)
+        harness.take()
+        harness.request(MessageType.GETS, cpu=1)
+        harness.take()
+        harness.request(MessageType.FWD_MISS, cpu=0)
+        ((data, _),) = harness.take()
+        assert data.mtype is MessageType.DATA_S and data.dst == CPUS[1]
+        entry = harness.bank.entries[LINE]
+        assert entry.state is DirState.SHARED and entry.sharers == {1}
+
+    def test_getm_at_owned_recalls_owner_and_sharers(self, harness):
+        harness.request(MessageType.GETS, cpu=0)
+        harness.take()
+        harness.request(MessageType.GETS, cpu=1)
+        harness.take()
+        harness.request(MessageType.FWD_DONE, cpu=0)
+        harness.take()
+        harness.request(MessageType.GETM, cpu=2)
+        invs = [m for m, _ in harness.take() if m.mtype is MessageType.INV]
+        assert {m.dst for m in invs} == {CPUS[0], CPUS[1]}
+        # Dirty owner answers with data; writer then gets exclusive.
+        harness.request(MessageType.WB_DATA, cpu=0)
+        ((data, _),) = harness.take()
+        assert data.mtype is MessageType.DATA_E and data.dst == CPUS[2]
+
+    def test_owner_write_back_into_exclusive(self, harness):
+        harness.request(MessageType.GETS, cpu=0)
+        harness.take()
+        harness.request(MessageType.GETS, cpu=1)
+        harness.take()
+        harness.request(MessageType.FWD_DONE, cpu=0)
+        harness.take()
+        # The owner wants to write again: sharers die, owner gets E.
+        harness.request(MessageType.GETM, cpu=0)
+        sent = harness.take()
+        kinds = sorted(m.mtype.value for m, _ in sent)
+        assert kinds == ["DataExcl", "Inv"]
+        entry = harness.bank.entries[LINE]
+        assert entry.state is DirState.EXCLUSIVE and entry.owner == 0
+
+    def test_voluntary_owned_eviction_demotes_to_shared(self, harness):
+        harness.request(MessageType.GETS, cpu=0)
+        harness.take()
+        harness.request(MessageType.GETS, cpu=1)
+        harness.take()
+        harness.request(MessageType.FWD_DONE, cpu=0)
+        harness.take()
+        harness.request(MessageType.WB_DATA, cpu=0)
+        ((ack, _),) = harness.take()
+        assert ack.mtype is MessageType.WB_ACK
+        entry = harness.bank.entries[LINE]
+        assert entry.state is DirState.SHARED
+        assert entry.sharers == {1}
+        assert entry.owner == -1
+
+    def test_wb_race_during_forward_served_by_l2(self, harness):
+        harness.request(MessageType.GETS, cpu=0)
+        harness.take()
+        harness.request(MessageType.GETS, cpu=1)  # forward in flight
+        harness.take()
+        # Owner evicts before seeing the FwdGetS.
+        harness.request(MessageType.WB_DATA, cpu=0)
+        sent = harness.take()
+        kinds = {m.mtype for m, _ in sent}
+        assert MessageType.DATA_S in kinds and MessageType.WB_ACK in kinds
+        # Late FwdMiss is ignored as stale.
+        harness.request(MessageType.FWD_MISS, cpu=0)
+        assert harness.take() == []
+        harness.bank.check_invariants()
+
+    def test_invalid_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            DirectoryBank(
+                bank_index=0, node=1, cpu_nodes=[2],
+                profile=WORKLOADS["tpcw"], send=lambda m, d: None,
+                protocol="mosi",
+            )
+
+
+class TestMoesiSystem:
+    def test_trace_has_cache_to_cache_traffic(self):
+        _, stats = generate_trace(
+            make_2db(), WORKLOADS["barnes"], cycles=40000, seed=3,
+            protocol="moesi",
+        )
+        assert stats.cache_to_cache > 0
+        assert stats.messages_by_type.get("FwdGetS", 0) > 0
+
+    def test_moesi_reduces_writebacks(self):
+        _, mesi = generate_trace(
+            make_2db(), WORKLOADS["barnes"], cycles=40000, seed=3,
+            protocol="mesi",
+        )
+        _, moesi = generate_trace(
+            make_2db(), WORKLOADS["barnes"], cycles=40000, seed=3,
+            protocol="moesi",
+        )
+        assert moesi.messages_by_type.get("WbData", 0) <= mesi.messages_by_type.get(
+            "WbData", 0
+        )
+
+    def test_data_messages_sourced_by_l1s(self):
+        records, _ = generate_trace(
+            make_2db(), WORKLOADS["barnes"], cycles=40000, seed=3,
+            protocol="moesi",
+        )
+        config = make_2db()
+        cpu_nodes = set(config.cpu_nodes)
+        cpu_sourced_data = [
+            r for r in records
+            if r.payload_groups is not None
+            and r.src in cpu_nodes
+            and r.dst in cpu_nodes
+        ]
+        assert cpu_sourced_data, "expected CPU-to-CPU data packets"
+
+
+class TestMoesiClosedLoop:
+    def test_moesi_over_real_noc(self):
+        """MOESI coupled to the cycle-accurate network drains cleanly."""
+        from repro.cache.hierarchy import CmpTraffic
+        from repro.noc.simulator import Simulator
+
+        config = make_2db()
+        traffic = CmpTraffic(
+            config, WORKLOADS["barnes"], seed=5, issue_horizon=4000,
+            protocol="moesi",
+        )
+        network = config.build_network()
+        sim = Simulator(network, traffic, warmup_cycles=0,
+                        measure_cycles=4000, drain_cycles=40000,
+                        drain_to_quiescence=True)
+        result = sim.run()
+        assert not result.saturated
+        assert traffic.system.outstanding_mshrs() == 0
+        for bank in traffic.system.banks:
+            bank.check_invariants()
+
+
+#: Hypothesis access interleavings, as in test_protocol_properties.
+LINE_POOL = [0x40 * i for i in range(10)]
+PROFILE = dataclasses.replace(WORKLOADS["barnes"], working_set_lines=1024)
+
+
+def _drain(system, limit=200000):
+    while (system.pending_events() or system.outbox) and system.now < limit:
+        for _, msg in system.drain_outbox(system.now):
+            system.schedule(system.now + 8, lambda m=msg: system.dispatch(m))
+        if not system.pending_events():
+            break
+        system.advance_to(system._events[0][0])
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(
+    st.tuples(st.integers(0, 3), st.sampled_from(LINE_POOL), st.booleans()),
+    min_size=1, max_size=50,
+))
+def test_property_moesi_safety(accesses):
+    """Single-writer + directory agreement + liveness under MOESI."""
+    config = make_2db(width=4, height=4, num_cpus=4)
+    system = CmpSystem(config, PROFILE, seed=3, protocol="moesi")
+    system.set_issue_horizon(0)
+    system._events.clear()
+    for cpu, line, is_write in accesses:
+        system.l1s[cpu].access(line, is_write)
+        system.advance_to(system.now + 3)
+    _drain(system)
+    assert system.outstanding_mshrs() == 0
+    exclusive_holders = {}
+    for cpu, l1 in enumerate(system.l1s):
+        for line, state in l1.cache.resident_lines().items():
+            if state in (LineState.MODIFIED, LineState.EXCLUSIVE):
+                assert line not in exclusive_holders
+                exclusive_holders[line] = cpu
+    for bank in system.banks:
+        bank.check_invariants()
+        for line, entry in bank.entries.items():
+            if entry.busy:
+                continue
+            if entry.state is DirState.OWNED:
+                owner_state = system.l1s[entry.owner].cache.resident_lines().get(line)
+                assert owner_state is LineState.OWNED

@@ -1,0 +1,186 @@
+"""Network-level tests: delivery, conservation, credits, callbacks."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.noc.network import Network
+from repro.noc.packet import Packet, PacketClass, ctrl_packet, data_packet
+from repro.noc.simulator import Simulator
+from repro.topology.express_mesh import ExpressMesh
+from repro.topology.mesh2d import Mesh2D
+from repro.topology.mesh3d import Mesh3D
+from repro.traffic.base import ScheduledTraffic
+
+
+def _run_network(topology, packets, cycles=3000, **net_kwargs):
+    network = Network(topology, **net_kwargs)
+    sim = Simulator(
+        network,
+        ScheduledTraffic(packets),
+        warmup_cycles=0,
+        measure_cycles=cycles,
+        drain_cycles=cycles,
+    )
+    result = sim.run()
+    return network, result
+
+
+def test_every_packet_delivered_exactly_once():
+    packets = [ctrl_packet(i, (i + 7) % 12, created_cycle=i) for i in range(12)]
+    network, _ = _run_network(Mesh2D(4, 3, pitch_mm=1.0), packets)
+    for packet in packets:
+        assert packet.delivered_cycle is not None
+    assert network.stats.packets_delivered == 12
+
+
+def test_network_idle_after_drain():
+    packets = [data_packet(0, 8, created_cycle=0)]
+    network, _ = _run_network(Mesh2D(3, 3, pitch_mm=1.0), packets)
+    assert network.idle()
+    assert network.in_flight() == 0
+
+
+def test_flit_conservation():
+    """Flits written into buffers equal flits read out after drain."""
+    packets = [data_packet(i, (i + 5) % 9, created_cycle=2 * i) for i in range(9)]
+    network, _ = _run_network(Mesh2D(3, 3, pitch_mm=1.0), packets)
+    assert network.events.buffer_writes == network.events.buffer_reads
+
+
+def test_credits_restored_after_drain():
+    packets = [data_packet(0, 5, created_cycle=0), data_packet(5, 0, created_cycle=3)]
+    network, _ = _run_network(Mesh2D(3, 2, pitch_mm=1.0), packets)
+    for router in network.routers:
+        for port, credits in enumerate(router.credits):
+            if credits is None:
+                continue
+            for vc, value in enumerate(credits):
+                assert value == network.buffer_depth, (
+                    f"router {router.node} port {port} vc {vc} leaked credits"
+                )
+
+
+def test_out_vc_ownership_released():
+    packets = [data_packet(0, 5, created_cycle=0)]
+    network, _ = _run_network(Mesh2D(3, 2, pitch_mm=1.0), packets)
+    for router in network.routers:
+        for owners in router.out_owner:
+            assert all(owner is None for owner in owners)
+
+
+def test_delivery_callback_invoked():
+    seen = []
+    network = Network(Mesh2D(3, 1, pitch_mm=1.0))
+    network.delivery_callbacks.append(lambda p, c: seen.append((p.pid, c)))
+    packet = ctrl_packet(0, 2, created_cycle=0)
+    sim = Simulator(
+        network, ScheduledTraffic([packet]), warmup_cycles=0,
+        measure_cycles=100, drain_cycles=100,
+    )
+    sim.run()
+    assert seen == [(packet.pid, packet.delivered_cycle)]
+
+
+def test_packet_to_unknown_node_rejected():
+    network = Network(Mesh2D(2, 2, pitch_mm=1.0))
+    with pytest.raises(ValueError):
+        network.enqueue_packet(ctrl_packet(0, 99, created_cycle=0))
+
+
+def test_hops_counted_per_channel_traversal():
+    packets = [ctrl_packet(0, 3, created_cycle=0)]
+    _run_network(Mesh2D(4, 1, pitch_mm=1.0), packets)
+    assert packets[0].hops == 3
+
+
+def test_express_channel_reduces_hops():
+    express_packet = ctrl_packet(0, 4, created_cycle=0)
+    _run_network(ExpressMesh(6, 1, pitch_mm=1.0, span=2), [express_packet])
+    assert express_packet.hops == 2
+
+
+def test_3d_mesh_delivery():
+    mesh = Mesh3D(3, 3, 4, pitch_mm=1.0)
+    packets = [
+        data_packet(mesh.node_at((0, 0, 0)), mesh.node_at((2, 2, 3)), created_cycle=0)
+    ]
+    _run_network(mesh, packets)
+    assert packets[0].delivered_cycle is not None
+    assert packets[0].hops == 2 + 2 + 3
+
+
+def test_short_flit_hops_tracked():
+    packet = data_packet(0, 2, created_cycle=0, payload_groups=[1, 1, 1, 4, 4])
+    network, _ = _run_network(
+        Mesh2D(3, 1, pitch_mm=1.0), [packet], shutdown_enabled=True
+    )
+    # 5 flits x 3 router traversals (the destination's ejection crossbar
+    # counts too); 3 short flits (groups==1) x 3 routers.
+    assert network.events.flit_hops == 15
+    assert network.events.short_flit_hops == 9
+    assert network.events.short_flit_fraction == pytest.approx(0.6)
+
+
+def test_weighted_events_scale_with_active_groups():
+    full = data_packet(0, 2, created_cycle=0, payload_groups=[4, 4, 4, 4, 4])
+    net_full, _ = _run_network(
+        Mesh2D(3, 1, pitch_mm=1.0), [full], shutdown_enabled=True
+    )
+    short = data_packet(0, 2, created_cycle=0, payload_groups=[1, 1, 1, 1, 1])
+    net_short, _ = _run_network(
+        Mesh2D(3, 1, pitch_mm=1.0), [short], shutdown_enabled=True
+    )
+    assert net_full.events.xbar_traversals == net_short.events.xbar_traversals
+    assert net_short.events.xbar_traversals_weighted == pytest.approx(
+        net_full.events.xbar_traversals_weighted / 4
+    )
+
+
+def test_weights_ignored_when_shutdown_disabled():
+    short = data_packet(0, 2, created_cycle=0, payload_groups=[1, 1, 1, 1, 1])
+    network, _ = _run_network(
+        Mesh2D(3, 1, pitch_mm=1.0), [short], shutdown_enabled=False
+    )
+    assert network.events.xbar_traversals_weighted == pytest.approx(
+        float(network.events.xbar_traversals)
+    )
+
+
+def test_link_traversals_by_kind():
+    mesh = Mesh3D(2, 1, 2, pitch_mm=2.0)
+    packet = ctrl_packet(mesh.node_at((0, 0, 0)), mesh.node_at((1, 0, 1)),
+                         created_cycle=0)
+    network, _ = _run_network(mesh, [packet])
+    assert network.events.link_flits["normal"] == 1
+    assert network.events.link_flits["vertical"] == 1
+    assert network.events.link_mm_weighted["normal"] == pytest.approx(2.0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 8), st.integers(0, 8),
+            st.sampled_from([1, 5]), st.integers(0, 40),
+        ),
+        min_size=1,
+        max_size=25,
+    )
+)
+def test_property_random_packet_sets_all_delivered(specs):
+    """Any admissible packet set is fully delivered, flits conserved."""
+    packets = [
+        Packet(src=s, dst=d, size_flits=n,
+               klass=PacketClass.DATA if n > 1 else PacketClass.CTRL,
+               created_cycle=c)
+        for s, d, n, c in specs
+        if s != d
+    ]
+    if not packets:
+        return
+    network, _ = _run_network(Mesh2D(3, 3, pitch_mm=1.0), packets, cycles=5000)
+    for packet in packets:
+        assert packet.delivered_cycle is not None
+        assert packet.latency > 0
+    assert network.events.buffer_writes == network.events.buffer_reads
+    assert network.idle()

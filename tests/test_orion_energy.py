@@ -1,0 +1,136 @@
+"""Energy-model tests (Fig. 9 shape) and power integration tests."""
+
+import pytest
+
+from repro.core.arch import make_2db, make_3db, make_3dm, make_3dme
+from repro.noc.network import Network
+from repro.noc.packet import data_packet
+from repro.noc.simulator import Simulator
+from repro.power.energy import power_report
+from repro.power.orion import RouterEnergyModel
+from repro.topology.mesh2d import Mesh2D
+from repro.traffic.base import ScheduledTraffic
+
+
+@pytest.fixture
+def models():
+    return {
+        cfg.name: RouterEnergyModel.for_config(cfg)
+        for cfg in (make_2db(), make_3db(), make_3dm(), make_3dme())
+    }
+
+
+class TestFig9Shape:
+    def test_3dm_lowest_flit_energy(self, models):
+        """Fig. 9: 3DM has the lowest per-flit energy."""
+        totals = {n: m.flit_hop_energy_j() for n, m in models.items()}
+        assert min(totals, key=totals.get) == "3DM"
+
+    def test_3db_highest_flit_energy(self, models):
+        """Fig. 9: 3DB's 7x7 crossbar makes it the most expensive."""
+        totals = {n: m.flit_hop_energy_j() for n, m in models.items()}
+        assert max(totals, key=totals.get) == "3DB"
+
+    def test_3dm_saving_vs_2db_in_band(self, models):
+        """Paper reports ~35% energy reduction for 3DM over 2DB; our
+        calibration lands in the 30-55% band."""
+        saving = 1 - models["3DM"].flit_hop_energy_j() / models["2DB"].flit_hop_energy_j()
+        assert 0.30 <= saving <= 0.55
+
+    def test_link_is_biggest_3dm_saving(self, models):
+        """Sec. 3.4.2: 'the biggest savings for 3DM comes from the link
+        energy'."""
+        b2 = models["2DB"].flit_hop_breakdown()
+        b3 = models["3DM"].flit_hop_breakdown()
+        deltas = {k: b2[k] - b3[k] for k in b2}
+        assert max(deltas, key=deltas.get) == "link"
+
+    def test_crossbar_energy_scales_with_slice_length(self, models):
+        """3DM crossbar energy = 1/4 of 2DB (quarter wire length)."""
+        ratio = (
+            models["2DB"].xbar_traversal_j / models["3DM"].xbar_traversal_j
+        )
+        assert ratio == pytest.approx(4.0)
+
+    def test_buffer_energy_constant_across_archs(self, models):
+        """Same bits stored regardless of layering."""
+        writes = {n: m.buffer_write_j for n, m in models.items()}
+        assert len(set(writes.values())) == 1
+
+    def test_link_energy_proportional_to_length(self, models):
+        model = models["2DB"]
+        assert model.link_j_per_mm * 3.16 == pytest.approx(
+            2 * model.link_j_per_mm * 1.58
+        )
+
+    def test_breakdown_sums_to_total(self, models):
+        for model in models.values():
+            assert sum(model.flit_hop_breakdown().values()) == pytest.approx(
+                model.flit_hop_energy_j()
+            )
+
+    def test_breakdown_custom_link_length(self, models):
+        model = models["3DM-E"]
+        express = model.flit_hop_breakdown(link_length_mm=3.16)
+        normal = model.flit_hop_breakdown()
+        assert express["link"] == pytest.approx(2 * normal["link"])
+        assert express["buffer"] == normal["buffer"]
+
+
+class TestPowerReport:
+    def _events(self, shutdown=False, payload=None):
+        packet = data_packet(0, 2, created_cycle=0, payload_groups=payload)
+        network = Network(Mesh2D(3, 1, pitch_mm=1.0), shutdown_enabled=shutdown)
+        sim = Simulator(network, ScheduledTraffic([packet]),
+                        warmup_cycles=0, measure_cycles=100, drain_cycles=100)
+        result = sim.run()
+        return result.events
+
+    def test_power_positive_and_breakdown_sums(self, cfg_2db):
+        events = self._events()
+        report = power_report(cfg_2db, events, window_cycles=100)
+        assert report.dynamic_w > 0
+        assert report.leakage_w > 0
+        assert sum(report.breakdown_w.values()) == pytest.approx(report.dynamic_w)
+        assert report.total_w == pytest.approx(report.dynamic_w + report.leakage_w)
+
+    def test_power_halves_with_double_window(self, cfg_2db):
+        events = self._events()
+        p100 = power_report(cfg_2db, events, window_cycles=100)
+        p200 = power_report(cfg_2db, events, window_cycles=200)
+        assert p200.dynamic_w == pytest.approx(p100.dynamic_w / 2)
+
+    def test_short_flits_cut_separable_power(self, cfg_3dm):
+        full = self._events(shutdown=True, payload=[4] * 5)
+        short = self._events(shutdown=True, payload=[1] * 5)
+        p_full = power_report(cfg_3dm, full, 100, shutdown_enabled=True)
+        p_short = power_report(cfg_3dm, short, 100, shutdown_enabled=True)
+        assert p_short.breakdown_w["buffer"] == pytest.approx(
+            p_full.breakdown_w["buffer"] / 4
+        )
+        assert p_short.breakdown_w["crossbar"] == pytest.approx(
+            p_full.breakdown_w["crossbar"] / 4
+        )
+        assert p_short.dynamic_w < p_full.dynamic_w
+
+    def test_detector_overhead_charged_when_shutdown(self, cfg_3dm):
+        events = self._events(shutdown=True, payload=[4] * 5)
+        without = power_report(cfg_3dm, events, 100, shutdown_enabled=False)
+        with_sd = power_report(cfg_3dm, events, 100, shutdown_enabled=True)
+        assert with_sd.breakdown_w["arbitration"] > without.breakdown_w["arbitration"]
+
+    def test_pdp_scales_with_latency(self, cfg_2db):
+        events = self._events()
+        report = power_report(cfg_2db, events, 100)
+        assert report.pdp(20.0) == pytest.approx(2 * report.pdp(10.0))
+
+    def test_invalid_window_rejected(self, cfg_2db):
+        with pytest.raises(ValueError):
+            power_report(cfg_2db, self._events(), window_cycles=0)
+
+    def test_leakage_tracks_router_area(self):
+        """3DB's bigger router leaks more than 3DM's."""
+        events = self._events()
+        leak_3db = power_report(make_3db(), events, 100).leakage_w
+        leak_3dm = power_report(make_3dm(), events, 100).leakage_w
+        assert leak_3db > leak_3dm

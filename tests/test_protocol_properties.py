@@ -1,0 +1,122 @@
+"""Property-based coherence-protocol testing.
+
+Hypothesis drives the CMP hierarchy with arbitrary access interleavings
+(offline transport, drained to quiescence each time) and checks the MESI
+safety invariants: single writer, directory/L1 agreement, no stuck
+transactions.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cachesim import LineState
+from repro.cache.directory import DirState
+from repro.cache.hierarchy import CmpSystem
+from repro.core.arch import make_2db
+from repro.traffic.workloads import WORKLOADS
+
+#: Small line pool so Hypothesis finds real sharing conflicts.
+LINE_POOL = [0x40 * i for i in range(12)]
+
+#: A fast-issuing profile (the streams aren't used; accesses come from
+#: Hypothesis), with a small working set.
+PROFILE = dataclasses.replace(
+    WORKLOADS["barnes"], working_set_lines=1024
+)
+
+access_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),       # cpu
+        st.sampled_from(LINE_POOL),                  # line address
+        st.booleans(),                               # is_write
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def _drain(system: CmpSystem, limit: int = 200000) -> None:
+    while (system.pending_events() or system.outbox) and system.now < limit:
+        for _, msg in system.drain_outbox(system.now):
+            system.schedule(system.now + 8, lambda m=msg: system.dispatch(m))
+        if not system.pending_events():
+            break
+        nxt = system._events[0][0]
+        system.advance_to(nxt)
+
+
+def _fresh_system() -> CmpSystem:
+    config = make_2db(width=4, height=4, num_cpus=4)
+    system = CmpSystem(config, PROFILE, seed=3)
+    # Silence the autonomous CPU streams: only Hypothesis issues accesses.
+    system.set_issue_horizon(0)
+    system._events.clear()
+    return system
+
+
+@settings(max_examples=40, deadline=None)
+@given(access_strategy)
+def test_property_single_writer(accesses):
+    system = _fresh_system()
+    for cpu, line, is_write in accesses:
+        system.l1s[cpu].access(line, is_write)
+        system.advance_to(system.now + 3)
+    _drain(system)
+    assert system.outstanding_mshrs() == 0, "stuck transaction"
+    owners = {}
+    for cpu, l1 in enumerate(system.l1s):
+        for line, state in l1.cache.resident_lines().items():
+            if state in (LineState.MODIFIED, LineState.EXCLUSIVE):
+                assert line not in owners, (
+                    f"line {line:#x}: two exclusive holders"
+                )
+                owners[line] = cpu
+
+
+@settings(max_examples=25, deadline=None)
+@given(access_strategy)
+def test_property_directory_agrees_with_l1s(accesses):
+    system = _fresh_system()
+    for cpu, line, is_write in accesses:
+        system.l1s[cpu].access(line, is_write)
+        system.advance_to(system.now + 3)
+    _drain(system)
+    holders = {}
+    for cpu, l1 in enumerate(system.l1s):
+        for line, state in l1.cache.resident_lines().items():
+            holders.setdefault(line, {})[cpu] = state
+    for bank in system.banks:
+        bank.check_invariants()
+        for line, entry in bank.entries.items():
+            if entry.busy:
+                continue
+            for cpu, state in holders.get(line, {}).items():
+                if entry.state is DirState.SHARED:
+                    assert cpu in entry.sharers
+                    assert state is LineState.SHARED
+                elif entry.state is DirState.EXCLUSIVE:
+                    assert cpu == entry.owner
+                else:  # INVALID with residents would be a leak
+                    raise AssertionError(
+                        f"L1 {cpu} holds {line:#x} but directory says I"
+                    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(access_strategy)
+def test_property_shared_lines_never_modified(accesses):
+    """A SHARED directory line must not be dirty anywhere."""
+    system = _fresh_system()
+    for cpu, line, is_write in accesses:
+        system.l1s[cpu].access(line, is_write)
+        system.advance_to(system.now + 3)
+    _drain(system)
+    for bank in system.banks:
+        for line, entry in bank.entries.items():
+            if entry.state is not DirState.SHARED or entry.busy:
+                continue
+            for l1 in system.l1s:
+                resident = l1.cache.resident_lines().get(line)
+                assert resident is not LineState.MODIFIED
+                assert resident is not LineState.EXCLUSIVE

@@ -1,0 +1,60 @@
+"""Public-API surface tests: everything __all__ promises must import."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.noc",
+    "repro.topology",
+    "repro.traffic",
+    "repro.power",
+    "repro.thermal",
+    "repro.timing",
+    "repro.cache",
+    "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    module = importlib.import_module(package)
+    assert hasattr(module, "__all__"), f"{package} lacks __all__"
+    for name in module.__all__:
+        assert hasattr(module, name), f"{package}.{name} missing"
+
+
+def test_top_level_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_convenience_simulate_smoke():
+    import repro
+
+    config = repro.make_architecture(repro.Architecture.MIRA_3DM)
+    settings = repro.ExperimentSettings(
+        warmup_cycles=50, measure_cycles=300, drain_cycles=2000,
+        uniform_rates=(0.05,), nuca_rates=(0.05,), trace_cycles=1000,
+        workloads=("tpcw",), seed=1,
+    )
+    result = repro.simulate(config, flit_rate=0.05, settings=settings)
+    assert result.avg_latency > 0
+
+
+def test_no_all_entry_is_private():
+    for package in PACKAGES:
+        module = importlib.import_module(package)
+        for name in module.__all__:
+            if name == "__version__":
+                continue  # conventional dunder export
+            assert not name.startswith("_"), f"{package}.{name}"
+
+
+def test_docstrings_on_public_modules():
+    for package in PACKAGES:
+        module = importlib.import_module(package)
+        assert module.__doc__ and len(module.__doc__) > 40, package

@@ -1,0 +1,168 @@
+"""Routing-function tests: correctness, dimension order, express usage."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.express import average_hops, hop_count, route_path
+from repro.noc.routing import (
+    ExpressXYRouting,
+    XYRouting,
+    XYZRouting,
+    routing_for_topology,
+)
+from repro.topology.base import LOCAL_PORT
+from repro.topology.express_mesh import ExpressMesh
+from repro.topology.mesh2d import EAST, Mesh2D, SOUTH
+from repro.topology.mesh3d import Mesh3D
+
+
+@pytest.fixture
+def mesh():
+    return Mesh2D(6, 6, pitch_mm=1.0)
+
+
+@pytest.fixture
+def mesh3d():
+    return Mesh3D(3, 3, 4, pitch_mm=1.0)
+
+
+@pytest.fixture
+def express():
+    return ExpressMesh(6, 6, pitch_mm=1.0, span=2)
+
+
+def test_factory_picks_correct_function(mesh, mesh3d, express):
+    assert isinstance(routing_for_topology(mesh), XYRouting)
+    assert isinstance(routing_for_topology(mesh3d), XYZRouting)
+    assert isinstance(routing_for_topology(express), ExpressXYRouting)
+
+
+def test_xy_local_at_destination(mesh):
+    routing = XYRouting(mesh)
+    assert routing.output_port(7, 7) == LOCAL_PORT
+
+
+def test_xy_goes_east_first(mesh):
+    routing = XYRouting(mesh)
+    # From (0,0) to (3,3): X first.
+    assert routing.output_port(0, mesh.node_at((3, 3))) == EAST
+
+
+def test_xy_goes_south_when_x_done(mesh):
+    routing = XYRouting(mesh)
+    src = mesh.node_at((3, 0))
+    dst = mesh.node_at((3, 3))
+    assert routing.output_port(src, dst) == SOUTH
+
+
+def test_xy_path_is_manhattan(mesh):
+    src, dst = mesh.node_at((1, 1)), mesh.node_at((4, 5))
+    assert hop_count(mesh, src, dst) == 3 + 4
+
+
+def test_xyz_serves_all_pairs(mesh3d):
+    routing = XYZRouting(mesh3d)
+    for src in range(0, mesh3d.num_nodes, 7):
+        for dst in range(mesh3d.num_nodes):
+            if src == dst:
+                continue
+            path = route_path(mesh3d, src, dst, routing)
+            assert path[0] == src and path[-1] == dst
+
+
+def test_xyz_hop_count_is_manhattan(mesh3d):
+    src = mesh3d.node_at((0, 0, 0))
+    dst = mesh3d.node_at((2, 1, 3))
+    assert hop_count(mesh3d, src, dst) == 2 + 1 + 3
+
+
+def test_express_uses_express_channel_for_long_runs(express):
+    routing = ExpressXYRouting(express)
+    src = express.node_at((0, 0))
+    dst = express.node_at((4, 0))
+    # 4 hops east -> 2 express hops.
+    assert hop_count(express, src, dst, routing) == 2
+
+
+def test_express_odd_distance_mixes_channels(express):
+    routing = ExpressXYRouting(express)
+    src = express.node_at((0, 0))
+    dst = express.node_at((5, 0))
+    # EE, EE, E: 3 hops.
+    assert hop_count(express, src, dst, routing) == 3
+
+
+def test_express_short_distance_uses_normal(express):
+    routing = ExpressXYRouting(express)
+    src = express.node_at((2, 2))
+    dst = express.node_at((3, 2))
+    port = routing.output_port(src, dst)
+    assert port == EAST
+
+
+def test_express_x_before_y(express):
+    routing = ExpressXYRouting(express)
+    src = express.node_at((0, 0))
+    dst = express.node_at((4, 4))
+    path = route_path(express, src, dst, routing)
+    xs = [express.coordinates(n)[0] for n in path]
+    # X strictly completes before Y moves.
+    assert xs == sorted(xs)
+    assert xs[: xs.index(4) + 1][-1] == 4
+
+
+def test_express_average_hops_below_mesh(mesh, express):
+    assert average_hops(express) < average_hops(mesh)
+
+
+def test_average_hops_uniform_6x6_value(mesh):
+    # E[|dx|] + E[|dy|] over ordered distinct pairs = 2 * (k+1)/3 * ... ;
+    # for k=6 the exact value over distinct pairs is 2 * (35/18) * 36/35.
+    expected = 2 * (35 / 18) * 36 / 35
+    assert average_hops(mesh) == pytest.approx(expected, rel=1e-9)
+
+
+def test_route_path_livelock_guard(mesh):
+    class BrokenRouting:
+        def output_port(self, node, dst):
+            return EAST if node % 6 < 5 else "W"
+
+    with pytest.raises(RuntimeError):
+        route_path(mesh, 0, mesh.node_at((0, 3)), BrokenRouting())
+
+
+@settings(max_examples=60)
+@given(st.integers(min_value=0, max_value=35), st.integers(min_value=0, max_value=35))
+def test_property_xy_reaches_destination(src, dst):
+    mesh = Mesh2D(6, 6, pitch_mm=1.0)
+    if src == dst:
+        return
+    path = route_path(mesh, src, dst)
+    assert path[-1] == dst
+    assert len(path) - 1 == hop_count(mesh, src, dst)
+
+
+@settings(max_examples=60)
+@given(st.integers(min_value=0, max_value=35), st.integers(min_value=0, max_value=35))
+def test_property_express_never_overshoots(src, dst):
+    """Express routing reaches the destination without leaving the
+    bounding box of src/dst (monotone progress, deadlock-free order)."""
+    express = ExpressMesh(6, 6, pitch_mm=1.0, span=2)
+    if src == dst:
+        return
+    sx, sy = express.coordinates(src)
+    dx, dy = express.coordinates(dst)
+    for node in route_path(express, src, dst):
+        x, y = express.coordinates(node)
+        assert min(sx, dx) <= x <= max(sx, dx)
+        assert min(sy, dy) <= y <= max(sy, dy)
+
+
+@settings(max_examples=40)
+@given(st.integers(min_value=0, max_value=35), st.integers(min_value=0, max_value=35))
+def test_property_express_no_slower_than_mesh(src, dst):
+    if src == dst:
+        return
+    mesh = Mesh2D(6, 6, pitch_mm=1.0)
+    express = ExpressMesh(6, 6, pitch_mm=1.0, span=2)
+    assert hop_count(express, src, dst) <= hop_count(mesh, src, dst)

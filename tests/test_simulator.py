@@ -1,0 +1,169 @@
+"""Simulator orchestration tests: windows, drain, saturation, stats."""
+
+import pytest
+
+from repro.noc.network import Network
+from repro.noc.packet import PacketClass, ctrl_packet, data_packet
+from repro.noc.simulator import Simulator
+from repro.topology.mesh2d import Mesh2D
+from repro.traffic.base import BaseTraffic, ScheduledTraffic
+from repro.traffic.synthetic import UniformRandomTraffic
+
+
+def test_only_window_packets_measured():
+    packets = [
+        ctrl_packet(0, 3, created_cycle=5),     # warmup: not measured
+        ctrl_packet(0, 3, created_cycle=60),    # window: measured
+        ctrl_packet(3, 0, created_cycle=70),    # window: measured
+    ]
+    network = Network(Mesh2D(4, 1, pitch_mm=1.0))
+    sim = Simulator(
+        network, ScheduledTraffic(packets),
+        warmup_cycles=50, measure_cycles=100, drain_cycles=500,
+    )
+    result = sim.run()
+    assert result.packets_measured == 2
+    assert result.packets_delivered == 3
+
+
+def test_avg_latency_matches_manual_mean():
+    packets = [ctrl_packet(0, 1, created_cycle=10 + i) for i in range(5)]
+    network = Network(Mesh2D(2, 1, pitch_mm=1.0))
+    sim = Simulator(
+        network, ScheduledTraffic(packets),
+        warmup_cycles=0, measure_cycles=100, drain_cycles=500,
+    )
+    result = sim.run()
+    manual = sum(p.latency for p in packets) / len(packets)
+    assert result.avg_latency == pytest.approx(manual)
+
+
+def test_event_counts_cover_only_window():
+    """Events from warm-up traffic are excluded from the reported delta."""
+    early = [data_packet(0, 3, created_cycle=0)]
+    late = [data_packet(0, 3, created_cycle=100)]
+    network = Network(Mesh2D(4, 1, pitch_mm=1.0))
+    sim = Simulator(
+        network, ScheduledTraffic(early + late),
+        warmup_cycles=80, measure_cycles=200, drain_cycles=500,
+    )
+    result = sim.run()
+    # Only the late packet's flits traverse during the window: 5 flits x 4
+    # routers = 20 hops.
+    assert result.events.flit_hops == 20
+
+
+def test_drain_cap_flags_saturation():
+    class Flood(BaseTraffic):
+        def packets_for_cycle(self, cycle):
+            # Far beyond a 1-flit/cycle ejection port's capacity.
+            return [data_packet(src, 1, created_cycle=cycle)
+                    for src in (0, 2, 3)]
+
+    network = Network(Mesh2D(4, 1, pitch_mm=1.0))
+    sim = Simulator(
+        network, Flood(), warmup_cycles=10, measure_cycles=50, drain_cycles=30,
+    )
+    result = sim.run()
+    assert result.saturated
+
+
+def test_unsaturated_run_not_flagged():
+    network = Network(Mesh2D(4, 1, pitch_mm=1.0))
+    sim = Simulator(
+        network,
+        UniformRandomTraffic(num_nodes=4, flit_rate=0.02, seed=5),
+        warmup_cycles=100, measure_cycles=400, drain_cycles=4000,
+    )
+    result = sim.run()
+    assert not result.saturated
+    assert result.packets_measured > 0
+
+
+def test_throughput_tracks_offered_load():
+    rate = 0.1
+    network = Network(Mesh2D(6, 6, pitch_mm=1.0))
+    sim = Simulator(
+        network,
+        UniformRandomTraffic(num_nodes=36, flit_rate=rate, seed=9),
+        warmup_cycles=300, measure_cycles=2000, drain_cycles=10000,
+    )
+    result = sim.run()
+    assert result.throughput == pytest.approx(rate, rel=0.15)
+    assert result.accepted_throughput == pytest.approx(rate, rel=0.15)
+
+
+def test_accepted_throughput_plateaus_at_overload():
+    """Offered 0.8 flits/node/cycle >> capacity: the within-window
+    accepted throughput must fall well short of the offered load."""
+    network = Network(Mesh2D(6, 6, pitch_mm=1.0))
+    sim = Simulator(
+        network,
+        UniformRandomTraffic(num_nodes=36, flit_rate=0.8, seed=9),
+        warmup_cycles=300, measure_cycles=1500, drain_cycles=500,
+    )
+    result = sim.run()
+    assert result.accepted_throughput < 0.7
+
+
+def test_latency_by_class_reported():
+    packets = [
+        ctrl_packet(0, 3, created_cycle=10),
+        data_packet(0, 3, created_cycle=20),
+    ]
+    network = Network(Mesh2D(4, 1, pitch_mm=1.0))
+    sim = Simulator(
+        network, ScheduledTraffic(packets),
+        warmup_cycles=0, measure_cycles=100, drain_cycles=500,
+    )
+    result = sim.run()
+    assert result.avg_latency_by_class["ctrl"] == packets[0].latency
+    assert result.avg_latency_by_class["data"] == packets[1].latency
+    # Serialization makes the 5-flit data packet slower.
+    assert (
+        result.avg_latency_by_class["data"]
+        > result.avg_latency_by_class["ctrl"]
+    )
+
+
+def test_closed_loop_responses_scheduled():
+    """on_delivered responses with future created_cycle are injected."""
+
+    class RequestResponse(BaseTraffic):
+        def __init__(self):
+            self.responses = []
+
+        def packets_for_cycle(self, cycle):
+            if cycle == 0:
+                req = ctrl_packet(0, 3, created_cycle=0)
+                req.reply_tag = "req"
+                return [req]
+            return ()
+
+        def on_delivered(self, packet, cycle):
+            if packet.reply_tag == "req":
+                resp = data_packet(3, 0, created_cycle=cycle + 4)
+                resp.reply_tag = "resp"
+                self.responses.append(resp)
+                return [resp]
+            return ()
+
+    traffic = RequestResponse()
+    network = Network(Mesh2D(4, 1, pitch_mm=1.0))
+    sim = Simulator(network, traffic, warmup_cycles=0,
+                    measure_cycles=200, drain_cycles=500)
+    sim.run()
+    assert len(traffic.responses) == 1
+    response = traffic.responses[0]
+    assert response.delivered_cycle is not None
+    assert response.injected_cycle >= response.created_cycle
+
+
+def test_invalid_cycle_budgets_rejected():
+    network = Network(Mesh2D(2, 1, pitch_mm=1.0))
+    with pytest.raises(ValueError):
+        Simulator(network, ScheduledTraffic([]), warmup_cycles=-1,
+                  measure_cycles=10, drain_cycles=10)
+    with pytest.raises(ValueError):
+        Simulator(network, ScheduledTraffic([]), warmup_cycles=0,
+                  measure_cycles=0, drain_cycles=10)

@@ -1,0 +1,109 @@
+"""Report-generator tests + cross-cutting simulator invariants."""
+
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings as hyp_settings, strategies as st
+
+from repro.experiments.summary import (
+    SECTIONS,
+    collect_artifacts,
+    render_report,
+    write_report,
+)
+from repro.noc.network import Network
+from repro.noc.packet import Packet, PacketClass
+from repro.noc.simulator import Simulator
+from repro.topology.mesh2d import Mesh2D
+from repro.traffic.base import ScheduledTraffic
+
+
+class TestSummary:
+    def _results_dir(self, tmp_path, stems):
+        results = tmp_path / "results"
+        results.mkdir()
+        for stem in stems:
+            (results / f"{stem}.txt").write_text(f"content of {stem}\n")
+        return results
+
+    def test_collect_known_artifacts_only(self, tmp_path):
+        results = self._results_dir(
+            tmp_path, ["table1_area", "not_a_known_artifact"]
+        )
+        artifacts = collect_artifacts(results)
+        assert "table1_area" in artifacts
+        assert "not_a_known_artifact" not in artifacts
+
+    def test_render_includes_sections_and_missing_list(self, tmp_path):
+        results = self._results_dir(tmp_path, ["table1_area"])
+        report = render_report(collect_artifacts(results))
+        assert "Table 1" in report
+        assert "content of table1_area" in report
+        assert "Not present in this run" in report
+
+    def test_write_report(self, tmp_path):
+        results = self._results_dir(tmp_path, ["table1_area", "fig12d_pdp"])
+        output = write_report(results)
+        assert output == results / "REPORT.md"
+        assert "fig12d" in output.read_text() or "power-delay" in output.read_text()
+
+    def test_write_report_missing_dir(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            write_report(tmp_path / "nope")
+
+    def test_write_report_empty_dir(self, tmp_path):
+        empty = tmp_path / "results"
+        empty.mkdir()
+        with pytest.raises(FileNotFoundError):
+            write_report(empty)
+
+    def test_sections_cover_every_table_and_figure(self):
+        stems = {stem for stem, _ in SECTIONS}
+        for expected in (
+            "fig01_data_patterns", "fig02_packet_types", "table1_area",
+            "table2_parameters", "table3_delays", "fig09_energy_breakdown",
+            "fig11a_latency_uniform", "fig11b_latency_nuca",
+            "fig11c_latency_traces", "fig11d_hop_counts",
+            "fig12a_power_uniform", "fig12b_power_nuca",
+            "fig12c_power_traces", "fig12d_pdp", "fig13a_short_flits",
+            "fig13b_shutdown_savings", "fig13c_temperature_reduction",
+        ):
+            assert expected in stems
+
+
+class TestLatencyLowerBounds:
+    """Cycle-exact lower bounds: no packet can beat the pipeline."""
+
+    @hyp_settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=15),
+        st.sampled_from([1, 5]),
+        st.booleans(),
+    )
+    def test_property_latency_at_least_pipeline_bound(
+        self, src, dst, size, combined
+    ):
+        if src == dst:
+            return
+        mesh = Mesh2D(4, 4, pitch_mm=1.0)
+        packet = Packet(
+            src=src, dst=dst, size_flits=size,
+            klass=PacketClass.DATA if size > 1 else PacketClass.CTRL,
+            created_cycle=0,
+        )
+        network = Network(mesh, combined_st_lt=combined)
+        sim = Simulator(network, ScheduledTraffic([packet]),
+                        warmup_cycles=0, measure_cycles=100, drain_cycles=400)
+        sim.run()
+        sx, sy = mesh.coordinates(src)
+        dx, dy = mesh.coordinates(dst)
+        hops = abs(sx - dx) + abs(sy - dy)
+        per_hop = 4 if combined else 5
+        # per-hop pipeline spans + the destination router's RC/VA/SA and
+        # single-cycle ejection (3 cycles) + tail serialisation.
+        lower_bound = hops * per_hop + 3 + (size - 1)
+        assert packet.latency >= lower_bound
+        # Zero contention: the bound is met exactly.
+        assert packet.latency == lower_bound
+        assert packet.hops == hops

@@ -1,0 +1,163 @@
+"""Thermal model tests: stack physics, floorplans, solver invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.arch import make_2db, make_3db, make_3dm
+from repro.thermal.floorplan import MULTILAYER_ROUTER_SPLIT, Floorplan, floorplan_for
+from repro.thermal.hotspot import steady_state, temperature_drop
+from repro.thermal.solver import ThermalGrid
+from repro.thermal.stack import AMBIENT_K, StackParameters
+
+
+class TestStackParameters:
+    def test_lateral_conductance_independent_of_pitch(self):
+        params = StackParameters()
+        assert params.lateral_conductance(1e-3) == params.lateral_conductance(2e-3)
+
+    def test_vertical_conductance_scales_with_area(self):
+        params = StackParameters()
+        assert params.vertical_conductance(2e-6) == pytest.approx(
+            2 * params.vertical_conductance(1e-6)
+        )
+
+    def test_sink_conductance_inverse_resistance(self):
+        params = StackParameters(sink_resistance_k_m2_w=1e-4)
+        assert params.sink_conductance(1e-6) == pytest.approx(1e-2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StackParameters(k_silicon_w_mk=0)
+
+
+class TestFloorplans:
+    def test_2db_single_layer(self):
+        fp = floorplan_for(make_2db())
+        assert fp.layers == 1 and fp.ny == 6 and fp.nx == 6
+
+    def test_2db_cpu_cells_hot(self):
+        config = make_2db()
+        fp = floorplan_for(config)
+        cpu = config.cpu_nodes[0]
+        y, x = divmod(cpu, 6)
+        assert fp.power_w[0, y, x] == pytest.approx(8.0)
+        cache = config.cache_nodes[0]
+        y, x = divmod(cache, 6)
+        assert fp.power_w[0, y, x] == pytest.approx(0.1)
+
+    def test_total_power_conserved(self):
+        config = make_3dm()
+        router_power = [0.05] * 36
+        fp = floorplan_for(config, router_power)
+        expected = 8 * 8.0 + 28 * 0.1 + 36 * 0.05
+        assert fp.total_power_w == pytest.approx(expected)
+
+    def test_3dm_router_split_follows_layer_plan(self):
+        config = make_3dm()
+        fp = floorplan_for(config, [1.0] * 36)
+        cache = config.cache_nodes[0]
+        y, x = divmod(cache, 6)
+        core_per_layer = 0.1 / 4
+        for layer, frac in enumerate(MULTILAYER_ROUTER_SPLIT):
+            assert fp.power_w[layer, y, x] == pytest.approx(core_per_layer + frac)
+
+    def test_3db_cpus_map_to_thermal_top(self):
+        config = make_3db()
+        fp = floorplan_for(config, [0.0] * 36)
+        # All 8 CPUs on thermal layer 0 (the topology's z=3).
+        assert np.isclose(fp.power_w[0], 8.0).sum() == 8
+        assert np.isclose(fp.power_w[1:], 8.0).sum() == 0
+
+    def test_router_power_length_validated(self):
+        with pytest.raises(ValueError):
+            floorplan_for(make_2db(), [0.1] * 10)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            Floorplan("x", 1, 2, 2, 1e-3, np.array([[[1.0, -1.0], [0.0, 0.0]]]))
+
+
+class TestSolver:
+    def test_zero_power_gives_ambient(self):
+        fp = floorplan_for(make_2db(), [0.0] * 36, cpu_power_w=0.0,
+                           cache_power_w=0.0)
+        temps = ThermalGrid(fp).solve()
+        assert np.allclose(temps, AMBIENT_K)
+
+    def test_temperatures_above_ambient_with_power(self):
+        fp = floorplan_for(make_2db())
+        temps = ThermalGrid(fp).solve()
+        assert (temps > AMBIENT_K).all()
+
+    def test_energy_balance(self):
+        """Steady state: heat into the sink equals total power."""
+        fp = floorplan_for(make_3dm(), [0.1] * 36)
+        grid = ThermalGrid(fp)
+        temps = grid.solve()
+        g_sink = grid.params.sink_conductance(fp.cell_area_m2)
+        into_sink = g_sink * (temps[0] - grid.params.ambient_k).sum()
+        assert into_sink == pytest.approx(fp.total_power_w, rel=1e-6)
+
+    def test_bottom_layers_hotter_in_stack(self):
+        result = steady_state(make_3dm(), [0.1] * 36)
+        layers = result.per_layer_avg_k
+        assert layers == sorted(layers)  # top (sink side) coolest
+
+    def test_cpu_region_is_hotspot(self):
+        config = make_2db()
+        fp = floorplan_for(config)
+        temps = ThermalGrid(fp).solve()
+        cpu = config.cpu_nodes[0]
+        y, x = divmod(cpu, 6)
+        assert temps[0, y, x] == pytest.approx(temps.max(), rel=0.05)
+
+    def test_power_shape_validated(self):
+        fp = floorplan_for(make_2db())
+        grid = ThermalGrid(fp)
+        with pytest.raises(ValueError):
+            grid.solve(np.zeros((2, 6, 6)))
+
+    def test_superposition(self):
+        """The network is linear: temperatures superpose."""
+        fp = floorplan_for(make_2db(), cpu_power_w=0.0, cache_power_w=0.0)
+        grid = ThermalGrid(fp)
+        p1 = np.zeros_like(fp.power_w); p1[0, 0, 0] = 1.0
+        p2 = np.zeros_like(fp.power_w); p2[0, 5, 5] = 2.0
+        t1 = grid.solve(p1) - AMBIENT_K
+        t2 = grid.solve(p2) - AMBIENT_K
+        t12 = grid.solve(p1 + p2) - AMBIENT_K
+        assert np.allclose(t12, t1 + t2, atol=1e-9)
+
+
+class TestHotspotApi:
+    def test_steady_state_reports(self):
+        result = steady_state(make_3dm(), [0.05] * 36)
+        assert result.name == "3DM"
+        assert result.max_k >= result.avg_k
+        assert len(result.per_layer_avg_k) == 4
+        assert result.total_power_w == pytest.approx(8 * 8 + 28 * 0.1 + 36 * 0.05)
+
+    def test_temperature_drop_positive_for_power_cut(self):
+        drop = temperature_drop(make_3dm(), [0.2] * 36, [0.1] * 36)
+        assert drop > 0
+
+    def test_temperature_drop_zero_for_same_power(self):
+        assert temperature_drop(make_3dm(), [0.1] * 36, [0.1] * 36) == pytest.approx(0.0)
+
+    def test_3d_stacks_run_hotter_than_2d(self):
+        """Same 36 tiles and power, quarter footprint: higher density."""
+        t2d = steady_state(make_2db(), [0.1] * 36)
+        t3d = steady_state(make_3dm(), [0.1] * 36)
+        assert t3d.avg_k > t2d.avg_k
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.floats(min_value=0.0, max_value=0.3))
+def test_property_drop_monotone_in_power_delta(delta):
+    base = [0.3] * 36
+    reduced = [0.3 - delta] * 36
+    drop = temperature_drop(make_3dm(), base, reduced)
+    assert drop >= -1e-9
+    bigger = temperature_drop(make_3dm(), base, [0.3 - delta / 2] * 36)
+    assert drop >= bigger - 1e-9

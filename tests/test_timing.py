@@ -1,0 +1,105 @@
+"""Timing-model tests: the Tables 2/3 reproduction must be near-exact."""
+
+import pytest
+
+from repro.experiments.area_tables import PAPER_TABLE3, table2_parameters, table3_delays
+from repro.timing.delay import (
+    can_combine_st_lt,
+    crossbar_delay_ps,
+    crossbar_side_um,
+    link_delay_ps,
+    stage_delay_report,
+)
+from repro.timing.wires import (
+    repeated_wire_delay_ps,
+    unbuffered_crossbar_delay_ps,
+)
+
+
+class TestWirePrimitives:
+    def test_repeated_wire_linear(self):
+        assert repeated_wire_delay_ps(2.0) == pytest.approx(
+            2 * repeated_wire_delay_ps(1.0)
+        )
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            repeated_wire_delay_ps(-1.0)
+        with pytest.raises(ValueError):
+            unbuffered_crossbar_delay_ps(-1.0)
+
+    def test_crossbar_delay_superlinear(self):
+        """Unrepeated RC wire: doubling length more than doubles the
+        wire-dependent part."""
+        base = unbuffered_crossbar_delay_ps(0.0)
+        d1 = unbuffered_crossbar_delay_ps(300.0) - base
+        d2 = unbuffered_crossbar_delay_ps(600.0) - base
+        assert d2 > 2 * d1
+
+
+class TestCrossbarGeometry:
+    def test_2db_side(self):
+        assert crossbar_side_um(5, 128, 1) == pytest.approx(480.0)
+
+    def test_3dm_side_quartered(self):
+        """Sec. 3.4.1: crossbar length shortened by 1/4."""
+        assert crossbar_side_um(5, 128, 4) == pytest.approx(120.0)
+
+    def test_3dme_side(self):
+        assert crossbar_side_um(9, 128, 4) == pytest.approx(216.0)
+
+    def test_indivisible_width_rejected(self):
+        with pytest.raises(ValueError):
+            crossbar_side_um(5, 100, 3)
+
+
+class TestTable3:
+    """The fitted delay model must reproduce the paper's Table 3."""
+
+    @pytest.mark.parametrize(
+        "name,ports,layers,link_mm",
+        [("2DB", 5, 1, 3.16), ("3DM", 5, 4, 1.58), ("3DM-E", 9, 4, 3.16)],
+    )
+    def test_xbar_delay_matches_paper(self, name, ports, layers, link_mm):
+        delay = crossbar_delay_ps(ports, 128, layers)
+        assert delay == pytest.approx(PAPER_TABLE3[name]["xbar_ps"], rel=0.001)
+
+    @pytest.mark.parametrize(
+        "name,link_mm", [("2DB", 3.16), ("3DM", 1.58), ("3DM-E", 3.16)]
+    )
+    def test_link_delay_matches_paper(self, name, link_mm):
+        assert link_delay_ps(link_mm) == pytest.approx(
+            PAPER_TABLE3[name]["link_ps"], rel=0.001
+        )
+
+    def test_combination_verdicts_match_paper(self):
+        for report in table3_delays():
+            assert report.can_combine == PAPER_TABLE3[report.name]["combined"]
+
+    def test_2db_combined_exceeds_budget(self):
+        report = stage_delay_report("2DB", 5, 128, 1, 3.16)
+        assert report.combined_ps == pytest.approx(688.05, rel=0.001)
+        assert report.combined_ps > report.budget_ps
+
+    def test_3dm_combined_fits(self):
+        report = stage_delay_report("3DM", 5, 128, 4, 1.58)
+        assert report.combined_ps == pytest.approx(297.60, rel=0.001)
+
+    def test_3dme_barely_fits(self):
+        """3DM-E lands at 492 ps against the 500 ps budget."""
+        report = stage_delay_report("3DM-E", 9, 128, 4, 3.16)
+        assert report.combined_ps == pytest.approx(492.33, rel=0.001)
+        assert 0 < report.budget_ps - report.combined_ps < 10
+
+
+class TestCanCombine:
+    def test_tighter_budget_flips_3dme(self):
+        assert can_combine_st_lt(9, 128, 4, 3.16, budget_ps=500.0)
+        assert not can_combine_st_lt(9, 128, 4, 3.16, budget_ps=490.0)
+
+    def test_table2_parameters_exposed(self):
+        params = table2_parameters()
+        assert params["inverter_delay_ps"] == pytest.approx(9.81)
+        assert params["reference_wire_ps_per_mm"] == pytest.approx(254.0)
+        assert params["link_length_2db_mm"] == pytest.approx(3.16)
+        assert params["link_length_3dm_mm"] == pytest.approx(1.58)

@@ -1,0 +1,70 @@
+"""Topology base-class validation tests."""
+
+import pytest
+
+from repro.topology.base import LinkKind, LinkSpec, Topology
+
+
+def _link(src=0, dst=1, src_port="E", dst_port="W", length=1.0, span=1):
+    return LinkSpec(
+        src=src, dst=dst, src_port=src_port, dst_port=dst_port,
+        kind=LinkKind.NORMAL, length_mm=length, span=span,
+    )
+
+
+class TestValidation:
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(0, [])
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(2, [_link(src=0, dst=5)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(2, [_link(src=1, dst=1)])
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(2, [_link(length=-1.0)])
+
+    def test_zero_span_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(2, [_link(span=0)])
+
+    def test_duplicate_output_port_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(3, [_link(0, 1, "E", "W"), _link(0, 2, "E", "W")])
+
+    def test_duplicate_input_port_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(3, [_link(0, 2, "E", "W"), _link(1, 2, "N", "W")])
+
+
+class TestPortTables:
+    def test_out_and_in_ports_consistent(self):
+        topo = Topology(2, [_link(0, 1, "E", "W"), _link(1, 0, "W", "E")])
+        assert topo.out_ports[0]["E"].dst == 1
+        assert topo.in_ports[1]["W"].src == 0
+        assert topo.degree(0) == 1
+        assert topo.neighbors(0) == [1]
+
+    def test_port_names_deduplicate_in_out(self):
+        topo = Topology(2, [_link(0, 1, "E", "W"), _link(1, 0, "W", "E")])
+        # Node 0 uses "E" for output and input: one entry after local.
+        assert topo.port_names(0) == ["L", "E"]
+
+    def test_asymmetric_link_shows_on_both_tables(self):
+        topo = Topology(2, [_link(0, 1, "E", "W")])
+        assert "E" in topo.port_names(0)
+        assert "W" in topo.port_names(1)
+
+    def test_max_radix_counts_local(self):
+        topo = Topology(2, [_link(0, 1, "E", "W"), _link(1, 0, "W", "E")])
+        assert topo.max_radix() == 2
+
+    def test_coordinates_abstract(self):
+        topo = Topology(2, [_link(0, 1, "E", "W")])
+        with pytest.raises(NotImplementedError):
+            topo.coordinates(0)

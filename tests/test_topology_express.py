@@ -1,0 +1,90 @@
+"""Unit tests for the express mesh (3DM-E topology, Fig. 7)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.topology.base import LinkKind
+from repro.topology.express_mesh import (
+    EXPRESS_EAST,
+    EXPRESS_NORTH,
+    EXPRESS_SOUTH,
+    EXPRESS_WEST,
+    ExpressMesh,
+)
+
+
+def test_contains_all_normal_mesh_links():
+    express = ExpressMesh(6, 6, pitch_mm=1.58, span=2)
+    normal = [l for l in express.links if l.kind is LinkKind.NORMAL]
+    assert len(normal) == 2 * 5 * 6 + 2 * 6 * 5
+
+
+def test_express_links_have_span_and_length():
+    express = ExpressMesh(6, 6, pitch_mm=1.58, span=2)
+    for link in express.links:
+        if link.kind is LinkKind.EXPRESS:
+            assert link.span == 2
+            assert link.length_mm == pytest.approx(3.16)
+
+
+def test_express_east_skips_span_tiles():
+    express = ExpressMesh(6, 6, pitch_mm=1.0, span=2)
+    link = express.out_ports[0][EXPRESS_EAST]
+    assert express.coordinates(link.dst) == (2, 0)
+    assert link.dst_port == EXPRESS_WEST
+
+
+def test_max_radix_is_nine():
+    """Interior 3DM-E routers have 9 ports (Sec. 3.3)."""
+    express = ExpressMesh(6, 6, pitch_mm=1.0, span=2)
+    assert express.max_radix() == 9
+
+
+def test_corner_has_only_outgoing_express_into_grid():
+    express = ExpressMesh(6, 6, pitch_mm=1.0, span=2)
+    ports = express.express_ports(0)
+    assert set(ports) == {EXPRESS_EAST, EXPRESS_SOUTH}
+
+
+def test_near_edge_node_missing_one_express():
+    express = ExpressMesh(6, 6, pitch_mm=1.0, span=2)
+    # x=1: express west would land at x=-1.
+    node = express.node_at((1, 2))
+    ports = express.express_ports(node)
+    assert EXPRESS_WEST not in ports
+    assert EXPRESS_EAST in ports
+    assert EXPRESS_NORTH in ports
+    assert EXPRESS_SOUTH in ports
+
+
+def test_express_count_span2_6x6():
+    # Per row: x from 0..3 have EE (4) and x from 2..5 have WW (4).
+    express = ExpressMesh(6, 6, pitch_mm=1.0, span=2)
+    ee = [l for l in express.links if l.src_port == EXPRESS_EAST]
+    assert len(ee) == 4 * 6
+
+
+def test_span_one_rejected():
+    with pytest.raises(ValueError):
+        ExpressMesh(6, 6, pitch_mm=1.0, span=1)
+
+
+def test_span_three_lands_three_away():
+    express = ExpressMesh(6, 6, pitch_mm=1.0, span=3)
+    link = express.out_ports[0][EXPRESS_EAST]
+    assert express.coordinates(link.dst) == (3, 0)
+
+
+@given(
+    st.integers(min_value=3, max_value=8),
+    st.integers(min_value=3, max_value=8),
+    st.integers(min_value=2, max_value=3),
+)
+def test_property_express_links_paired(width, height, span):
+    """Every express link has a reverse express link."""
+    express = ExpressMesh(width, height, pitch_mm=1.0, span=span)
+    express_links = {
+        (l.src, l.dst) for l in express.links if l.kind is LinkKind.EXPRESS
+    }
+    for src, dst in express_links:
+        assert (dst, src) in express_links

@@ -1,0 +1,129 @@
+"""Unit tests for the 2D mesh topology."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.topology.base import LOCAL_PORT, LinkKind
+from repro.topology.mesh2d import EAST, Mesh2D, NORTH, OPPOSITE, SOUTH, WEST
+
+
+def test_node_count():
+    mesh = Mesh2D(6, 6, pitch_mm=3.16)
+    assert mesh.num_nodes == 36
+
+
+def test_link_count_matches_formula():
+    # Directed links: 2 * (width-1)*height + 2 * width*(height-1).
+    mesh = Mesh2D(6, 6, pitch_mm=1.0)
+    assert len(mesh.links) == 2 * 5 * 6 + 2 * 6 * 5
+
+
+def test_coordinates_row_major():
+    mesh = Mesh2D(6, 6, pitch_mm=1.0)
+    assert mesh.coordinates(0) == (0, 0)
+    assert mesh.coordinates(5) == (5, 0)
+    assert mesh.coordinates(6) == (0, 1)
+    assert mesh.coordinates(35) == (5, 5)
+
+
+def test_node_at_inverts_coordinates():
+    mesh = Mesh2D(4, 3, pitch_mm=1.0)
+    for node in range(mesh.num_nodes):
+        assert mesh.node_at(mesh.coordinates(node)) == node
+
+
+def test_corner_degree():
+    mesh = Mesh2D(6, 6, pitch_mm=1.0)
+    assert mesh.degree(0) == 2  # corner: east + south
+
+
+def test_edge_degree():
+    mesh = Mesh2D(6, 6, pitch_mm=1.0)
+    assert mesh.degree(1) == 3  # top edge
+
+
+def test_interior_degree():
+    mesh = Mesh2D(6, 6, pitch_mm=1.0)
+    assert mesh.degree(7) == 4
+
+
+def test_max_radix_includes_local():
+    mesh = Mesh2D(6, 6, pitch_mm=1.0)
+    assert mesh.max_radix() == 5
+
+
+def test_port_names_start_with_local():
+    mesh = Mesh2D(3, 3, pitch_mm=1.0)
+    for node in mesh.iter_nodes():
+        assert mesh.port_names(node)[0] == LOCAL_PORT
+
+
+def test_link_ports_are_opposite():
+    mesh = Mesh2D(4, 4, pitch_mm=1.0)
+    for link in mesh.links:
+        assert link.dst_port == OPPOSITE[link.src_port]
+
+
+def test_all_links_are_normal_kind_with_pitch_length():
+    mesh = Mesh2D(4, 4, pitch_mm=3.16)
+    for link in mesh.links:
+        assert link.kind is LinkKind.NORMAL
+        assert link.length_mm == pytest.approx(3.16)
+        assert link.span == 1
+
+
+def test_east_link_goes_east():
+    mesh = Mesh2D(4, 4, pitch_mm=1.0)
+    link = mesh.out_ports[5][EAST]
+    assert mesh.coordinates(link.dst) == (2, 1)
+
+
+def test_neighbors_symmetric():
+    mesh = Mesh2D(5, 4, pitch_mm=1.0)
+    for node in mesh.iter_nodes():
+        for neighbor in mesh.neighbors(node):
+            assert node in mesh.neighbors(neighbor)
+
+
+def test_link_between():
+    mesh = Mesh2D(3, 3, pitch_mm=1.0)
+    link = mesh.link_between(0, 1)
+    assert link.src_port == EAST
+    with pytest.raises(KeyError):
+        mesh.link_between(0, 8)
+
+
+def test_invalid_dimensions_rejected():
+    with pytest.raises(ValueError):
+        Mesh2D(0, 6, pitch_mm=1.0)
+    with pytest.raises(ValueError):
+        Mesh2D(6, 6, pitch_mm=0.0)
+
+
+def test_coordinates_out_of_range_rejected():
+    mesh = Mesh2D(3, 3, pitch_mm=1.0)
+    with pytest.raises(ValueError):
+        mesh.coordinates(9)
+    with pytest.raises(ValueError):
+        mesh.node_at((3, 0))
+
+
+@given(st.integers(min_value=1, max_value=8), st.integers(min_value=1, max_value=8))
+def test_property_degree_sum_equals_links(width, height):
+    mesh = Mesh2D(width, height, pitch_mm=1.0)
+    assert sum(mesh.degree(n) for n in mesh.iter_nodes()) == len(mesh.links)
+
+
+@given(st.integers(min_value=2, max_value=8), st.integers(min_value=2, max_value=8))
+def test_property_every_node_reachable(width, height):
+    """BFS over links must reach every node (the mesh is connected)."""
+    mesh = Mesh2D(width, height, pitch_mm=1.0)
+    seen = {0}
+    frontier = [0]
+    while frontier:
+        node = frontier.pop()
+        for nxt in mesh.neighbors(node):
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    assert len(seen) == mesh.num_nodes

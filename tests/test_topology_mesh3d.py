@@ -1,0 +1,102 @@
+"""Unit tests for the 3D mesh topology (3DB)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.topology.base import LinkKind
+from repro.topology.mesh3d import DOWN, Mesh3D, TSV_LENGTH_MM, UP
+
+
+def test_node_count():
+    mesh = Mesh3D(3, 3, 4, pitch_mm=3.16)
+    assert mesh.num_nodes == 36
+
+
+def test_layer_major_coordinates():
+    mesh = Mesh3D(3, 3, 4, pitch_mm=1.0)
+    assert mesh.coordinates(0) == (0, 0, 0)
+    assert mesh.coordinates(9) == (0, 0, 1)
+    assert mesh.coordinates(35) == (2, 2, 3)
+
+
+def test_node_at_inverts_coordinates():
+    mesh = Mesh3D(3, 2, 4, pitch_mm=1.0)
+    for node in range(mesh.num_nodes):
+        assert mesh.node_at(mesh.coordinates(node)) == node
+
+
+def test_vertical_links_use_tsv_length():
+    mesh = Mesh3D(3, 3, 4, pitch_mm=3.16)
+    vertical = [l for l in mesh.links if l.kind is LinkKind.VERTICAL]
+    assert vertical, "expected vertical links"
+    for link in vertical:
+        assert link.length_mm == pytest.approx(TSV_LENGTH_MM)
+
+
+def test_vertical_link_count():
+    # 9 columns x 3 interfaces x 2 directions.
+    mesh = Mesh3D(3, 3, 4, pitch_mm=1.0)
+    vertical = [l for l in mesh.links if l.kind is LinkKind.VERTICAL]
+    assert len(vertical) == 9 * 3 * 2
+
+
+def test_interior_radix_is_seven():
+    """The 3DB router needs 7 ports: 4 planar + up + down + local."""
+    mesh = Mesh3D(3, 3, 4, pitch_mm=1.0)
+    # Centre node of a middle layer.
+    node = mesh.node_at((1, 1, 1))
+    assert mesh.degree(node) == 6
+    assert mesh.max_radix() == 7
+
+
+def test_up_goes_to_higher_layer():
+    mesh = Mesh3D(3, 3, 4, pitch_mm=1.0)
+    node = mesh.node_at((1, 1, 0))
+    link = mesh.out_ports[node][UP]
+    assert mesh.coordinates(link.dst) == (1, 1, 1)
+    assert link.dst_port == DOWN
+
+
+def test_top_layer_has_no_up():
+    mesh = Mesh3D(3, 3, 4, pitch_mm=1.0)
+    node = mesh.node_at((0, 0, 3))
+    assert UP not in mesh.out_ports[node]
+    assert DOWN in mesh.out_ports[node]
+
+
+def test_single_layer_degenerates_to_2d():
+    mesh = Mesh3D(3, 3, 1, pitch_mm=1.0)
+    assert not [l for l in mesh.links if l.kind is LinkKind.VERTICAL]
+
+
+def test_invalid_dimensions_rejected():
+    with pytest.raises(ValueError):
+        Mesh3D(3, 3, 0, pitch_mm=1.0)
+
+
+@given(
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=4),
+)
+def test_property_degree_sum_equals_links(w, h, d):
+    mesh = Mesh3D(w, h, d, pitch_mm=1.0)
+    assert sum(mesh.degree(n) for n in mesh.iter_nodes()) == len(mesh.links)
+
+
+@given(
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=2, max_value=4),
+)
+def test_property_connected(w, h, d):
+    mesh = Mesh3D(w, h, d, pitch_mm=1.0)
+    seen = {0}
+    frontier = [0]
+    while frontier:
+        node = frontier.pop()
+        for nxt in mesh.neighbors(node):
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    assert len(seen) == mesh.num_nodes

@@ -1,0 +1,179 @@
+"""2D torus topology + dateline-VC routing tests."""
+
+import pytest
+from hypothesis import given, settings as hyp_settings, strategies as st
+
+from repro.core.express import average_hops, hop_count, route_path
+from repro.noc.network import Network
+from repro.noc.packet import ctrl_packet, data_packet
+from repro.noc.routing import TorusXYRouting
+from repro.noc.simulator import Simulator
+from repro.topology.mesh2d import EAST, Mesh2D, WEST
+from repro.topology.torus import Torus2D
+from repro.traffic.base import ScheduledTraffic
+from repro.traffic.synthetic import UniformRandomTraffic
+
+
+@pytest.fixture
+def torus():
+    return Torus2D(5, 5, pitch_mm=1.0)
+
+
+class TestTopology:
+    def test_every_router_has_full_radix(self, torus):
+        for node in torus.iter_nodes():
+            assert torus.degree(node) == 4
+        assert torus.max_radix() == 5
+
+    def test_wrap_channel_count(self, torus):
+        wraps = [l for l in torus.links if l.wrap]
+        # 2 per row (E and W wrap) + 2 per column.
+        assert len(wraps) == 2 * 5 + 2 * 5
+
+    def test_wrap_connects_edges(self, torus):
+        link = torus.out_ports[torus.node_at((4, 2))][EAST]
+        assert link.wrap
+        assert torus.coordinates(link.dst) == (0, 2)
+
+    def test_folded_torus_channel_length(self, torus):
+        for link in torus.links:
+            assert link.length_mm == pytest.approx(2.0)
+
+    def test_small_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            Torus2D(2, 5, pitch_mm=1.0)
+
+    def test_coordinates_roundtrip(self, torus):
+        for node in torus.iter_nodes():
+            assert torus.node_at(torus.coordinates(node)) == node
+
+
+class TestRouting:
+    def test_takes_shorter_way_around(self, torus):
+        routing = TorusXYRouting(torus)
+        # (0,0) -> (4,0): 1 hop west beats 4 hops east.
+        assert routing.output_port(0, torus.node_at((4, 0))) == WEST
+
+    def test_tie_goes_forward(self):
+        torus = Torus2D(4, 4, pitch_mm=1.0)
+        routing = TorusXYRouting(torus)
+        # Distance 2 both ways on a 4-ring: prefer east.
+        assert routing.output_port(0, torus.node_at((2, 0))) == EAST
+
+    def test_hop_count_uses_ring_distance(self, torus):
+        src = torus.node_at((0, 0))
+        dst = torus.node_at((4, 4))
+        # 1 west + 1 north via wraps.
+        assert hop_count(torus, src, dst) == 2
+
+    def test_average_hops_below_mesh(self, torus):
+        mesh = Mesh2D(5, 5, pitch_mm=1.0)
+        assert average_hops(torus) < average_hops(mesh)
+
+    def test_requires_torus(self):
+        with pytest.raises(TypeError):
+            TorusXYRouting(Mesh2D(4, 4, pitch_mm=1.0))
+
+    @hyp_settings(max_examples=60)
+    @given(st.integers(0, 24), st.integers(0, 24))
+    def test_property_all_pairs_routable_minimal(self, src, dst):
+        torus = Torus2D(5, 5, pitch_mm=1.0)
+        if src == dst:
+            return
+        path = route_path(torus, src, dst)
+        assert path[-1] == dst
+        sx, sy = torus.coordinates(src)
+        dx, dy = torus.coordinates(dst)
+        ring = lambda a, b, k: min((b - a) % k, (a - b) % k)
+        assert len(path) - 1 == ring(sx, dx, 5) + ring(sy, dy, 5)
+
+
+class TestDateline:
+    def _deliver(self, packets, cycles=3000):
+        network = Network(Torus2D(5, 5, pitch_mm=1.0))
+        sim = Simulator(network, ScheduledTraffic(packets), warmup_cycles=0,
+                        measure_cycles=cycles, drain_cycles=cycles * 5)
+        result = sim.run()
+        return network, result
+
+    def test_wrapping_packet_delivered(self):
+        torus = Torus2D(5, 5, pitch_mm=1.0)
+        packet = ctrl_packet(torus.node_at((4, 4)), torus.node_at((0, 0)),
+                             created_cycle=0)
+        _, result = self._deliver([packet])
+        assert packet.delivered_cycle is not None
+        assert packet.hops == 2
+
+    def test_dateline_state_set_after_wrap(self):
+        torus = Torus2D(5, 5, pitch_mm=1.0)
+        packet = data_packet(torus.node_at((4, 0)), torus.node_at((1, 0)),
+                             created_cycle=0)
+        self._deliver([packet])
+        flits = []  # the head flit keeps its state post-run
+        # Re-run with direct flit access.
+        network = Network(Torus2D(5, 5, pitch_mm=1.0))
+        p = data_packet(torus.node_at((4, 0)), torus.node_at((1, 0)),
+                        created_cycle=0)
+        sim = Simulator(network, ScheduledTraffic([p]), warmup_cycles=0,
+                        measure_cycles=200, drain_cycles=1000)
+        sim.run()
+        assert p.delivered_cycle is not None
+        del flits
+
+    def test_dateline_vc_assignment(self):
+        """Channels before the wrap are claimed on VC 0, after on VC 1."""
+        from repro.noc.tracer import PacketTracer
+
+        torus = Torus2D(5, 5, pitch_mm=1.0)
+        network = Network(torus)
+        # (4,0) -E wrap-> (0,0) -E-> (1,0): crosses the dateline mid-path.
+        src, dst = torus.node_at((4, 0)), torus.node_at((1, 0))
+        packet = ctrl_packet(src, dst, created_cycle=0)
+        vc_claims = {}
+
+        original = network.routers[0].__class__._traverse
+
+        def spy(router, grant, cycle):
+            unit = router._vc(grant.in_port, grant.in_vc)
+            flit = unit.buffer.front()
+            if flit is not None and flit.packet is packet:
+                vc_claims[router.node] = unit.out_vc
+            return original(router, grant, cycle)
+
+        for router in network.routers:
+            router._traverse = spy.__get__(router)
+        sim = Simulator(network, ScheduledTraffic([packet]), warmup_cycles=0,
+                        measure_cycles=200, drain_cycles=1000)
+        sim.run()
+        assert vc_claims[torus.node_at((4, 0))] == 0  # the wrap channel
+        assert vc_claims[torus.node_at((0, 0))] == 1  # post-dateline
+
+    def test_no_deadlock_under_heavy_load(self):
+        """The dateline discipline keeps a saturated torus live."""
+        network = Network(Torus2D(5, 5, pitch_mm=1.0))
+        sim = Simulator(
+            network,
+            UniformRandomTraffic(num_nodes=25, flit_rate=0.45, seed=13),
+            warmup_cycles=300, measure_cycles=3000, drain_cycles=2000,
+        )
+        result = sim.run()
+        assert result.packets_delivered > 1500
+
+    def test_uniform_traffic_all_delivered(self):
+        network = Network(Torus2D(5, 5, pitch_mm=1.0))
+        sim = Simulator(
+            network,
+            UniformRandomTraffic(num_nodes=25, flit_rate=0.15, seed=13),
+            warmup_cycles=300, measure_cycles=2000, drain_cycles=15000,
+        )
+        result = sim.run()
+        assert not result.saturated
+        assert result.avg_hops < average_hops(Mesh2D(5, 5, pitch_mm=1.0))
+
+    def test_vc_by_class_conflicts_with_discipline(self):
+        with pytest.raises(ValueError):
+            Network(Torus2D(5, 5, pitch_mm=1.0), vc_by_class=True)
+
+    def test_needs_two_vcs(self):
+        with pytest.raises(ValueError):
+            Network(Torus2D(5, 5, pitch_mm=1.0), num_vcs=1)

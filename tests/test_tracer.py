@@ -1,0 +1,82 @@
+"""Packet-tracer tests."""
+
+import pytest
+
+from repro.core.express import route_path
+from repro.noc.network import Network
+from repro.noc.packet import ctrl_packet, data_packet
+from repro.noc.simulator import Simulator
+from repro.noc.tracer import PacketTracer
+from repro.topology.mesh2d import Mesh2D
+from repro.traffic.base import ScheduledTraffic
+
+
+def _traced_run(packets, **tracer_kwargs):
+    network = Network(Mesh2D(4, 4, pitch_mm=1.0))
+    tracer = PacketTracer(network, **tracer_kwargs)
+    sim = Simulator(network, ScheduledTraffic(packets), warmup_cycles=0,
+                    measure_cycles=300, drain_cycles=2000)
+    sim.run()
+    return network, tracer
+
+
+def test_packet_route_matches_routing_function():
+    packet = ctrl_packet(0, 15, created_cycle=0)
+    network, tracer = _traced_run([packet])
+    expected = route_path(network.topology, 0, 15)
+    assert tracer.packet_route(packet.pid) == expected
+
+
+def test_events_cover_all_flits():
+    packet = data_packet(0, 3, created_cycle=0)
+    _, tracer = _traced_run([packet])
+    # 5 flits x 4 routers (incl. ejection router) = 20 traversals.
+    mine = [e for e in tracer.events if e.packet_id == packet.pid]
+    assert len(mine) == 20
+
+
+def test_router_timeline_ordered():
+    packets = [ctrl_packet(0, 3, created_cycle=0),
+               ctrl_packet(1, 3, created_cycle=2)]
+    _, tracer = _traced_run(packets)
+    timeline = tracer.router_timeline(2)
+    cycles = [e.cycle for e in timeline]
+    assert cycles == sorted(cycles)
+
+
+def test_utilization_by_node():
+    packet = ctrl_packet(0, 3, created_cycle=0)
+    _, tracer = _traced_run([packet])
+    util = tracer.utilization_by_node()
+    assert util == {0: 1, 1: 1, 2: 1, 3: 1}
+
+
+def test_max_events_cap_and_dropped_counter():
+    packets = [data_packet(i, (i + 5) % 16, created_cycle=i) for i in range(10)]
+    _, tracer = _traced_run(packets, max_events=5)
+    assert len(tracer.events) == 5
+    assert tracer.dropped > 0
+
+
+def test_detach_stops_recording():
+    network = Network(Mesh2D(2, 1, pitch_mm=1.0))
+    tracer = PacketTracer(network)
+    tracer.detach()
+    sim = Simulator(network, ScheduledTraffic([ctrl_packet(0, 1, created_cycle=0)]),
+                    warmup_cycles=0, measure_cycles=100, drain_cycles=200)
+    sim.run()
+    assert tracer.events == []
+    tracer.detach()  # idempotent
+
+
+def test_context_manager_detaches():
+    network = Network(Mesh2D(2, 1, pitch_mm=1.0))
+    with PacketTracer(network) as tracer:
+        pass
+    assert tracer._on_traverse not in network.traverse_callbacks
+
+
+def test_validation():
+    network = Network(Mesh2D(2, 1, pitch_mm=1.0))
+    with pytest.raises(ValueError):
+        PacketTracer(network, max_events=0)

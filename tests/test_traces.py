@@ -1,0 +1,131 @@
+"""Trace format and replay tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.noc.packet import PacketClass
+from repro.traffic.traces import (
+    TraceRecord,
+    TraceTraffic,
+    read_trace,
+    write_trace,
+)
+
+
+def _record(cycle=0, src=0, dst=1, klass=PacketClass.CTRL, groups=None):
+    return TraceRecord(
+        cycle=cycle, src=src, dst=dst, klass=klass, payload_groups=groups
+    )
+
+
+def test_size_from_class():
+    assert _record(klass=PacketClass.CTRL).size_flits == 1
+    assert _record(klass=PacketClass.DATA).size_flits == 5
+
+
+def test_size_from_groups():
+    record = _record(klass=PacketClass.DATA, groups=(1, 4, 4, 1, 1))
+    assert record.size_flits == 5
+
+
+def test_to_packet_roundtrip():
+    record = _record(cycle=9, src=3, dst=7, klass=PacketClass.DATA,
+                     groups=(1, 2, 3, 4, 1))
+    packet = record.to_packet()
+    assert (packet.src, packet.dst) == (3, 7)
+    assert packet.created_cycle == 9
+    assert packet.payload_groups == [1, 2, 3, 4, 1]
+    assert packet.klass is PacketClass.DATA
+
+
+def test_line_roundtrip():
+    record = _record(cycle=5, src=2, dst=9, klass=PacketClass.DATA,
+                     groups=(1, 4, 1, 4, 4))
+    assert TraceRecord.from_line(record.to_line()) == record
+
+
+def test_line_roundtrip_no_groups():
+    record = _record(cycle=5, src=2, dst=9, klass=PacketClass.CTRL)
+    assert TraceRecord.from_line(record.to_line()) == record
+
+
+def test_malformed_line_rejected():
+    with pytest.raises(ValueError):
+        TraceRecord.from_line("1,2,3")
+
+
+def test_file_roundtrip(tmp_path):
+    records = [
+        _record(cycle=i, src=i % 4, dst=(i + 1) % 4,
+                klass=PacketClass.DATA if i % 2 else PacketClass.CTRL,
+                groups=(1, 1, 4, 4, 1) if i % 2 else None)
+        for i in range(20)
+    ]
+    path = tmp_path / "trace.txt"
+    written = write_trace(path, records)
+    assert written == 20
+    assert read_trace(path) == records
+
+
+def test_file_comments_and_blanks_skipped(tmp_path):
+    path = tmp_path / "trace.txt"
+    path.write_text("# header\n\n3,0,1,ctrl,\n")
+    records = read_trace(path)
+    assert records == [_record(cycle=3, src=0, dst=1)]
+
+
+def test_replay_emits_in_cycle_order():
+    records = [_record(cycle=c, src=0, dst=1) for c in (2, 2, 5)]
+    traffic = TraceTraffic(records)
+    assert len(list(traffic.packets_for_cycle(1))) == 0
+    assert len(list(traffic.packets_for_cycle(2))) == 2
+    assert len(list(traffic.packets_for_cycle(4))) == 0
+    assert len(list(traffic.packets_for_cycle(5))) == 1
+    assert traffic.finished(6)
+
+
+def test_replay_catches_up_after_gap():
+    """Records whose cycle was skipped are emitted at the next poll."""
+    records = [_record(cycle=3, src=0, dst=1)]
+    traffic = TraceTraffic(records)
+    assert len(list(traffic.packets_for_cycle(10))) == 1
+
+
+def test_unsorted_trace_rejected():
+    records = [_record(cycle=5, src=0, dst=1), _record(cycle=2, src=0, dst=1)]
+    with pytest.raises(ValueError):
+        TraceTraffic(records)
+
+
+def test_from_file(tmp_path):
+    path = tmp_path / "trace.txt"
+    write_trace(path, [_record(cycle=1, src=0, dst=3)])
+    traffic = TraceTraffic.from_file(path)
+    packets = list(traffic.packets_for_cycle(1))
+    assert len(packets) == 1 and packets[0].dst == 3
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 500), st.integers(0, 35), st.integers(0, 35),
+            st.booleans(),
+        ),
+        max_size=30,
+    )
+)
+def test_property_file_roundtrip(tmp_path_factory, specs):
+    records = sorted(
+        (
+            TraceRecord(
+                cycle=c, src=s, dst=d,
+                klass=PacketClass.DATA if is_data else PacketClass.CTRL,
+                payload_groups=(1, 2, 3, 4, 1) if is_data else None,
+            )
+            for c, s, d, is_data in specs
+        ),
+        key=lambda r: r.cycle,
+    )
+    path = tmp_path_factory.mktemp("traces") / "t.txt"
+    write_trace(path, records)
+    assert read_trace(path) == records

@@ -1,0 +1,100 @@
+"""NUCA bimodal request/response traffic tests."""
+
+import pytest
+
+from repro.noc.packet import PacketClass
+from repro.traffic.nuca import NucaUniformTraffic
+
+
+CPUS = [13, 14, 15, 16, 19, 20, 21, 22]
+CACHES = [n for n in range(36) if n not in CPUS]
+
+
+def _traffic(**kwargs):
+    defaults = dict(
+        cpu_nodes=CPUS, cache_nodes=CACHES, request_rate=0.2, seed=3
+    )
+    defaults.update(kwargs)
+    return NucaUniformTraffic(**defaults)
+
+
+def test_requests_originate_only_at_cpus():
+    traffic = _traffic()
+    for cycle in range(300):
+        for packet in traffic.packets_for_cycle(cycle):
+            assert packet.src in CPUS
+            assert packet.dst in CACHES
+
+
+def test_requests_are_single_flit_control():
+    traffic = _traffic()
+    for cycle in range(100):
+        for packet in traffic.packets_for_cycle(cycle):
+            assert packet.size_flits == 1
+            assert packet.klass is PacketClass.CTRL
+
+
+def test_request_rate_respected():
+    traffic = _traffic(request_rate=0.1)
+    count = sum(
+        len(list(traffic.packets_for_cycle(c))) for c in range(5000)
+    )
+    assert count / (len(CPUS) * 5000) == pytest.approx(0.1, rel=0.1)
+
+
+def test_response_generated_for_request():
+    traffic = _traffic()
+    request = next(
+        p for c in range(100) for p in traffic.packets_for_cycle(c)
+    )
+    responses = list(traffic.on_delivered(request, cycle=50))
+    assert len(responses) == 1
+    response = responses[0]
+    assert response.src == request.dst
+    assert response.dst == request.src
+    assert response.size_flits == 5
+    assert response.klass is PacketClass.DATA
+
+
+def test_response_delayed_by_bank_latency():
+    traffic = _traffic(bank_latency=7)
+    request = next(
+        p for c in range(100) for p in traffic.packets_for_cycle(c)
+    )
+    (response,) = traffic.on_delivered(request, cycle=40)
+    assert response.created_cycle == 47
+
+
+def test_response_not_re_replied():
+    traffic = _traffic()
+    request = next(
+        p for c in range(100) for p in traffic.packets_for_cycle(c)
+    )
+    (response,) = traffic.on_delivered(request, cycle=40)
+    assert list(traffic.on_delivered(response, cycle=60)) == []
+
+
+def test_short_flit_fraction_in_responses():
+    traffic = _traffic(short_flit_fraction=0.5, request_rate=0.9)
+    groups = []
+    for cycle in range(500):
+        for request in traffic.packets_for_cycle(cycle):
+            (response,) = traffic.on_delivered(request, cycle)
+            groups.extend(response.payload_groups[1:])
+    short = sum(g == 1 for g in groups)
+    assert short / len(groups) == pytest.approx(0.5, abs=0.06)
+
+
+def test_overlapping_node_sets_rejected():
+    with pytest.raises(ValueError):
+        NucaUniformTraffic(cpu_nodes=[1, 2], cache_nodes=[2, 3], request_rate=0.1)
+
+
+def test_empty_sets_rejected():
+    with pytest.raises(ValueError):
+        NucaUniformTraffic(cpu_nodes=[], cache_nodes=[1], request_rate=0.1)
+
+
+def test_invalid_rate_rejected():
+    with pytest.raises(ValueError):
+        _traffic(request_rate=0.0)

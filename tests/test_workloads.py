@@ -1,0 +1,115 @@
+"""Workload-profile tests: calibration targets and payload synthesis."""
+
+import random
+
+import pytest
+
+from repro.traffic.patterns import (
+    WORDS_PER_LINE,
+    line_active_groups,
+)
+from repro.traffic.workloads import PRESENTED_WORKLOADS, WORKLOADS, WorkloadProfile
+
+
+def test_presented_workloads_exist():
+    for name in PRESENTED_WORKLOADS:
+        assert name in WORKLOADS
+
+
+def test_all_expected_workloads_present():
+    expected = {
+        "tpcw", "sjbb", "apache", "zeus", "apsi", "art", "swim", "mgrid",
+        "barnes", "ocean", "multimedia",
+    }
+    assert expected <= set(WORKLOADS)
+
+
+def test_presented_short_flit_average_matches_paper():
+    """Fig. 13a summary: ~40% average short flits over the six apps."""
+    values = [WORKLOADS[w].short_flit_fraction for w in PRESENTED_WORKLOADS]
+    assert sum(values) / len(values) == pytest.approx(0.40, abs=0.02)
+
+
+def test_presented_short_flit_peak_matches_paper():
+    """Fig. 13a summary: up to 58% short flits."""
+    peak = max(WORKLOADS[w].short_flit_fraction for w in PRESENTED_WORKLOADS)
+    assert peak == pytest.approx(0.58, abs=0.01)
+
+
+def test_profile_names_match_keys():
+    for key, profile in WORKLOADS.items():
+        assert profile.name == key
+
+
+def test_sample_line_length():
+    rng = random.Random(1)
+    line = WORKLOADS["tpcw"].sample_line(rng)
+    assert len(line) == WORDS_PER_LINE
+    assert all(0 <= w < (1 << 32) for w in line)
+
+
+@pytest.mark.parametrize("name", PRESENTED_WORKLOADS)
+def test_sampled_short_fraction_matches_profile(name):
+    """Generated cache lines reproduce the calibrated short-flit rate."""
+    profile = WORKLOADS[name]
+    rng = random.Random(7)
+    short = total = 0
+    for _ in range(1500):
+        for groups in line_active_groups(profile.sample_line(rng)):
+            total += 1
+            short += groups == 1
+    assert short / total == pytest.approx(profile.short_flit_fraction, abs=0.03)
+
+
+def test_word_pattern_mix_sums_below_one():
+    for profile in WORKLOADS.values():
+        total = (
+            profile.zero_word_fraction
+            + profile.one_word_fraction
+            + profile.sign_word_fraction
+        )
+        assert total <= 1.0
+
+
+def test_profile_validation_fraction_range():
+    with pytest.raises(ValueError):
+        WorkloadProfile(
+            name="bad", short_flit_fraction=1.5, zero_word_fraction=0.1,
+            one_word_fraction=0.1, sign_word_fraction=0.1,
+            ctrl_packet_fraction=0.5, request_rate=0.05, read_fraction=0.7,
+            l1_miss_rate=0.05, sharing_fraction=0.2, working_set_lines=1024,
+        )
+
+
+def test_profile_validation_pattern_sum():
+    with pytest.raises(ValueError):
+        WorkloadProfile(
+            name="bad", short_flit_fraction=0.5, zero_word_fraction=0.6,
+            one_word_fraction=0.3, sign_word_fraction=0.3,
+            ctrl_packet_fraction=0.5, request_rate=0.05, read_fraction=0.7,
+            l1_miss_rate=0.05, sharing_fraction=0.2, working_set_lines=1024,
+        )
+
+
+def test_profile_validation_rate_positive():
+    with pytest.raises(ValueError):
+        WorkloadProfile(
+            name="bad", short_flit_fraction=0.5, zero_word_fraction=0.3,
+            one_word_fraction=0.1, sign_word_fraction=0.1,
+            ctrl_packet_fraction=0.5, request_rate=0.0, read_fraction=0.7,
+            l1_miss_rate=0.05, sharing_fraction=0.2, working_set_lines=1024,
+        )
+
+
+def test_multimedia_has_most_zero_words():
+    """Fig. 1: multimedia-style workloads are dominated by frequent
+    patterns, so their zero-word share should top the suite."""
+    zero = {n: p.zero_word_fraction for n, p in WORKLOADS.items()}
+    assert max(zero, key=zero.get) == "multimedia"
+
+
+def test_sample_word_distribution_roughly_matches():
+    profile = WORKLOADS["tpcw"]
+    rng = random.Random(3)
+    zeros = sum(profile.sample_word(rng) == 0 for _ in range(8000)) / 8000
+    assert zeros == pytest.approx(profile.zero_word_fraction, abs=0.02)
