@@ -3,7 +3,15 @@
 The only benchmark here measured over multiple rounds: how fast the
 cycle-accurate model runs.  Useful for tracking performance regressions
 in the hot loop (router step / allocation) across changes.
+
+Low-load points are where the active-set scheduler pays: at 0.05
+flits/node/cycle most routers are quiescent most cycles and only the
+woken subset is stepped.  The ``scheduler_off`` variants benchmark the
+full-iteration debug mode at the same load for an apples-to-apples
+comparison (both modes are bit-identical in results).
 """
+
+import pytest
 
 from repro.core.arch import make_2db, make_3dme
 from repro.noc.simulator import Simulator
@@ -11,13 +19,15 @@ from repro.traffic.synthetic import UniformRandomTraffic
 
 CYCLES = 1500
 RATE = 0.2
+LOW_RATE = 0.05
 
 
-def _run_once(config):
+def _run_once(config, rate=RATE, active_scheduling=True):
     network = config.build_network()
+    network.active_scheduling = active_scheduling
     sim = Simulator(
         network,
-        UniformRandomTraffic(num_nodes=config.num_nodes, flit_rate=RATE, seed=3),
+        UniformRandomTraffic(num_nodes=config.num_nodes, flit_rate=rate, seed=3),
         warmup_cycles=0,
         measure_cycles=CYCLES,
         drain_cycles=0,
@@ -36,5 +46,29 @@ def test_simulation_speed_3dme(benchmark):
     """The 9-port express router is the most expensive to simulate."""
     result = benchmark.pedantic(
         lambda: _run_once(make_3dme()), rounds=3, iterations=1, warmup_rounds=1
+    )
+    assert result.cycles >= CYCLES
+
+
+@pytest.mark.parametrize("scheduler", ["active_set", "full_iteration"])
+def test_simulation_speed_2db_low_load(benchmark, scheduler):
+    result = benchmark.pedantic(
+        lambda: _run_once(
+            make_2db(), rate=LOW_RATE,
+            active_scheduling=scheduler == "active_set",
+        ),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+    assert result.cycles >= CYCLES
+
+
+@pytest.mark.parametrize("scheduler", ["active_set", "full_iteration"])
+def test_simulation_speed_3dme_low_load(benchmark, scheduler):
+    result = benchmark.pedantic(
+        lambda: _run_once(
+            make_3dme(), rate=LOW_RATE,
+            active_scheduling=scheduler == "active_set",
+        ),
+        rounds=3, iterations=1, warmup_rounds=1,
     )
     assert result.cycles >= CYCLES

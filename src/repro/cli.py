@@ -50,12 +50,14 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             config, args.rate, settings,
             short_flit_fraction=args.short_flits,
             shutdown_enabled=args.short_flits > 0,
+            profile=args.profile,
         )
     else:
         point = run_nuca_point(
             config, args.rate, settings,
             short_flit_fraction=args.short_flits,
             shutdown_enabled=args.short_flits > 0,
+            profile=args.profile,
         )
     print(f"architecture      : {point.arch}")
     print(f"traffic           : {point.label}")
@@ -66,6 +68,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     print(f"power-delay prod. : {point.pdp * 1e9:.3f} W*ns")
     if point.sim.saturated:
         print("warning           : network saturated at this load")
+    if point.sim.profile is not None:
+        print("--- hot-loop profile ---")
+        print(point.sim.profile.format())
     return 0
 
 
@@ -252,6 +257,10 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--rate", type=float, default=0.2)
     sim.add_argument("--traffic", choices=["uniform", "nuca"], default="uniform")
     sim.add_argument("--short-flits", type=float, default=0.0)
+    sim.add_argument(
+        "--profile", action="store_true",
+        help="report cycles/sec, active-router ratio and phase wall times",
+    )
     sim.set_defaults(func=cmd_simulate)
 
     cmp_ = sub.add_parser("compare", help="compare all six configurations")

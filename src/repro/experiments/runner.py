@@ -57,6 +57,7 @@ def _run(
     settings: ExperimentSettings,
     label: str,
     shutdown_enabled: bool,
+    profile: bool = False,
 ) -> PointResult:
     network = config.build_network(shutdown_enabled=shutdown_enabled)
     sim = Simulator(
@@ -65,6 +66,7 @@ def _run(
         warmup_cycles=settings.warmup_cycles,
         measure_cycles=settings.measure_cycles,
         drain_cycles=settings.drain_cycles,
+        profile=profile,
     )
     result = sim.run()
     report = power_report(
@@ -91,6 +93,7 @@ def run_uniform_point(
     short_flit_fraction: float = 0.0,
     shutdown_enabled: bool = False,
     seed: Optional[int] = None,
+    profile: bool = False,
 ) -> PointResult:
     """Uniform-random traffic at *rate* flits/node/cycle."""
     traffic = UniformRandomTraffic(
@@ -99,7 +102,10 @@ def run_uniform_point(
         short_flit_fraction=short_flit_fraction,
         seed=settings.seed if seed is None else seed,
     )
-    return _run(config, traffic, settings, f"UR@{rate:g}", shutdown_enabled)
+    return _run(
+        config, traffic, settings, f"UR@{rate:g}", shutdown_enabled,
+        profile=profile,
+    )
 
 
 def run_nuca_point(
@@ -109,6 +115,7 @@ def run_nuca_point(
     short_flit_fraction: float = 0.0,
     shutdown_enabled: bool = False,
     seed: Optional[int] = None,
+    profile: bool = False,
 ) -> PointResult:
     """NUCA-constrained request/response traffic (Fig. 11b)."""
     traffic = NucaUniformTraffic(
@@ -118,7 +125,10 @@ def run_nuca_point(
         short_flit_fraction=short_flit_fraction,
         seed=settings.seed if seed is None else seed,
     )
-    return _run(config, traffic, settings, f"NUCA@{request_rate:g}", shutdown_enabled)
+    return _run(
+        config, traffic, settings, f"NUCA@{request_rate:g}", shutdown_enabled,
+        profile=profile,
+    )
 
 
 def run_trace_point(

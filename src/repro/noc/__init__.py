@@ -26,7 +26,9 @@ from repro.noc.routing import (
     routing_for_topology,
 )
 from repro.noc.adaptive import WestFirstAdaptiveRouting
+from repro.noc.profiling import NetworkProfiler, ProfileSnapshot
 from repro.noc.router import Router
+from repro.noc.scheduling import TimingWheel
 from repro.noc.network import Network
 from repro.noc.simulator import SimulationResult, Simulator
 from repro.noc.stats import EventCounts, NetworkStats
@@ -52,6 +54,9 @@ __all__ = [
     "SimulationResult",
     "EventCounts",
     "NetworkStats",
+    "NetworkProfiler",
+    "ProfileSnapshot",
+    "TimingWheel",
     "WestFirstAdaptiveRouting",
     "PacketTracer",
     "TraverseEvent",

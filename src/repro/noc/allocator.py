@@ -13,19 +13,21 @@ between cycles) to model fairness the way hardware does.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple  # noqa: F401
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple  # noqa: F401
 
 from repro.noc.arbiter import RoundRobinArbiter
 
 
-@dataclass(frozen=True)
-class VARequest:
+class VARequest(NamedTuple):
     """An input VC (identified by ``(in_port, in_vc)``) asking for a free
     output VC on ``out_port``.
 
     ``allowed_vcs`` restricts the candidate output VCs (e.g. the paper's
     one-VC-per-traffic-class policy, Sec. 3.2.4); ``None`` = any VC.
+
+    A named tuple rather than a dataclass: requests are constructed in
+    the per-cycle hot loop and tuple construction is several times
+    cheaper.
     """
 
     in_port: int
@@ -34,8 +36,7 @@ class VARequest:
     allowed_vcs: Optional[Tuple[int, ...]] = None
 
 
-@dataclass(frozen=True)
-class SARequest:
+class SARequest(NamedTuple):
     """An input VC with a buffered flit asking for the crossbar slot to
     ``out_port``."""
 
@@ -73,6 +74,30 @@ class VirtualChannelAllocator:
         requests: Sequence[VARequest],
         free: Dict[int, Sequence[bool]],
     ) -> Dict[Tuple[int, int], Tuple[int, int]]:
+        if len(requests) == 1:
+            # Sole requester: stage 1 still arbitrates among the free
+            # output VCs, but stage 2 has exactly one contender, so its
+            # arbiter grant reduces to a pointer rotation.
+            req = requests[0]
+            free_vcs = free.get(req.out_port)
+            if free_vcs is None:
+                return {}
+            if req.allowed_vcs is not None:
+                allowed = set(req.allowed_vcs)
+                lines = [f and v in allowed for v, f in enumerate(free_vcs)]
+            else:
+                lines = list(free_vcs)
+            if not any(lines):
+                return {}
+            choice = self._va1[(req.in_port, req.in_vc)].grant(lines)
+            if choice is None:
+                return {}
+            out_key = (req.out_port, choice)
+            self._va2[out_key].grant_sole(
+                req.in_port * self.num_vcs + req.in_vc
+            )
+            return {(req.in_port, req.in_vc): out_key}
+
         # Stage 1: each input VC picks one candidate output VC among the
         # free VCs of its requested output port.
         candidates: Dict[Tuple[int, int], Tuple[int, int]] = {}
@@ -145,6 +170,27 @@ class SwitchAllocator:
         requests: Sequence[SARequest],
         priorities: Optional[Dict[Tuple[int, int], int]] = None,
     ) -> List[SARequest]:
+        if len(requests) == 1:
+            # Sole requester wins both stages outright (priority filters
+            # are identity on single-element lists); both arbiters would
+            # grant their only asserted line, so just rotate pointers.
+            req = requests[0]
+            self._sa1[req.in_port].grant_sole(req.in_vc)
+            self._sa2[req.out_port].grant_sole(req.in_port)
+            return [req]
+        if len(requests) == 2:
+            # Two requests with disjoint input and output ports never
+            # conflict: each touches its own SA1/SA2 arbiter as the sole
+            # contender, and the general path would emit them in request
+            # order (stage-1 and stage-2 dicts preserve insertion order).
+            a, b = requests
+            if a.in_port != b.in_port and a.out_port != b.out_port:
+                self._sa1[a.in_port].grant_sole(a.in_vc)
+                self._sa1[b.in_port].grant_sole(b.in_vc)
+                self._sa2[a.out_port].grant_sole(a.in_port)
+                self._sa2[b.out_port].grant_sole(b.in_port)
+                return [a, b]
+
         # Stage 1: per input port, pick one requesting VC.
         stage1: Dict[int, SARequest] = {}
         by_in: Dict[int, List[SARequest]] = {}

@@ -10,11 +10,13 @@ integration on top.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, List, Optional, Set
 
-from repro.noc.packet import Flit, Packet
+from repro.noc.packet import Flit, Packet, PacketClass
+from repro.noc.profiling import NetworkProfiler
 from repro.noc.router import Router
 from repro.noc.routing import RoutingFunction, routing_for_topology
+from repro.noc.scheduling import TimingWheel
 from repro.noc.stats import EventCounts, NetworkStats
 from repro.topology.base import LinkSpec, Topology
 
@@ -57,6 +59,10 @@ class Network:
             the activity-weighted event counters.
         routing: routing function override; defaults to the canonical
             deterministic routing for the topology.
+        active_scheduling: step only routers with pending work each
+            cycle (default).  ``False`` falls back to iterating every
+            router — a debug mode kept so results can be diffed against
+            the scheduler; both produce bit-identical statistics.
     """
 
     def __init__(
@@ -72,6 +78,7 @@ class Network:
         lookahead_rc: bool = False,
         qos_enabled: bool = False,
         vc_by_class: bool = False,
+        active_scheduling: bool = True,
     ) -> None:
         self.topology = topology
         self.num_vcs = num_vcs
@@ -108,15 +115,46 @@ class Network:
         for router in self.routers:
             router.attach(self)
 
-        # Event buckets keyed by cycle.
-        self._arrivals: Dict[int, List[Tuple[int, int, int, Flit]]] = {}
-        self._credits: Dict[int, List[Tuple[int, int, int]]] = {}
-        self._ejections: Dict[int, List[Flit]] = {}
+        # Upstream (src node, src out-port) feeding each (node, in-port),
+        # resolved once so per-flit credit returns skip the string-keyed
+        # topology lookups; None = no upstream link (local port).
+        self._credit_targets: List[List[Optional[tuple]]] = []
+        for node, router in enumerate(self.routers):
+            targets: List[Optional[tuple]] = []
+            for port_name in router.port_names:
+                link = topology.in_ports[node].get(port_name)
+                if link is None:
+                    targets.append(None)
+                else:
+                    src_router = self.routers[link.src]
+                    targets.append(
+                        (link.src, src_router.port_index[link.src_port])
+                    )
+            self._credit_targets.append(targets)
+
+        # Event buckets: small timing wheels keyed by absolute cycle.
+        self._arrivals = TimingWheel()   # (node, port, vc, flit)
+        self._credits = TimingWheel()    # (node, port, vc)
+        self._ejections = TimingWheel()  # flit
         self._sources: List[_SourceQueue] = [
             _SourceQueue() for _ in topology.iter_nodes()
         ]
-        self._busy_sources: set[int] = set()
+        self._busy_sources: Set[int] = set()
+        #: Routers that may have pipeline work this cycle.  Maintained
+        #: as a *superset* of the busy routers (routers only become busy
+        #: through ``receive_flit``, which wakes them here), so the flag
+        #: can be toggled at any time without losing work.
+        self._active_routers: Set[int] = set()
+        self.active_scheduling = active_scheduling
+        #: Attach a :class:`~repro.noc.profiling.NetworkProfiler` to
+        #: collect cycles/sec, active-router ratio and per-phase wall
+        #: times; ``None`` (the default) costs one check per cycle.
+        self.profiler: Optional[NetworkProfiler] = None
         self.delivery_callbacks: List[DeliveryCallback] = []
+        #: The delivery hook owned by the current Simulator, if any —
+        #: lets a new Simulator over this network replace (rather than
+        #: double-register) its predecessor's closed-loop hook.
+        self.simulator_hook: Optional[DeliveryCallback] = None
         #: Debug hooks invoked on every switch traversal as
         #: ``(cycle, node, flit, out_port_name)`` — see
         #: :class:`repro.noc.tracer.PacketTracer`.  Empty = zero cost.
@@ -131,20 +169,32 @@ class Network:
         """Queue *flit* to appear at the link's destination input buffer."""
         dst_router = self.routers[link.dst]
         dst_port = dst_router.port_index[link.dst_port]
-        self._arrivals.setdefault(cycle, []).append((link.dst, dst_port, vc, flit))
+        self._arrivals.push(cycle, (link.dst, dst_port, vc, flit))
+
+    def push_arrival(
+        self, node: int, port: int, vc: int, flit: Flit, cycle: int
+    ) -> None:
+        """Pre-resolved variant of :meth:`schedule_arrival` (hot path)."""
+        self._arrivals.push(cycle, (node, port, vc, flit))
 
     def return_credit(self, node: int, in_port: int, vc: int, cycle: int) -> None:
         """Return one credit to the router feeding ``(node, in_port)``."""
-        port_name = self.routers[node].port_names[in_port]
-        link = self.topology.in_ports[node].get(port_name)
-        if link is None:
+        target = self._credit_targets[node][in_port]
+        if target is None:
+            port_name = self.routers[node].port_names[in_port]
             raise RuntimeError(f"no upstream link into node {node} port {port_name}")
-        src_router = self.routers[link.src]
-        src_port = src_router.port_index[link.src_port]
-        self._credits.setdefault(cycle, []).append((link.src, src_port, vc))
+        self._credits.push(cycle, (target[0], target[1], vc))
 
     def schedule_ejection(self, flit: Flit, cycle: int) -> None:
-        self._ejections.setdefault(cycle, []).append(flit)
+        self._ejections.push(cycle, flit)
+
+    def wake(self, node: int) -> None:
+        """Mark *node*'s router as having pipeline work to step.
+
+        Called by :meth:`Router.receive_flit` on every flit reception
+        (arrival or injection); the router stays in the active set until
+        a step leaves it quiescent."""
+        self._active_routers.add(node)
 
     # -- injection -----------------------------------------------------------
 
@@ -169,9 +219,7 @@ class Network:
     def in_flight(self) -> int:
         """Flits buffered in routers or travelling on links."""
         buffered = sum(router.occupancy() for router in self.routers)
-        travelling = sum(len(v) for v in self._arrivals.values())
-        ejecting = sum(len(v) for v in self._ejections.values())
-        return buffered + travelling + ejecting
+        return buffered + self._arrivals.pending() + self._ejections.pending()
 
     def idle(self) -> bool:
         """True when no flit is queued, buffered, or in flight."""
@@ -192,8 +240,6 @@ class Network:
                     continue
                 if self.vc_by_class:
                     # Inject on the traffic class's dedicated VC.
-                    from repro.noc.packet import PacketClass
-
                     wanted = (
                         1 if src.packets[0].klass is PacketClass.DATA else 0
                     )
@@ -234,17 +280,16 @@ class Network:
 
     # -- main loop -------------------------------------------------------------
 
-    def step(self) -> None:
-        """Advance the network by one clock cycle."""
-        cycle = self.cycle
+    def _deliver(self, cycle: int) -> None:
+        """Land this cycle's scheduled arrivals, credits, and ejections."""
+        routers = self.routers
+        for node, port, vc, flit in self._arrivals.pop_due(cycle):
+            routers[node].receive_flit(port, vc, flit, cycle)
 
-        for node, port, vc, flit in self._arrivals.pop(cycle, ()):
-            self.routers[node].receive_flit(port, vc, flit, cycle)
+        for node, port, vc in self._credits.pop_due(cycle):
+            routers[node].receive_credit(port, vc)
 
-        for node, port, vc in self._credits.pop(cycle, ()):
-            self.routers[node].receive_credit(port, vc)
-
-        for flit in self._ejections.pop(cycle, ()):
+        for flit in self._ejections.pop_due(cycle):
             if flit.is_tail:
                 packet = flit.packet
                 packet.delivered_cycle = cycle
@@ -252,11 +297,46 @@ class Network:
                 for callback in self.delivery_callbacks:
                     callback(packet, cycle)
 
-        self._inject(cycle)
+    def _step_routers(self, cycle: int) -> int:
+        """Run router pipelines; returns how many routers were stepped.
 
-        for router in self.routers:
+        Active-set mode visits only woken routers, in ascending node
+        order — the same relative order as the full iteration, which is
+        what keeps event-bucket contents (and hence closed-loop RNG
+        draws) bit-identical between the two modes."""
+        if not self.active_scheduling:
+            for router in self.routers:
+                router.step(cycle)
+            return len(self.routers)
+        active = self._active_routers
+        if not active:
+            return 0
+        order = sorted(active)
+        for node in order:
+            router = self.routers[node]
             router.step(cycle)
+            if not router._active:  # quiescent: no VC holds work
+                active.discard(node)
+        return len(order)
 
+    def step(self) -> None:
+        """Advance the network by one clock cycle."""
+        cycle = self.cycle
+        prof = self.profiler
+        if prof is None:
+            self._deliver(cycle)
+            self._inject(cycle)
+            self._step_routers(cycle)
+        else:
+            clock = prof.clock
+            t0 = clock()
+            self._deliver(cycle)
+            t1 = clock()
+            self._inject(cycle)
+            t2 = clock()
+            stepped = self._step_routers(cycle)
+            t3 = clock()
+            prof.record_cycle(t1 - t0, t2 - t1, t3 - t2, stepped, len(self.routers))
         self.cycle = cycle + 1
 
     def run(self, cycles: int) -> None:

@@ -146,13 +146,11 @@ class Flit:
     wrapped_x: bool = False
     wrapped_y: bool = False
 
-    @property
-    def is_head(self) -> bool:
-        return self.kind in (FlitType.HEAD, FlitType.SINGLE)
-
-    @property
-    def is_tail(self) -> bool:
-        return self.kind in (FlitType.TAIL, FlitType.SINGLE)
+    def __post_init__(self) -> None:
+        # Cached as plain attributes: the router pipeline consults these
+        # on every traversal and flit type never changes after creation.
+        self.is_head = self.kind is FlitType.HEAD or self.kind is FlitType.SINGLE
+        self.is_tail = self.kind is FlitType.TAIL or self.kind is FlitType.SINGLE
 
     def is_short(self, layer_groups: int = DEFAULT_LAYER_GROUPS) -> bool:
         """True when only the top word group carries valid data."""

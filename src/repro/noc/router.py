@@ -150,9 +150,33 @@ class Router:
         self.flits_switched = 0
         # Flat indices of input VCs that may have work this cycle.
         self._active: set[int] = set()
+        # How many input VCs sit in each non-idle pipeline state.  Kept
+        # in lockstep with the state transitions so :meth:`step` can skip
+        # whole stages that cannot match any VC (a pass over zero
+        # matching units is a no-op, so skipping it is bit-identical).
+        self._n_rc = 0
+        self._n_va = 0
+        self._n_active = 0
 
     def attach(self, network: "Network") -> None:
         self._network = network
+        # Pre-resolve (dst node, dst input port) per output port so the
+        # traversal hot path skips the per-flit string port lookups, and
+        # the per-link ``EventCounts.count_link`` arguments likewise.
+        self._arrival_targets: List[Optional[Tuple[int, int]]] = []
+        self._link_args: List[Optional[Tuple[str, float, Tuple[int, int]]]] = []
+        for link in self.out_links:
+            if link is None:
+                self._arrival_targets.append(None)
+                self._link_args.append(None)
+            else:
+                dst_router = network.routers[link.dst]
+                self._arrival_targets.append(
+                    (link.dst, dst_router.port_index[link.dst_port])
+                )
+                self._link_args.append(
+                    (link.kind.value, link.length_mm, (link.src, link.dst))
+                )
 
     # -- helpers -----------------------------------------------------------
 
@@ -208,6 +232,17 @@ class Router:
     def busy(self) -> bool:
         return bool(self._active)
 
+    def is_quiescent(self) -> bool:
+        """True when :meth:`step` would be a no-op this cycle and every
+        following cycle until a flit arrives.
+
+        A VC leaves ``_active`` only when its buffer has drained and it
+        holds no pending RC/VA/SA work, so an empty active set means
+        every VC is either ``_IDLE`` or waiting on an upstream flit —
+        the network's active-set scheduler deactivates the router then
+        and :meth:`receive_flit` wakes it again."""
+        return not self._active
+
     def occupancy(self) -> int:
         """Total buffered flits, across all input VCs."""
         return sum(len(unit.buffer) for unit in self.in_vcs)
@@ -216,10 +251,15 @@ class Router:
 
     def receive_flit(self, port: int, vc: int, flit: Flit, cycle: int) -> None:
         """Write an arriving flit into its input VC buffer."""
-        unit = self._vc(port, vc)
+        unit = self.in_vcs[port * self.num_vcs + vc]
         unit.buffer.push(flit)
-        self.events.buffer_writes += 1
-        self.events.buffer_writes_weighted += self._weight(flit)
+        ev = self.events
+        ev.buffer_writes += 1
+        # _weight() inlined: called once per flit hop.
+        ev.buffer_writes_weighted += (
+            flit.active_groups / self.layer_groups
+            if self.shutdown_enabled else 1.0
+        )
         if unit.state == _IDLE:
             if not flit.is_head:
                 raise RuntimeError(
@@ -230,10 +270,16 @@ class Router:
                 # The route travelled with the flit: skip straight to VA.
                 unit.out_port = self.port_index[flit.lookahead_port]
                 unit.state = _VA
+                self._n_va += 1
             else:
                 unit.state = _RC
+                self._n_rc += 1
             unit.ready_cycle = cycle
         self._active.add(port * self.num_vcs + vc)
+        # Wakeup protocol: every flit reception (re-)activates this
+        # router with the network's scheduler.
+        if self._network is not None:
+            self._network.wake(self.node)
 
     def receive_credit(self, port: int, vc: int) -> None:
         credits = self.credits[port]
@@ -248,96 +294,115 @@ class Router:
     # -- pipeline ----------------------------------------------------------
 
     def step(self, cycle: int) -> None:
-        if not self._active:
+        active = self._active
+        if not active:
             return
-        active_units = [self.in_vcs[i] for i in sorted(self._active)]
+        in_vcs = self.in_vcs
+        active_units = [in_vcs[i] for i in sorted(active)]
 
-        # --- RC stage ---
-        for unit in active_units:
-            if unit.state == _RC and unit.ready_cycle <= cycle:
-                flit = unit.buffer.front()
-                if flit is None:
-                    continue
-                if self._adaptive:
-                    unit.out_port = self._pick_adaptive_port(flit.packet.dst)
-                else:
-                    port_name = self.routing.output_port(
-                        self.node, flit.packet.dst
-                    )
-                    unit.out_port = self.port_index[port_name]
-                unit.state = _VA
-                unit.ready_cycle = cycle + 1
-                self.events.rc_computations += 1
+        # --- RC stage --- (skipped when no VC is in the RC state; an
+        # empty pass is a no-op, so the skip is bit-identical)
+        if self._n_rc:
+            for unit in active_units:
+                if unit.state == _RC and unit.ready_cycle <= cycle:
+                    flit = unit.buffer.front()
+                    if flit is None:
+                        continue
+                    if self._adaptive:
+                        unit.out_port = self._pick_adaptive_port(flit.packet.dst)
+                    else:
+                        port_name = self.routing.output_port(
+                            self.node, flit.packet.dst
+                        )
+                        unit.out_port = self.port_index[port_name]
+                    unit.state = _VA
+                    unit.ready_cycle = cycle + 1
+                    self._n_rc -= 1
+                    self._n_va += 1
+                    self.events.rc_computations += 1
 
         # --- VA stage ---
-        requests: List[VARequest] = []
-        for unit in active_units:
-            if unit.state == _VA and unit.ready_cycle <= cycle:
-                allowed = None
-                flit = unit.buffer.front()
-                if flit is not None:
-                    if self._vc_discipline:
-                        allowed = tuple(
-                            self.routing.allowed_vcs(
-                                flit, self.node, self.port_names[unit.out_port]
+        if self._n_va:
+            requests: List[VARequest] = []
+            for unit in active_units:
+                if unit.state == _VA and unit.ready_cycle <= cycle:
+                    allowed = None
+                    flit = unit.buffer.front()
+                    if flit is not None:
+                        if self._vc_discipline:
+                            allowed = tuple(
+                                self.routing.allowed_vcs(
+                                    flit, self.node, self.port_names[unit.out_port]
+                                )
                             )
-                        )
-                    elif self.vc_by_class:
-                        allowed = (self._class_vc(flit),)
-                requests.append(
-                    VARequest(unit.port, unit.vc, unit.out_port, allowed)
-                )
-        if requests:
-            free = {
-                req.out_port: [
-                    owner is None for owner in self.out_owner[req.out_port]
-                ]
-                for req in requests
-            }
-            grants = self._va.allocate(requests, free)
-            for (in_port, in_vc), (out_port, out_vc) in grants.items():
-                unit = self._vc(in_port, in_vc)
-                unit.out_vc = out_vc
-                unit.state = _ACTIVE
-                # Speculative switch allocation (Fig. 8b): the flit bids
-                # for the crossbar in the same cycle its VC is granted.
-                unit.ready_cycle = cycle if self.speculative_sa else cycle + 1
-                self.out_owner[out_port][out_vc] = (in_port, in_vc)
-                self.events.va_allocations += 1
+                        elif self.vc_by_class:
+                            allowed = (self._class_vc(flit),)
+                    requests.append(
+                        VARequest(unit.port, unit.vc, unit.out_port, allowed)
+                    )
+            if requests:
+                free = {
+                    req.out_port: [
+                        owner is None for owner in self.out_owner[req.out_port]
+                    ]
+                    for req in requests
+                }
+                grants = self._va.allocate(requests, free)
+                for (in_port, in_vc), (out_port, out_vc) in grants.items():
+                    unit = self._vc(in_port, in_vc)
+                    unit.out_vc = out_vc
+                    unit.state = _ACTIVE
+                    # Speculative switch allocation (Fig. 8b): the flit bids
+                    # for the crossbar in the same cycle its VC is granted.
+                    unit.ready_cycle = cycle if self.speculative_sa else cycle + 1
+                    self.out_owner[out_port][out_vc] = (in_port, in_vc)
+                    self._n_va -= 1
+                    self._n_active += 1
+                    self.events.va_allocations += 1
 
         # --- SA + ST stage ---
-        sa_requests: List[SARequest] = []
-        for unit in active_units:
-            if (
-                unit.state == _ACTIVE
-                and unit.ready_cycle <= cycle
-                and not unit.buffer.is_empty
-            ):
-                credits = self.credits[unit.out_port]
-                if credits is None or credits[unit.out_vc] > 0:
-                    sa_requests.append(SARequest(unit.port, unit.vc, unit.out_port))
-        if sa_requests:
-            priorities = None
-            if self.qos_enabled:
-                priorities = {}
-                for req in sa_requests:
-                    flit = self._vc(req.in_port, req.in_vc).buffer.front()
-                    if flit is not None:
-                        priorities[(req.in_port, req.in_vc)] = flit.packet.priority
-            for grant in self._sa.allocate(sa_requests, priorities):
-                self._traverse(grant, cycle)
+        if self._n_active:
+            sa_requests: List[SARequest] = []
+            credits_by_port = self.credits
+            for unit in active_units:
+                if (
+                    unit.state == _ACTIVE
+                    and unit.ready_cycle <= cycle
+                    and unit.buffer._fifo  # non-empty; hot-path inline
+                ):
+                    credits = credits_by_port[unit.out_port]
+                    if credits is None or credits[unit.out_vc] > 0:
+                        sa_requests.append(
+                            SARequest(unit.port, unit.vc, unit.out_port)
+                        )
+            if sa_requests:
+                priorities = None
+                if self.qos_enabled:
+                    priorities = {}
+                    for req in sa_requests:
+                        flit = self._vc(req.in_port, req.in_vc).buffer.front()
+                        if flit is not None:
+                            priorities[(req.in_port, req.in_vc)] = flit.packet.priority
+                for grant in self._sa.allocate(sa_requests, priorities):
+                    self._traverse(grant, cycle)
 
         # Prune VCs with no buffered flits and no pending pipeline work.
+        num_vcs = self.num_vcs
         for unit in active_units:
-            if unit.buffer.is_empty:
-                self._active.discard(unit.port * self.num_vcs + unit.vc)
+            if not unit.buffer._fifo:
+                active.discard(unit.port * num_vcs + unit.vc)
 
     def _traverse(self, grant: SARequest, cycle: int) -> None:
         """Move one flit through the crossbar and onto its output."""
-        assert self._network is not None, "router not attached to a network"
-        unit = self._vc(grant.in_port, grant.in_vc)
+        network = self._network
+        assert network is not None, "router not attached to a network"
+        unit = self.in_vcs[grant.in_port * self.num_vcs + grant.in_vc]
         flit = unit.buffer.pop()
-        weight = self._weight(flit)
+        # _weight() inlined: called once per flit hop.
+        weight = (
+            flit.active_groups / self.layer_groups
+            if self.shutdown_enabled else 1.0
+        )
         ev = self.events
         ev.buffer_reads += 1
         ev.buffer_reads_weighted += weight
@@ -348,9 +413,9 @@ class Router:
         self.flits_switched += 1
         if flit.active_groups == 1:
             ev.short_flit_hops += 1
-        if self._network.traverse_callbacks:
+        if network.traverse_callbacks:
             port_name = self.port_names[unit.out_port]
-            for callback in self._network.traverse_callbacks:
+            for callback in network.traverse_callbacks:
                 callback(cycle, self.node, flit, port_name)
 
         out_port, out_vc = unit.out_port, unit.out_vc
@@ -362,15 +427,15 @@ class Router:
                     f"router {self.node}: negative credit on port {out_port}"
                 )
         if grant.in_port != self.local_port:
-            self._network.return_credit(self.node, grant.in_port, grant.in_vc, cycle + 1)
+            network.return_credit(self.node, grant.in_port, grant.in_vc, cycle + 1)
 
         if out_port == self.local_port:
             # Ejection: one ST cycle, no link traversal.
-            self._network.schedule_ejection(flit, cycle + 1)
+            network.schedule_ejection(flit, cycle + 1)
         else:
-            link = self.out_links[out_port]
-            assert link is not None
             if flit.is_head:
+                link = self.out_links[out_port]
+                assert link is not None
                 flit.packet.hops += 1
                 if self._vc_discipline:
                     self.routing.note_traverse(flit, link)
@@ -381,15 +446,18 @@ class Router:
                         link.dst, flit.packet.dst
                     )
                     ev.rc_computations += 1
-            ev.count_link(
-                link.kind.value, link.length_mm, weight, (link.src, link.dst)
+            kind, length_mm, channel = self._link_args[out_port]
+            ev.count_link(kind, length_mm, weight, channel)
+            dst, dst_port = self._arrival_targets[out_port]
+            network.push_arrival(
+                dst, dst_port, out_vc, flit, cycle + self._hop_cycles
             )
-            self._network.schedule_arrival(link, out_vc, flit, cycle + self._hop_cycles)
 
         if flit.is_tail:
             self.out_owner[out_port][out_vc] = None
             unit.out_port = -1
             unit.out_vc = -1
+            self._n_active -= 1
             if unit.buffer.is_empty:
                 unit.state = _IDLE
             else:
@@ -400,5 +468,6 @@ class Router:
                     )
                 unit.state = _RC
                 unit.ready_cycle = cycle + 1
+                self._n_rc += 1
         else:
             unit.ready_cycle = cycle + 1

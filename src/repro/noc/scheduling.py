@@ -1,0 +1,73 @@
+"""Cycle-event scheduling primitives for the network hot loop.
+
+:class:`TimingWheel` replaces the former ``Dict[int, List]`` event
+buckets in :class:`~repro.noc.network.Network`.  NoC events land at most
+a few cycles in the future (switch+link traversal is 2-3 cycles, credit
+return is 1), so a small ring of pre-allocated buckets absorbs all
+scheduling without per-cycle dict churn or hashing.  Events pushed
+beyond the horizon (debug harnesses, exotic modelled delays) spill into
+an overflow dict keyed by absolute cycle — correctness never depends on
+the horizon, only speed does.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+#: Default slot count; must exceed the largest in-simulator delay
+#: (``ST_LT_SPLIT_CYCLES`` = 3) with room to spare.
+DEFAULT_HORIZON = 8
+
+
+class TimingWheel:
+    """Fixed-horizon mapping from absolute cycle to a list of events.
+
+    The caller must drain cycles in non-decreasing order via
+    :meth:`pop_due` (the network pops every wheel once per cycle), which
+    is what guarantees a ring slot only ever holds events for a single
+    cycle at a time.  Events scheduled for a cycle that has already been
+    popped are never delivered — exactly the semantics of the previous
+    dict buckets, whose stale keys were likewise never popped — but they
+    still count toward :meth:`pending` so liveness checks notice them.
+    """
+
+    __slots__ = ("_slots", "_size", "_now", "_overflow")
+
+    def __init__(self, horizon: int = DEFAULT_HORIZON) -> None:
+        if horizon < 2:
+            raise ValueError(f"horizon must be >= 2, got {horizon}")
+        self._size = horizon
+        self._slots: List[List[Any]] = [[] for _ in range(horizon)]
+        self._now = 0
+        self._overflow: Dict[int, List[Any]] = {}
+
+    def push(self, cycle: int, item: Any) -> None:
+        """Schedule *item* to be returned by ``pop_due(cycle)``."""
+        delta = cycle - self._now
+        if 0 <= delta < self._size:
+            self._slots[cycle % self._size].append(item)
+        else:
+            self._overflow.setdefault(cycle, []).append(item)
+
+    def pop_due(self, cycle: int) -> List[Any]:
+        """Return and clear every event scheduled for *cycle*."""
+        self._now = cycle + 1
+        idx = cycle % self._size
+        items = self._slots[idx]
+        if items:
+            self._slots[idx] = []
+        if self._overflow:
+            extra = self._overflow.pop(cycle, None)
+            if extra is not None:
+                items = items + extra if items else extra
+        return items
+
+    def pending(self) -> int:
+        """Events scheduled but not yet popped (including stale ones)."""
+        count = sum(len(slot) for slot in self._slots)
+        for items in self._overflow.values():
+            count += len(items)
+        return count
+
+    def __bool__(self) -> bool:
+        return any(self._slots) or bool(self._overflow)

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional
 
 from repro.noc.network import Network
 from repro.noc.packet import Packet, PacketClass
+from repro.noc.profiling import NetworkProfiler, ProfileSnapshot
 from repro.noc.stats import EventCounts
 from repro.traffic.base import TrafficSource
 
@@ -54,6 +55,14 @@ class SimulationResult:
     #: input for transient thermal analysis); empty unless the simulator
     #: was given a ``sample_interval``.
     activity_windows: List[List[int]] = field(default_factory=list)
+    #: Cycle span of each activity window.  All but the last equal
+    #: ``sample_interval``; the last is shorter when ``measure_cycles``
+    #: is not a multiple of it (the trailing partial window is emitted,
+    #: not dropped — consumers scale power by the actual span).
+    activity_window_cycles: List[int] = field(default_factory=list)
+    #: Hot-loop profile (cycles/sec, active-router ratio, phase wall
+    #: times); ``None`` unless the run was profiled.
+    profile: Optional[ProfileSnapshot] = None
     #: Tail latencies over measured packets (nearest-rank percentiles).
     latency_p50: float = 0.0
     latency_p95: float = 0.0
@@ -80,6 +89,7 @@ class Simulator:
         drain_cycles: int = 20000,
         drain_to_quiescence: bool = False,
         sample_interval: int = 0,
+        profile: bool = False,
     ) -> None:
         """``drain_to_quiescence`` keeps draining (still bounded by
         ``drain_cycles``) until the traffic source reports finished and
@@ -89,7 +99,10 @@ class Simulator:
         ``sample_interval`` > 0 records per-router switched-flit counts
         every that-many cycles of the measurement window — the power
         trace the transient thermal analysis consumes (Sec. 4.2.3: "The
-        NoC simulator generates power trace for Hotspot")."""
+        NoC simulator generates power trace for Hotspot").
+
+        ``profile`` attaches a :class:`NetworkProfiler` to the network
+        and reports its snapshot on ``SimulationResult.profile``."""
         if warmup_cycles < 0 or measure_cycles <= 0 or drain_cycles < 0:
             raise ValueError("cycle counts must be non-negative (measure > 0)")
         self.network = network
@@ -101,8 +114,27 @@ class Simulator:
         if sample_interval < 0:
             raise ValueError("sample_interval must be >= 0")
         self.sample_interval = sample_interval
+        if profile and network.profiler is None:
+            network.profiler = NetworkProfiler()
         self._future: Dict[int, List[Packet]] = {}
+        # A network carries at most one simulator delivery hook: a
+        # previous Simulator over the same network is deregistered so
+        # closed-loop responses are not double-scheduled.
+        if (
+            network.simulator_hook is not None
+            and network.simulator_hook in network.delivery_callbacks
+        ):
+            network.delivery_callbacks.remove(network.simulator_hook)
         network.delivery_callbacks.append(self._deliver_hook)
+        network.simulator_hook = self._deliver_hook
+
+    def detach(self) -> None:
+        """Deregister this simulator's delivery hook from the network."""
+        network = self.network
+        if self._deliver_hook in network.delivery_callbacks:
+            network.delivery_callbacks.remove(self._deliver_hook)
+        if network.simulator_hook == self._deliver_hook:
+            network.simulator_hook = None
 
     def _schedule(self, packets, cycle: int) -> None:
         for packet in packets:
@@ -146,16 +178,30 @@ class Simulator:
         start_events = net.events.copy()
         flits_at_window_start = stats.flits_delivered
         activity_windows: List[List[int]] = []
+        activity_window_cycles: List[int] = []
         if self.sample_interval:
             last_sample = [r.flits_switched for r in net.routers]
-            for i in range(self.measure_cycles):
+            cycles_in_window = 0
+            for _ in range(self.measure_cycles):
                 self._tick(generate=True)
-                if (i + 1) % self.sample_interval == 0:
+                cycles_in_window += 1
+                if cycles_in_window == self.sample_interval:
                     counts = [r.flits_switched for r in net.routers]
                     activity_windows.append(
                         [c - p for c, p in zip(counts, last_sample)]
                     )
+                    activity_window_cycles.append(cycles_in_window)
                     last_sample = counts
+                    cycles_in_window = 0
+            if cycles_in_window:
+                # Trailing partial window (measure_cycles not a multiple
+                # of sample_interval): emit it with its true span rather
+                # than silently truncating the power trace.
+                counts = [r.flits_switched for r in net.routers]
+                activity_windows.append(
+                    [c - p for c, p in zip(counts, last_sample)]
+                )
+                activity_window_cycles.append(cycles_in_window)
         else:
             for _ in range(self.measure_cycles):
                 self._tick(generate=True)
@@ -200,6 +246,10 @@ class Simulator:
                 klass.value: stats.avg_latency_for(klass) for klass in PacketClass
             },
             activity_windows=activity_windows,
+            activity_window_cycles=activity_window_cycles,
+            profile=(
+                net.profiler.snapshot() if net.profiler is not None else None
+            ),
             latency_p50=stats.latency_percentile(50),
             latency_p95=stats.latency_percentile(95),
             latency_p99=stats.latency_percentile(99),

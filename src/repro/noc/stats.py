@@ -15,7 +15,9 @@ Two concerns live here:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+from fractions import Fraction
 from typing import Dict, List, Optional
 
 from repro.noc.packet import Packet, PacketClass
@@ -185,11 +187,21 @@ class NetworkStats:
         return sum(values) / len(values) if values else 0.0
 
     def latency_percentile(self, percentile: float) -> float:
-        """Latency percentile over measured packets (nearest-rank)."""
+        """Latency percentile over measured packets (nearest-rank).
+
+        The rank is ``ceil(n * p / 100)`` computed in exact rational
+        arithmetic on the *decimal* value of ``percentile``
+        (``Fraction(str(p))``) — a pure-float ceil misrounds when
+        ``n * p`` carries binary representation error across an integer
+        boundary (8.8% of 375 samples is exactly rank 33, but
+        ``375 * 8.8 = 3300.0000000000005`` ceils to 34).
+        """
         if not 0.0 < percentile <= 100.0:
             raise ValueError(f"percentile must be in (0, 100], got {percentile}")
         if not self.latencies:
             return 0.0
         ordered = sorted(self.latencies)
-        rank = max(1, -(-len(ordered) * percentile // 100))  # ceil
-        return float(ordered[int(rank) - 1])
+        n = len(ordered)
+        rank = math.ceil(Fraction(str(percentile)) * n / 100)
+        rank = min(max(rank, 1), n)
+        return float(ordered[rank - 1])

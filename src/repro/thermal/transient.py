@@ -109,11 +109,18 @@ def power_trace_from_activity(
     flit_energy = model.flit_hop_energy_j()
     if shutdown_short_fraction > 0:
         flit_energy *= shutdown_power_factor(shutdown_short_fraction)
-    window_s = sample_interval * tech.CYCLE_S
     leak_per_router = router_area(config).total_mm2 * tech.LEAKAGE_W_PER_MM2
 
+    # A trailing partial window (measure_cycles not a multiple of the
+    # sample interval) spans fewer cycles; scale its power by the true
+    # span so it is not underestimated.  Older results without recorded
+    # spans fall back to the nominal interval.
+    spans = result.activity_window_cycles or [sample_interval] * len(
+        result.activity_windows
+    )
     trace: List[np.ndarray] = []
-    for window in result.activity_windows:
+    for window, span in zip(result.activity_windows, spans):
+        window_s = span * tech.CYCLE_S
         router_power = [
             flits * flit_energy / window_s + leak_per_router for flits in window
         ]

@@ -1,0 +1,110 @@
+"""Tests for the hot-loop profiling layer."""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.core.arch import make_2db
+from repro.noc.profiling import NetworkProfiler, ProfileSnapshot
+from repro.noc.simulator import Simulator
+from repro.traffic.synthetic import UniformRandomTraffic
+
+
+class _FakeClock:
+    """Deterministic clock: each read advances by one second."""
+
+    def __init__(self) -> None:
+        self._ticks = itertools.count()
+
+    def __call__(self) -> float:
+        return float(next(self._ticks))
+
+
+def test_profiler_accumulates_deterministic_phases(cfg_2db):
+    network = cfg_2db.build_network()
+    network.profiler = NetworkProfiler(clock=_FakeClock())
+    cycles = 5
+    for _ in range(cycles):
+        network.step()
+    snap = network.profiler.snapshot()
+    # Four clock reads per cycle, one second apart: each phase takes
+    # exactly one second per cycle.
+    assert snap.cycles == cycles
+    assert snap.phase_wall_s == {
+        "deliver": float(cycles),
+        "inject": float(cycles),
+        "route": float(cycles),
+    }
+    assert snap.wall_s == 3.0 * cycles
+    assert snap.cycles_per_second == cycles / snap.wall_s
+    # An idle network steps zero routers.
+    assert snap.routers_stepped == 0
+    assert snap.router_cycles == cycles * len(network.routers)
+    assert snap.active_router_ratio == 0.0
+
+
+def test_profiler_reset():
+    profiler = NetworkProfiler(clock=_FakeClock())
+    profiler.record_cycle(1.0, 2.0, 3.0, stepped=4, population=8)
+    profiler.reset()
+    snap = profiler.snapshot()
+    assert snap.cycles == 0
+    assert snap.wall_s == 0.0
+    assert snap.cycles_per_second == 0.0
+    assert snap.active_router_ratio == 0.0
+
+
+def test_simulator_profile_flag_attaches_and_reports():
+    config = make_2db()
+    network = config.build_network()
+    sim = Simulator(
+        network,
+        UniformRandomTraffic(num_nodes=config.num_nodes, flit_rate=0.05, seed=3),
+        warmup_cycles=50,
+        measure_cycles=300,
+        drain_cycles=3000,
+        profile=True,
+    )
+    assert isinstance(network.profiler, NetworkProfiler)
+    result = sim.run()
+    snap = result.profile
+    assert isinstance(snap, ProfileSnapshot)
+    assert snap.cycles == result.cycles
+    assert snap.router_cycles == result.cycles * len(network.routers)
+    # At 0.05 flits/node/cycle most routers are quiescent most cycles —
+    # the active-set scheduler should step well under the full population.
+    assert 0.0 < snap.active_router_ratio < 0.9
+    assert snap.wall_s > 0.0
+    assert snap.cycles_per_second > 0.0
+
+
+def test_unprofiled_run_reports_no_profile():
+    config = make_2db()
+    sim = Simulator(
+        config.build_network(),
+        UniformRandomTraffic(num_nodes=config.num_nodes, flit_rate=0.05, seed=3),
+        warmup_cycles=10,
+        measure_cycles=50,
+        drain_cycles=2000,
+    )
+    assert sim.run().profile is None
+
+
+def test_snapshot_format_is_human_readable():
+    profiler = NetworkProfiler(clock=_FakeClock())
+    profiler.record_cycle(1.0, 1.0, 1.0, stepped=3, population=12)
+    text = profiler.snapshot().format()
+    assert "cycles/second" in text
+    assert "active ratio" in text
+    assert "25.0%" in text
+    assert "phase deliver" in text
+
+
+def test_cli_profile_flag(capsys, monkeypatch):
+    from repro.cli import main
+
+    monkeypatch.setenv("REPRO_SCALE", "quick")
+    assert main(["simulate", "--arch", "2DB", "--rate", "0.05", "--profile"]) == 0
+    out = capsys.readouterr().out
+    assert "hot-loop profile" in out
+    assert "active ratio" in out

@@ -1,0 +1,85 @@
+"""Unit tests for the TimingWheel event buckets."""
+
+import pytest
+
+from repro.noc.scheduling import TimingWheel
+
+
+def test_push_pop_within_horizon():
+    wheel = TimingWheel()
+    wheel.push(3, "a")
+    wheel.push(3, "b")
+    wheel.push(5, "c")
+    assert wheel.pop_due(0) == []
+    assert wheel.pop_due(1) == []
+    assert wheel.pop_due(2) == []
+    assert wheel.pop_due(3) == ["a", "b"]
+    assert wheel.pop_due(4) == []
+    assert wheel.pop_due(5) == ["c"]
+
+
+def test_push_beyond_horizon_spills_to_overflow():
+    wheel = TimingWheel(horizon=4)
+    wheel.push(100, "far")
+    assert wheel.pending() == 1
+    for cycle in range(100):
+        assert wheel.pop_due(cycle) == []
+    assert wheel.pop_due(100) == ["far"]
+    assert wheel.pending() == 0
+
+
+def test_ring_slots_wrap_cleanly():
+    wheel = TimingWheel(horizon=4)
+    for cycle in range(40):
+        wheel.push(cycle + 2, cycle)
+        due = wheel.pop_due(cycle)
+        if cycle >= 2:
+            assert due == [cycle - 2]
+        else:
+            assert due == []
+
+
+def test_in_slot_and_overflow_events_merge():
+    wheel = TimingWheel(horizon=4)
+    wheel.push(10, "late")            # beyond horizon -> overflow
+    for cycle in range(8):
+        wheel.pop_due(cycle)
+    wheel.push(10, "near")            # now within horizon -> ring slot
+    assert wheel.pop_due(8) == []
+    assert wheel.pop_due(9) == []
+    # Ring-slot events come first, then overflow — matching the old
+    # dict buckets, where earlier-scheduled events were appended first.
+    assert wheel.pop_due(10) == ["near", "late"]
+
+
+def test_stale_events_never_delivered_but_counted():
+    """Events scheduled for an already-popped cycle are never returned
+    (the semantics of the old dict buckets) but still count as pending,
+    so liveness checks can notice a scheduling bug."""
+    wheel = TimingWheel(horizon=4)
+    wheel.pop_due(0)
+    wheel.pop_due(1)
+    wheel.push(0, "stale")            # cycle 0 already popped
+    assert wheel.pending() == 1
+    assert bool(wheel)
+    for cycle in range(2, 10):
+        assert "stale" not in wheel.pop_due(cycle)
+    assert wheel.pending() == 1
+
+
+def test_pending_and_bool():
+    wheel = TimingWheel()
+    assert not wheel
+    assert wheel.pending() == 0
+    wheel.push(1, "x")
+    wheel.push(50, "y")
+    assert wheel
+    assert wheel.pending() == 2
+    wheel.pop_due(0)
+    wheel.pop_due(1)
+    assert wheel.pending() == 1
+
+
+def test_horizon_validation():
+    with pytest.raises(ValueError):
+        TimingWheel(horizon=1)
