@@ -51,6 +51,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             short_flit_fraction=args.short_flits,
             shutdown_enabled=args.short_flits > 0,
             profile=args.profile,
+            sanitize=args.sanitize,
+            sanitize_interval=args.sanitize_interval,
         )
     else:
         point = run_nuca_point(
@@ -58,6 +60,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             short_flit_fraction=args.short_flits,
             shutdown_enabled=args.short_flits > 0,
             profile=args.profile,
+            sanitize=args.sanitize,
+            sanitize_interval=args.sanitize_interval,
         )
     print(f"architecture      : {point.arch}")
     print(f"traffic           : {point.label}")
@@ -71,6 +75,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     if point.sim.profile is not None:
         print("--- hot-loop profile ---")
         print(point.sim.profile.format())
+    if point.sim.sanity is not None:
+        print("--- sanitizer ---")
+        print(point.sim.sanity.format())
     return 0
 
 
@@ -260,6 +267,15 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument(
         "--profile", action="store_true",
         help="report cycles/sec, active-router ratio and phase wall times",
+    )
+    sim.add_argument(
+        "--sanitize", action="store_true",
+        help="audit flit-conservation / credit / VC-state invariants "
+        "every cycle and fail fast on the first violation",
+    )
+    sim.add_argument(
+        "--sanitize-interval", type=int, default=1, metavar="N",
+        help="with --sanitize: audit every N cycles (default 1)",
     )
     sim.set_defaults(func=cmd_simulate)
 

@@ -20,15 +20,41 @@ from repro.experiments.runner import PointResult, run_nuca_point, run_uniform_po
 WorkItem = Tuple[Architecture, float, str]
 
 
+class SweepPointError(RuntimeError):
+    """A sweep worker failed; names the work item so a bad point in a
+    54-point sweep is identifiable without re-running serially."""
+
+    def __init__(self, item: WorkItem, cause: str) -> None:
+        arch, rate, kind = item
+        super().__init__(
+            f"sweep point (arch={arch.value}, rate={rate:g}, kind={kind!r}) "
+            f"failed: {cause}"
+        )
+        self.item = item
+        self.cause = cause
+
+    def __reduce__(self):
+        # Default exception pickling would replay __init__ with the
+        # formatted message alone; rebuild from (item, cause) so the
+        # error survives the pool's result pipe intact.
+        return (SweepPointError, (self.item, self.cause))
+
+
 def _run_item(args: Tuple[WorkItem, ExperimentSettings]) -> Tuple[str, float, PointResult]:
-    (arch, rate, kind), settings = args
-    config = make_architecture(arch)
-    if kind == "uniform":
-        point = run_uniform_point(config, rate, settings)
-    elif kind == "nuca":
-        point = run_nuca_point(config, rate, settings)
-    else:
-        raise ValueError(f"unknown traffic kind {kind!r}")
+    item, settings = args
+    arch, rate, kind = item
+    try:
+        config = make_architecture(arch)
+        if kind == "uniform":
+            point = run_uniform_point(config, rate, settings)
+        elif kind == "nuca":
+            point = run_nuca_point(config, rate, settings)
+        else:
+            raise ValueError(f"unknown traffic kind {kind!r}")
+    except SweepPointError:
+        raise
+    except Exception as exc:
+        raise SweepPointError(item, f"{type(exc).__name__}: {exc}") from exc
     return config.name, rate, point
 
 
@@ -47,12 +73,18 @@ def parallel_sweep(
     settings = settings or ExperimentSettings.from_env()
     if processes < 1:
         raise ValueError(f"processes must be >= 1, got {processes}")
+    if kind not in ("uniform", "nuca"):
+        raise ValueError(f"unknown traffic kind {kind!r}")
     items = [((arch, rate, kind), settings) for arch in archs for rate in rates]
 
     if processes == 1:
         results = [_run_item(item) for item in items]
     else:
-        ctx = get_context("fork")  # workers inherit the loaded package
+        try:
+            ctx = get_context("fork")  # workers inherit the loaded package
+        except ValueError:
+            # Windows / spawn-only platforms: workers re-import instead.
+            ctx = get_context("spawn")
         with ctx.Pool(processes=processes) as pool:
             results = pool.map(_run_item, items)
 

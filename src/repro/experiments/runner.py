@@ -58,6 +58,8 @@ def _run(
     label: str,
     shutdown_enabled: bool,
     profile: bool = False,
+    sanitize: bool = False,
+    sanitize_interval: int = 1,
 ) -> PointResult:
     network = config.build_network(shutdown_enabled=shutdown_enabled)
     sim = Simulator(
@@ -67,6 +69,8 @@ def _run(
         measure_cycles=settings.measure_cycles,
         drain_cycles=settings.drain_cycles,
         profile=profile,
+        sanitize=sanitize,
+        sanitize_interval=sanitize_interval,
     )
     result = sim.run()
     report = power_report(
@@ -94,6 +98,8 @@ def run_uniform_point(
     shutdown_enabled: bool = False,
     seed: Optional[int] = None,
     profile: bool = False,
+    sanitize: bool = False,
+    sanitize_interval: int = 1,
 ) -> PointResult:
     """Uniform-random traffic at *rate* flits/node/cycle."""
     traffic = UniformRandomTraffic(
@@ -104,7 +110,7 @@ def run_uniform_point(
     )
     return _run(
         config, traffic, settings, f"UR@{rate:g}", shutdown_enabled,
-        profile=profile,
+        profile=profile, sanitize=sanitize, sanitize_interval=sanitize_interval,
     )
 
 
@@ -116,6 +122,8 @@ def run_nuca_point(
     shutdown_enabled: bool = False,
     seed: Optional[int] = None,
     profile: bool = False,
+    sanitize: bool = False,
+    sanitize_interval: int = 1,
 ) -> PointResult:
     """NUCA-constrained request/response traffic (Fig. 11b)."""
     traffic = NucaUniformTraffic(
@@ -127,7 +135,7 @@ def run_nuca_point(
     )
     return _run(
         config, traffic, settings, f"NUCA@{request_rate:g}", shutdown_enabled,
-        profile=profile,
+        profile=profile, sanitize=sanitize, sanitize_interval=sanitize_interval,
     )
 
 

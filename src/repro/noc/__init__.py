@@ -28,6 +28,12 @@ from repro.noc.routing import (
 from repro.noc.adaptive import WestFirstAdaptiveRouting
 from repro.noc.profiling import NetworkProfiler, ProfileSnapshot
 from repro.noc.router import Router
+from repro.noc.sanitizer import (
+    NetworkSanitizer,
+    SanityError,
+    SanitySnapshot,
+    WatchdogReport,
+)
 from repro.noc.scheduling import TimingWheel
 from repro.noc.network import Network
 from repro.noc.simulator import SimulationResult, Simulator
@@ -56,6 +62,10 @@ __all__ = [
     "NetworkStats",
     "NetworkProfiler",
     "ProfileSnapshot",
+    "NetworkSanitizer",
+    "SanityError",
+    "SanitySnapshot",
+    "WatchdogReport",
     "TimingWheel",
     "WestFirstAdaptiveRouting",
     "PacketTracer",

@@ -133,6 +133,19 @@ class VirtualChannelAllocator:
                 grants[(in_port, in_vc)] = out_key
         return grants
 
+    def check_sane(self) -> Optional[str]:
+        """``None`` when every arbiter's state is legal, else a message
+        naming the first corrupted one (sanitizer hook)."""
+        for key, arbiter in self._va1.items():
+            problem = arbiter.check_sane()
+            if problem:
+                return f"VA1 arbiter for input VC {key}: {problem}"
+        for key, arbiter in self._va2.items():
+            problem = arbiter.check_sane()
+            if problem:
+                return f"VA2 arbiter for output VC {key}: {problem}"
+        return None
+
 
 class SwitchAllocator:
     """Separable two-stage switch allocator.
@@ -223,3 +236,16 @@ class SwitchAllocator:
             if winner is not None:
                 grants.append(lookup[winner])
         return grants
+
+    def check_sane(self) -> Optional[str]:
+        """``None`` when every arbiter's state is legal, else a message
+        naming the first corrupted one (sanitizer hook)."""
+        for in_port, arbiter in enumerate(self._sa1):
+            problem = arbiter.check_sane()
+            if problem:
+                return f"SA1 arbiter for input port {in_port}: {problem}"
+        for out_port, arbiter in enumerate(self._sa2):
+            problem = arbiter.check_sane()
+            if problem:
+                return f"SA2 arbiter for output port {out_port}: {problem}"
+        return None

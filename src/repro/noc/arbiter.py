@@ -54,6 +54,18 @@ class RoundRobinArbiter:
         self._next = (idx + 1) % self.size
         return idx
 
+    def check_sane(self) -> Optional[str]:
+        """``None`` when the rotation pointer is in range, else what is
+        wrong.  A corrupted pointer silently biases (or, if negative /
+        out of range in just the wrong way, wedges) arbitration long
+        before anything crashes, so the sanitizer audits it."""
+        if not isinstance(self._next, int) or not 0 <= self._next < self.size:
+            return (
+                f"round-robin pointer {self._next!r} outside "
+                f"[0, {self.size})"
+            )
+        return None
+
 
 class MatrixArbiter:
     """Least-recently-served matrix arbiter.

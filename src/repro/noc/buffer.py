@@ -10,7 +10,7 @@ the buffer remains a bounded FIFO.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque, Optional, Tuple
 
 from repro.noc.packet import Flit
 
@@ -52,6 +52,14 @@ class VirtualChannelBuffer:
             )
         self._fifo.append(flit)
         self.writes += 1
+
+    def flits(self) -> Tuple[Flit, ...]:
+        """Read-only snapshot of the buffered flits, front first.
+
+        Used by audit passes (:mod:`repro.noc.sanitizer`); does not
+        count as a read for power accounting.
+        """
+        return tuple(self._fifo)
 
     def front(self) -> Optional[Flit]:
         """The flit at the head of the FIFO, or ``None`` when empty."""

@@ -15,6 +15,7 @@ from typing import Callable, Deque, List, Optional, Set
 from repro.noc.packet import Flit, Packet, PacketClass
 from repro.noc.profiling import NetworkProfiler
 from repro.noc.router import Router
+from repro.noc.sanitizer import DEFAULT_WATCHDOG_WINDOW, NetworkSanitizer
 from repro.noc.routing import RoutingFunction, routing_for_topology
 from repro.noc.scheduling import TimingWheel
 from repro.noc.stats import EventCounts, NetworkStats
@@ -63,6 +64,18 @@ class Network:
             cycle (default).  ``False`` falls back to iterating every
             router — a debug mode kept so results can be diffed against
             the scheduler; both produce bit-identical statistics.
+        sanitize: attach a :class:`~repro.noc.sanitizer.NetworkSanitizer`
+            that audits flit conservation, credit accounting, and VC
+            state legality, raising
+            :class:`~repro.noc.sanitizer.SanityError` on the first
+            violation.  Audits never mutate state, so sanitized runs are
+            bit-identical; disabled, the cost is one ``is None`` check
+            per cycle (same guard as the profiler).
+        sanitize_interval: audit every N cycles (default 1 = every
+            cycle).
+        watchdog_window: cycles without a flit delivery (while traffic
+            is in the network) before the sanitizer's deadlock/livelock
+            watchdog snapshots the stalled VCs.
     """
 
     def __init__(
@@ -79,6 +92,9 @@ class Network:
         qos_enabled: bool = False,
         vc_by_class: bool = False,
         active_scheduling: bool = True,
+        sanitize: bool = False,
+        sanitize_interval: int = 1,
+        watchdog_window: int = DEFAULT_WATCHDOG_WINDOW,
     ) -> None:
         self.topology = topology
         self.num_vcs = num_vcs
@@ -150,6 +166,17 @@ class Network:
         #: collect cycles/sec, active-router ratio and per-phase wall
         #: times; ``None`` (the default) costs one check per cycle.
         self.profiler: Optional[NetworkProfiler] = None
+        #: Opt-in invariant auditor; ``None`` (the default) costs one
+        #: check per cycle, exactly like the profiler.
+        self.sanitizer: Optional[NetworkSanitizer] = (
+            NetworkSanitizer(
+                self,
+                interval=sanitize_interval,
+                watchdog_window=watchdog_window,
+            )
+            if sanitize
+            else None
+        )
         self.delivery_callbacks: List[DeliveryCallback] = []
         #: The delivery hook owned by the current Simulator, if any —
         #: lets a new Simulator over this network replace (rather than
@@ -323,10 +350,13 @@ class Network:
         """Advance the network by one clock cycle."""
         cycle = self.cycle
         prof = self.profiler
+        san = self.sanitizer
         if prof is None:
             self._deliver(cycle)
             self._inject(cycle)
             self._step_routers(cycle)
+            if san is not None:
+                san.maybe_audit(cycle)
         else:
             clock = prof.clock
             t0 = clock()
@@ -336,7 +366,14 @@ class Network:
             t2 = clock()
             stepped = self._step_routers(cycle)
             t3 = clock()
-            prof.record_cycle(t1 - t0, t2 - t1, t3 - t2, stepped, len(self.routers))
+            sanitize_s = 0.0
+            if san is not None:
+                san.maybe_audit(cycle)
+                sanitize_s = clock() - t3
+            prof.record_cycle(
+                t1 - t0, t2 - t1, t3 - t2, stepped, len(self.routers),
+                sanitize_s=sanitize_s,
+            )
         self.cycle = cycle + 1
 
     def run(self, cycles: int) -> None:

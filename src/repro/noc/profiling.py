@@ -43,7 +43,9 @@ class ProfileSnapshot:
     #: doing work; low values are where active-set scheduling pays.
     active_router_ratio: float
     #: Wall seconds by phase: ``deliver`` (arrivals/credits/ejections),
-    #: ``inject`` (source queues), ``route`` (router pipelines).
+    #: ``inject`` (source queues), ``route`` (router pipelines), and —
+    #: only when a sanitizer was attached — ``sanitize`` (invariant
+    #: audits).
     phase_wall_s: Dict[str, float] = field(default_factory=dict)
 
     def format(self) -> str:
@@ -76,6 +78,7 @@ class NetworkProfiler:
         "deliver_wall_s",
         "inject_wall_s",
         "router_wall_s",
+        "sanitize_wall_s",
     )
 
     def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
@@ -89,6 +92,7 @@ class NetworkProfiler:
         self.deliver_wall_s = 0.0
         self.inject_wall_s = 0.0
         self.router_wall_s = 0.0
+        self.sanitize_wall_s = 0.0
 
     def record_cycle(
         self,
@@ -97,21 +101,37 @@ class NetworkProfiler:
         router_s: float,
         stepped: int,
         population: int,
+        sanitize_s: float = 0.0,
     ) -> None:
         """One ``Network.step`` worth of measurements."""
         self.cycles += 1
         self.deliver_wall_s += deliver_s
         self.inject_wall_s += inject_s
         self.router_wall_s += router_s
+        self.sanitize_wall_s += sanitize_s
         self.routers_stepped += stepped
         self.router_cycles += population
 
     @property
     def wall_s(self) -> float:
-        return self.deliver_wall_s + self.inject_wall_s + self.router_wall_s
+        return (
+            self.deliver_wall_s
+            + self.inject_wall_s
+            + self.router_wall_s
+            + self.sanitize_wall_s
+        )
 
     def snapshot(self) -> ProfileSnapshot:
         wall = self.wall_s
+        phases = {
+            "deliver": self.deliver_wall_s,
+            "inject": self.inject_wall_s,
+            "route": self.router_wall_s,
+        }
+        # Key present only when audits actually ran, so unsanitized
+        # snapshots keep their exact three-phase shape.
+        if self.sanitize_wall_s:
+            phases["sanitize"] = self.sanitize_wall_s
         return ProfileSnapshot(
             cycles=self.cycles,
             wall_s=wall,
@@ -123,9 +143,5 @@ class NetworkProfiler:
                 if self.router_cycles
                 else 0.0
             ),
-            phase_wall_s={
-                "deliver": self.deliver_wall_s,
-                "inject": self.inject_wall_s,
-                "route": self.router_wall_s,
-            },
+            phase_wall_s=phases,
         )

@@ -36,6 +36,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 # Input-VC pipeline states.
 _IDLE, _RC, _VA, _ACTIVE = 0, 1, 2, 3
 
+#: Human-readable names for the input-VC pipeline states (sanitizer /
+#: watchdog reports).
+VC_STATE_NAMES = {_IDLE: "idle", _RC: "rc", _VA: "va", _ACTIVE: "active"}
+
 #: Cycles from SA grant to the flit being RC-ready at the next router.
 ST_LT_MERGED_CYCLES = 2
 ST_LT_SPLIT_CYCLES = 3

@@ -62,6 +62,20 @@ class TimingWheel:
                 items = items + extra if items else extra
         return items
 
+    def items(self) -> List[Any]:
+        """Every scheduled-but-unpopped event (including stale ones).
+
+        Audit-path helper (:mod:`repro.noc.sanitizer`): the same event
+        population :meth:`pending` counts, as a flat list.  Order is
+        unspecified; callers must not mutate the returned events.
+        """
+        out: List[Any] = []
+        for slot in self._slots:
+            out.extend(slot)
+        for events in self._overflow.values():
+            out.extend(events)
+        return out
+
     def pending(self) -> int:
         """Events scheduled but not yet popped (including stale ones)."""
         count = sum(len(slot) for slot in self._slots)

@@ -22,6 +22,11 @@ from typing import Dict, List, Optional
 from repro.noc.network import Network
 from repro.noc.packet import Packet, PacketClass
 from repro.noc.profiling import NetworkProfiler, ProfileSnapshot
+from repro.noc.sanitizer import (
+    DEFAULT_WATCHDOG_WINDOW,
+    NetworkSanitizer,
+    SanitySnapshot,
+)
 from repro.noc.stats import EventCounts
 from repro.traffic.base import TrafficSource
 
@@ -63,6 +68,9 @@ class SimulationResult:
     #: Hot-loop profile (cycles/sec, active-router ratio, phase wall
     #: times); ``None`` unless the run was profiled.
     profile: Optional[ProfileSnapshot] = None
+    #: Invariant-audit summary (audit counts plus any deadlock/livelock
+    #: watchdog reports); ``None`` unless the run was sanitized.
+    sanity: Optional[SanitySnapshot] = None
     #: Tail latencies over measured packets (nearest-rank percentiles).
     latency_p50: float = 0.0
     latency_p95: float = 0.0
@@ -90,6 +98,9 @@ class Simulator:
         drain_to_quiescence: bool = False,
         sample_interval: int = 0,
         profile: bool = False,
+        sanitize: bool = False,
+        sanitize_interval: int = 1,
+        watchdog_window: int = DEFAULT_WATCHDOG_WINDOW,
     ) -> None:
         """``drain_to_quiescence`` keeps draining (still bounded by
         ``drain_cycles``) until the traffic source reports finished and
@@ -102,7 +113,14 @@ class Simulator:
         NoC simulator generates power trace for Hotspot").
 
         ``profile`` attaches a :class:`NetworkProfiler` to the network
-        and reports its snapshot on ``SimulationResult.profile``."""
+        and reports its snapshot on ``SimulationResult.profile``.
+
+        ``sanitize`` attaches a
+        :class:`~repro.noc.sanitizer.NetworkSanitizer` (auditing every
+        ``sanitize_interval`` cycles, deadlock watchdog arming after
+        ``watchdog_window`` delivery-free cycles) and reports its
+        snapshot on ``SimulationResult.sanity``.  A sanitizer already on
+        the network is kept as-is."""
         if warmup_cycles < 0 or measure_cycles <= 0 or drain_cycles < 0:
             raise ValueError("cycle counts must be non-negative (measure > 0)")
         self.network = network
@@ -116,6 +134,12 @@ class Simulator:
         self.sample_interval = sample_interval
         if profile and network.profiler is None:
             network.profiler = NetworkProfiler()
+        if sanitize and network.sanitizer is None:
+            network.sanitizer = NetworkSanitizer(
+                network,
+                interval=sanitize_interval,
+                watchdog_window=watchdog_window,
+            )
         self._future: Dict[int, List[Packet]] = {}
         # A network carries at most one simulator delivery hook: a
         # previous Simulator over the same network is deregistered so
@@ -249,6 +273,9 @@ class Simulator:
             activity_window_cycles=activity_window_cycles,
             profile=(
                 net.profiler.snapshot() if net.profiler is not None else None
+            ),
+            sanity=(
+                net.sanitizer.snapshot() if net.sanitizer is not None else None
             ),
             latency_p50=stats.latency_percentile(50),
             latency_p95=stats.latency_percentile(95),

@@ -16,9 +16,9 @@ Two concerns live here:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from fractions import Fraction
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.noc.packet import Packet, PacketClass
 
@@ -42,7 +42,7 @@ class EventCounts:
     link_mm_weighted: Dict[str, float] = field(default_factory=dict)
     #: Per-channel flit counts keyed by (src node, dst node) — the
     #: channel-load map used for utilisation analysis.
-    channel_flits: Dict[tuple, int] = field(default_factory=dict)
+    channel_flits: Dict[Tuple[int, int], int] = field(default_factory=dict)
     short_flit_hops: int = 0
     flit_hops: int = 0
 
@@ -51,7 +51,7 @@ class EventCounts:
         kind: str,
         length_mm: float,
         weight: float,
-        channel: tuple = None,
+        channel: Optional[Tuple[int, int]] = None,
     ) -> None:
         self.link_flits[kind] = self.link_flits.get(kind, 0) + 1
         self.link_mm_weighted[kind] = (
@@ -61,53 +61,35 @@ class EventCounts:
             self.channel_flits[channel] = self.channel_flits.get(channel, 0) + 1
 
     def copy(self) -> "EventCounts":
-        return EventCounts(
-            channel_flits=dict(self.channel_flits),
-            buffer_writes=self.buffer_writes,
-            buffer_reads=self.buffer_reads,
-            buffer_writes_weighted=self.buffer_writes_weighted,
-            buffer_reads_weighted=self.buffer_reads_weighted,
-            xbar_traversals=self.xbar_traversals,
-            xbar_traversals_weighted=self.xbar_traversals_weighted,
-            rc_computations=self.rc_computations,
-            va_allocations=self.va_allocations,
-            sa_allocations=self.sa_allocations,
-            link_flits=dict(self.link_flits),
-            link_mm_weighted=dict(self.link_mm_weighted),
-            short_flit_hops=self.short_flit_hops,
-            flit_hops=self.flit_hops,
-        )
+        """Deep-enough snapshot of every counter.
+
+        Field-generic (``dataclasses.fields``) so a newly added counter
+        can never be silently forgotten here — a hand-written field list
+        made that failure mode invisible until power numbers drifted.
+        """
+        out = EventCounts()
+        for f in fields(self):
+            value = getattr(self, f.name)
+            setattr(out, f.name, dict(value) if isinstance(value, dict) else value)
+        return out
 
     def delta(self, earlier: "EventCounts") -> "EventCounts":
-        """Counters accumulated since *earlier* (a snapshot of self)."""
-        out = EventCounts(
-            buffer_writes=self.buffer_writes - earlier.buffer_writes,
-            buffer_reads=self.buffer_reads - earlier.buffer_reads,
-            buffer_writes_weighted=self.buffer_writes_weighted
-            - earlier.buffer_writes_weighted,
-            buffer_reads_weighted=self.buffer_reads_weighted
-            - earlier.buffer_reads_weighted,
-            xbar_traversals=self.xbar_traversals - earlier.xbar_traversals,
-            xbar_traversals_weighted=self.xbar_traversals_weighted
-            - earlier.xbar_traversals_weighted,
-            rc_computations=self.rc_computations - earlier.rc_computations,
-            va_allocations=self.va_allocations - earlier.va_allocations,
-            sa_allocations=self.sa_allocations - earlier.sa_allocations,
-            short_flit_hops=self.short_flit_hops - earlier.short_flit_hops,
-            flit_hops=self.flit_hops - earlier.flit_hops,
-        )
-        kinds = set(self.link_flits) | set(earlier.link_flits)
-        for kind in kinds:
-            out.link_flits[kind] = self.link_flits.get(kind, 0) - earlier.link_flits.get(
-                kind, 0
-            )
-            out.link_mm_weighted[kind] = self.link_mm_weighted.get(
-                kind, 0.0
-            ) - earlier.link_mm_weighted.get(kind, 0.0)
-        for channel in set(self.channel_flits) | set(earlier.channel_flits):
-            out.channel_flits[channel] = self.channel_flits.get(
-                channel, 0
-            ) - earlier.channel_flits.get(channel, 0)
+        """Counters accumulated since *earlier* (a snapshot of self).
+
+        Field-generic like :meth:`copy`: scalar counters subtract, dict
+        counters subtract per key over the union of keys.
+        """
+        out = EventCounts()
+        for f in fields(self):
+            mine = getattr(self, f.name)
+            theirs = getattr(earlier, f.name)
+            if isinstance(mine, dict):
+                setattr(out, f.name, {
+                    key: mine.get(key, 0) - theirs.get(key, 0)
+                    for key in set(mine) | set(theirs)
+                })
+            else:
+                setattr(out, f.name, mine - theirs)
         return out
 
     @property

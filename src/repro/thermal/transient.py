@@ -134,11 +134,31 @@ def transient_temperatures(
     sample_interval: int,
     shutdown_short_fraction: float = 0.0,
 ) -> List[float]:
-    """Average chip temperature over time for a simulated run."""
+    """Average chip temperature over time for a simulated run.
+
+    Each activity window is integrated over its *actual* span: when
+    ``measure_cycles`` is not a multiple of ``sample_interval`` the
+    trailing window is shorter, and stepping it with the nominal
+    ``sample_interval`` dt would hold its (already span-corrected) power
+    for too long and overshoot the final temperature.  Solvers are
+    cached per distinct span, so the common case still factorises the
+    system matrix once.
+    """
     trace = power_trace_from_activity(
         config, result, sample_interval, shutdown_short_fraction
     )
     floorplan: Floorplan = floorplan_for(config)
     grid = ThermalGrid(floorplan)
-    solver = TransientSolver(grid, dt_s=sample_interval * tech.CYCLE_S)
-    return [float(t.mean()) for t in solver.run(trace)]
+    spans = result.activity_window_cycles or [sample_interval] * len(trace)
+    solvers: dict = {}
+    temps = grid.solve(trace[0])  # HotSpot-style steady-state warm start
+    out: List[float] = []
+    for power, span in zip(trace, spans):
+        solver = solvers.get(span)
+        if solver is None:
+            solver = solvers[span] = TransientSolver(
+                grid, dt_s=span * tech.CYCLE_S
+            )
+        temps = solver.step(temps, power)
+        out.append(float(temps.mean()))
+    return out

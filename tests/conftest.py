@@ -2,10 +2,43 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core.arch import make_2db, make_3db, make_3dm, make_3dme
 from repro.experiments.config import ExperimentSettings
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _sanitize_from_env():
+    """Opt the whole suite into the NoC sanitizer via ``REPRO_SANITIZE=1``.
+
+    CI runs a second tier-1 pass with the variable set; every
+    :class:`~repro.noc.network.Network` any test builds then audits the
+    flit-conservation / credit / VC-state invariants as it steps
+    (``REPRO_SANITIZE_INTERVAL`` controls the audit cadence, default
+    every cycle).  Tests that pass ``sanitize=...`` explicitly are left
+    alone.
+    """
+    if os.environ.get("REPRO_SANITIZE", "") in ("", "0"):
+        yield
+        return
+    from repro.noc.network import Network
+
+    interval = int(os.environ.get("REPRO_SANITIZE_INTERVAL", "1"))
+    original = Network.__init__
+
+    def sanitizing_init(self, *args, **kwargs):
+        kwargs.setdefault("sanitize", True)
+        kwargs.setdefault("sanitize_interval", interval)
+        original(self, *args, **kwargs)
+
+    Network.__init__ = sanitizing_init
+    try:
+        yield
+    finally:
+        Network.__init__ = original
 
 
 @pytest.fixture

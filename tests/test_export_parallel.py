@@ -12,7 +12,7 @@ from repro.experiments.export import (
     sweep_to_dict,
     workload_matrix_to_dict,
 )
-from repro.experiments.parallel import parallel_sweep
+from repro.experiments.parallel import SweepPointError, parallel_sweep
 from repro.experiments.runner import run_uniform_point
 
 
@@ -111,3 +111,69 @@ class TestParallelSweep:
         with pytest.raises(ValueError):
             parallel_sweep([Architecture.BASELINE_2D], [0.1], settings,
                            kind="bogus", processes=1)
+
+    def test_worker_failure_names_work_item(self, settings, monkeypatch):
+        import repro.experiments.parallel as parallel_mod
+
+        def boom(config, rate, run_settings):
+            raise RuntimeError("simulated worker crash")
+
+        monkeypatch.setattr(parallel_mod, "run_uniform_point", boom)
+        with pytest.raises(SweepPointError) as excinfo:
+            parallel_sweep(
+                [Architecture.BASELINE_2D], [0.1], settings, processes=1
+            )
+        err = excinfo.value
+        assert err.item == (Architecture.BASELINE_2D, 0.1, "uniform")
+        assert "arch=2DB" in str(err)
+        assert "rate=0.1" in str(err)
+        assert "simulated worker crash" in str(err)
+
+    def test_sweep_point_error_survives_pickle(self):
+        import pickle
+
+        err = SweepPointError(
+            (Architecture.MIRA_3DM, 0.2, "nuca"), "ValueError: boom"
+        )
+        clone = pickle.loads(pickle.dumps(err))
+        assert isinstance(clone, SweepPointError)
+        assert clone.item == err.item
+        assert clone.cause == err.cause
+        assert str(clone) == str(err)
+
+    def test_spawn_fallback_when_fork_unavailable(self, settings, monkeypatch):
+        import repro.experiments.parallel as parallel_mod
+
+        calls = []
+
+        class FakePool:
+            def __init__(self, processes):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def map(self, fn, items):
+                return [fn(item) for item in items]
+
+        class FakeContext:
+            def Pool(self, processes):
+                return FakePool(processes)
+
+        def fake_get_context(method):
+            calls.append(method)
+            if method == "fork":
+                raise ValueError("cannot find context for 'fork'")
+            return FakeContext()
+
+        monkeypatch.setattr(parallel_mod, "get_context", fake_get_context)
+        sweep = parallel_sweep(
+            [Architecture.BASELINE_2D], [0.1], settings, processes=2
+        )
+        assert calls == ["fork", "spawn"]
+        (rate, point), = sweep["2DB"]
+        assert rate == 0.1
+        assert point.avg_latency > 0

@@ -22,6 +22,10 @@ class _FakeClock:
 
 def test_profiler_accumulates_deterministic_phases(cfg_2db):
     network = cfg_2db.build_network()
+    # The fake-clock arithmetic below counts exactly four reads per
+    # cycle; drop any sanitizer (REPRO_SANITIZE=1 runs) so the optional
+    # audit phase doesn't add reads.
+    network.sanitizer = None
     network.profiler = NetworkProfiler(clock=_FakeClock())
     cycles = 5
     for _ in range(cycles):

@@ -133,3 +133,56 @@ class TestPowerTraceIntegration:
         empty = dataclasses.replace(result, activity_windows=[])
         with pytest.raises(ValueError):
             power_trace_from_activity(config, empty, 400)
+
+
+class TestPartialTrailingWindow:
+    """measure_cycles not a multiple of sample_interval: the trailing
+    window must be *integrated* over its true span, not just have its
+    power scaled (the old code stepped it with the nominal dt)."""
+
+    @pytest.fixture(scope="class")
+    def uneven_run(self):
+        config = make_3dm()
+        network = config.build_network()
+        sim = Simulator(
+            network,
+            UniformRandomTraffic(num_nodes=36, flit_rate=0.15, seed=7),
+            warmup_cycles=200,
+            measure_cycles=2000,
+            drain_cycles=8000,
+            sample_interval=300,
+        )
+        return config, sim.run()
+
+    def test_trailing_window_span_recorded(self, uneven_run):
+        _, result = uneven_run
+        assert result.activity_window_cycles[-1] == 2000 % 300 == 200
+        assert all(s == 300 for s in result.activity_window_cycles[:-1])
+
+    def test_trailing_window_stepped_with_true_span(self, uneven_run):
+        import dataclasses
+
+        from repro.power import technology as tech
+
+        config, result = uneven_run
+        # Amplify the trailing partial window: starting near steady
+        # state, a backward-Euler step barely moves whatever the dt, so
+        # dt sensitivity only becomes visible when the last window's
+        # power departs sharply from the preceding ones.
+        windows = [list(w) for w in result.activity_windows]
+        windows[-1] = [flits * 40 for flits in windows[-1]]
+        spiked = dataclasses.replace(result, activity_windows=windows)
+
+        temps = transient_temperatures(config, spiked, sample_interval=300)
+        assert len(temps) == len(result.activity_windows) == 7
+
+        # Reference: the old behaviour stepped every window with the
+        # nominal sample_interval dt.  Full windows must agree exactly;
+        # the 200-cycle trailing window must integrate over less time
+        # and therefore warm less toward the spike's steady state.
+        trace = power_trace_from_activity(config, spiked, 300)
+        grid = ThermalGrid(floorplan_for(config))
+        naive = TransientSolver(grid, dt_s=300 * tech.CYCLE_S).run(trace)
+        naive_means = [float(t.mean()) for t in naive]
+        assert temps[:-1] == pytest.approx(naive_means[:-1], rel=1e-12)
+        assert temps[-1] < naive_means[-1] - 1e-6
