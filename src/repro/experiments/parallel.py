@@ -9,6 +9,7 @@ process boundary.
 
 from __future__ import annotations
 
+import os
 from multiprocessing import get_context
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -40,15 +41,29 @@ class SweepPointError(RuntimeError):
         return (SweepPointError, (self.item, self.cause))
 
 
-def _run_item(args: Tuple[WorkItem, ExperimentSettings]) -> Tuple[str, float, PointResult]:
-    item, settings = args
+def _run_item(
+    args: Tuple[WorkItem, ExperimentSettings, Optional[str], int]
+) -> Tuple[str, float, PointResult]:
+    item, settings, telemetry_dir, telemetry_interval = args
     arch, rate, kind = item
     try:
         config = make_architecture(arch)
+        telemetry = None
+        if telemetry_dir is not None:
+            # Per-point metric timelines: one JSONL stream per sweep
+            # point, named so a 54-point sweep stays navigable.
+            from repro.telemetry.sampler import TelemetryConfig
+
+            stem = f"{arch.value}_{kind}@{rate:g}"
+            telemetry = TelemetryConfig(
+                interval=telemetry_interval,
+                metrics_path=os.path.join(telemetry_dir, stem + ".jsonl"),
+            )
+        extra = {} if telemetry is None else {"telemetry": telemetry}
         if kind == "uniform":
-            point = run_uniform_point(config, rate, settings)
+            point = run_uniform_point(config, rate, settings, **extra)
         elif kind == "nuca":
-            point = run_nuca_point(config, rate, settings)
+            point = run_nuca_point(config, rate, settings, **extra)
         else:
             raise ValueError(f"unknown traffic kind {kind!r}")
     except SweepPointError:
@@ -64,18 +79,31 @@ def parallel_sweep(
     settings: Optional[ExperimentSettings] = None,
     kind: str = "uniform",
     processes: int = 2,
+    telemetry_dir: Optional[str] = None,
+    telemetry_interval: int = 100,
 ) -> Dict[str, List[Tuple[float, PointResult]]]:
     """Run ``archs x rates`` points over *processes* workers.
 
     Returns the same ``arch -> [(rate, PointResult)]`` structure as the
     serial harnesses, so the report/export helpers apply unchanged.
+
+    ``telemetry_dir`` (opt-in) makes every worker stream windowed
+    telemetry to ``<dir>/<arch>_<kind>@<rate>.jsonl``, sampling every
+    ``telemetry_interval`` cycles — per-point timelines for offline
+    comparison across the sweep.
     """
     settings = settings or ExperimentSettings.from_env()
     if processes < 1:
         raise ValueError(f"processes must be >= 1, got {processes}")
     if kind not in ("uniform", "nuca"):
         raise ValueError(f"unknown traffic kind {kind!r}")
-    items = [((arch, rate, kind), settings) for arch in archs for rate in rates]
+    if telemetry_dir is not None:
+        os.makedirs(telemetry_dir, exist_ok=True)
+    items = [
+        ((arch, rate, kind), settings, telemetry_dir, telemetry_interval)
+        for arch in archs
+        for rate in rates
+    ]
 
     if processes == 1:
         results = [_run_item(item) for item in items]

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, TYPE_CHECKING
 
 from repro.core.arch import ArchitectureConfig
 from repro.experiments.config import ExperimentSettings
@@ -12,6 +12,9 @@ from repro.power.energy import PowerReport, power_report
 from repro.traffic.nuca import NucaUniformTraffic
 from repro.traffic.synthetic import UniformRandomTraffic
 from repro.traffic.traces import TraceRecord, TraceTraffic
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.telemetry.sampler import TelemetryConfig
 
 
 @dataclass(frozen=True)
@@ -60,8 +63,13 @@ def _run(
     profile: bool = False,
     sanitize: bool = False,
     sanitize_interval: int = 1,
+    telemetry: Optional["TelemetryConfig"] = None,
 ) -> PointResult:
     network = config.build_network(shutdown_enabled=shutdown_enabled)
+    if telemetry is not None and telemetry.arch_config is None:
+        # The runner knows the architecture; hand it to the sampler so
+        # windowed energy (and thermal, if asked) price correctly.
+        telemetry.arch_config = config
     sim = Simulator(
         network,
         traffic,
@@ -71,6 +79,7 @@ def _run(
         profile=profile,
         sanitize=sanitize,
         sanitize_interval=sanitize_interval,
+        telemetry=telemetry,
     )
     result = sim.run()
     report = power_report(
@@ -100,6 +109,7 @@ def run_uniform_point(
     profile: bool = False,
     sanitize: bool = False,
     sanitize_interval: int = 1,
+    telemetry: Optional["TelemetryConfig"] = None,
 ) -> PointResult:
     """Uniform-random traffic at *rate* flits/node/cycle."""
     traffic = UniformRandomTraffic(
@@ -111,6 +121,7 @@ def run_uniform_point(
     return _run(
         config, traffic, settings, f"UR@{rate:g}", shutdown_enabled,
         profile=profile, sanitize=sanitize, sanitize_interval=sanitize_interval,
+        telemetry=telemetry,
     )
 
 
@@ -124,6 +135,7 @@ def run_nuca_point(
     profile: bool = False,
     sanitize: bool = False,
     sanitize_interval: int = 1,
+    telemetry: Optional["TelemetryConfig"] = None,
 ) -> PointResult:
     """NUCA-constrained request/response traffic (Fig. 11b)."""
     traffic = NucaUniformTraffic(
@@ -136,6 +148,7 @@ def run_nuca_point(
     return _run(
         config, traffic, settings, f"NUCA@{request_rate:g}", shutdown_enabled,
         profile=profile, sanitize=sanitize, sanitize_interval=sanitize_interval,
+        telemetry=telemetry,
     )
 
 

@@ -76,6 +76,11 @@ class Network:
         watchdog_window: cycles without a flit delivery (while traffic
             is in the network) before the sanitizer's deadlock/livelock
             watchdog snapshots the stalled VCs.
+        telemetry: a :class:`~repro.telemetry.TelemetryConfig` to attach
+            a :class:`~repro.telemetry.NetworkTelemetry` sampler
+            (windowed metric streams + lifecycle traces).  ``None`` (the
+            default) costs one ``is None`` check per cycle, exactly like
+            the profiler and sanitizer.
     """
 
     def __init__(
@@ -95,6 +100,7 @@ class Network:
         sanitize: bool = False,
         sanitize_interval: int = 1,
         watchdog_window: int = DEFAULT_WATCHDOG_WINDOW,
+        telemetry=None,
     ) -> None:
         self.topology = topology
         self.num_vcs = num_vcs
@@ -109,6 +115,12 @@ class Network:
         self.routing = routing or routing_for_topology(topology)
         self.events = EventCounts()
         self.stats = NetworkStats()
+        #: Hooks invoked on head-flit pipeline-stage completions as
+        #: ``(cycle, node, flit, stage)`` with stage ``"rc"`` or
+        #: ``"va"`` (SA+ST fires the traverse callbacks) — the raw feed
+        #: for telemetry lifecycle traces.  Empty = zero cost.  Created
+        #: before the routers, which alias it at attach time.
+        self.stage_callbacks: List = []
 
         self.routers: List[Router] = [
             Router(
@@ -186,7 +198,17 @@ class Network:
         #: ``(cycle, node, flit, out_port_name)`` — see
         #: :class:`repro.noc.tracer.PacketTracer`.  Empty = zero cost.
         self.traverse_callbacks: List = []
+        #: Opt-in windowed metrics/trace sampler; ``None`` (the
+        #: default) costs one check per cycle, exactly like the
+        #: profiler and sanitizer.
+        self.telemetry = None
         self.cycle = 0
+        if telemetry is not None:
+            # Lazy import: the telemetry package is only pulled in when
+            # a network actually asks for it.
+            from repro.telemetry.sampler import NetworkTelemetry
+
+            NetworkTelemetry(self, telemetry)  # registers as self.telemetry
 
     # -- scheduling hooks used by routers -----------------------------------
 
@@ -351,12 +373,15 @@ class Network:
         cycle = self.cycle
         prof = self.profiler
         san = self.sanitizer
+        tel = self.telemetry
         if prof is None:
             self._deliver(cycle)
             self._inject(cycle)
             self._step_routers(cycle)
             if san is not None:
                 san.maybe_audit(cycle)
+            if tel is not None:
+                tel.on_cycle(cycle)
         else:
             clock = prof.clock
             t0 = clock()
@@ -370,9 +395,14 @@ class Network:
             if san is not None:
                 san.maybe_audit(cycle)
                 sanitize_s = clock() - t3
+            telemetry_s = 0.0
+            if tel is not None:
+                t4 = clock()
+                tel.on_cycle(cycle)
+                telemetry_s = clock() - t4
             prof.record_cycle(
                 t1 - t0, t2 - t1, t3 - t2, stepped, len(self.routers),
-                sanitize_s=sanitize_s,
+                sanitize_s=sanitize_s, telemetry_s=telemetry_s,
             )
         self.cycle = cycle + 1
 

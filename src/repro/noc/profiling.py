@@ -44,8 +44,9 @@ class ProfileSnapshot:
     active_router_ratio: float
     #: Wall seconds by phase: ``deliver`` (arrivals/credits/ejections),
     #: ``inject`` (source queues), ``route`` (router pipelines), and —
-    #: only when a sanitizer was attached — ``sanitize`` (invariant
-    #: audits).
+    #: only when the corresponding subsystem was attached — ``sanitize``
+    #: (invariant audits) and ``telemetry`` (windowed metric sampling
+    #: and trace capture).
     phase_wall_s: Dict[str, float] = field(default_factory=dict)
 
     def format(self) -> str:
@@ -79,6 +80,7 @@ class NetworkProfiler:
         "inject_wall_s",
         "router_wall_s",
         "sanitize_wall_s",
+        "telemetry_wall_s",
     )
 
     def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
@@ -93,6 +95,7 @@ class NetworkProfiler:
         self.inject_wall_s = 0.0
         self.router_wall_s = 0.0
         self.sanitize_wall_s = 0.0
+        self.telemetry_wall_s = 0.0
 
     def record_cycle(
         self,
@@ -102,6 +105,7 @@ class NetworkProfiler:
         stepped: int,
         population: int,
         sanitize_s: float = 0.0,
+        telemetry_s: float = 0.0,
     ) -> None:
         """One ``Network.step`` worth of measurements."""
         self.cycles += 1
@@ -109,6 +113,7 @@ class NetworkProfiler:
         self.inject_wall_s += inject_s
         self.router_wall_s += router_s
         self.sanitize_wall_s += sanitize_s
+        self.telemetry_wall_s += telemetry_s
         self.routers_stepped += stepped
         self.router_cycles += population
 
@@ -119,6 +124,7 @@ class NetworkProfiler:
             + self.inject_wall_s
             + self.router_wall_s
             + self.sanitize_wall_s
+            + self.telemetry_wall_s
         )
 
     def snapshot(self) -> ProfileSnapshot:
@@ -128,10 +134,12 @@ class NetworkProfiler:
             "inject": self.inject_wall_s,
             "route": self.router_wall_s,
         }
-        # Key present only when audits actually ran, so unsanitized
+        # Keys present only when the subsystem actually ran, so bare
         # snapshots keep their exact three-phase shape.
         if self.sanitize_wall_s:
             phases["sanitize"] = self.sanitize_wall_s
+        if self.telemetry_wall_s:
+            phases["telemetry"] = self.telemetry_wall_s
         return ProfileSnapshot(
             cycles=self.cycles,
             wall_s=wall,

@@ -154,6 +154,9 @@ class Router:
         self.flits_switched = 0
         # Flat indices of input VCs that may have work this cycle.
         self._active: set[int] = set()
+        # Alias of network.stage_callbacks (bound in attach); empty list
+        # until then so an unattached router never fires hooks.
+        self._stage_callbacks: List = []
         # How many input VCs sit in each non-idle pipeline state.  Kept
         # in lockstep with the state transitions so :meth:`step` can skip
         # whole stages that cannot match any VC (a pass over zero
@@ -164,6 +167,9 @@ class Router:
 
     def attach(self, network: "Network") -> None:
         self._network = network
+        # Same list object the network mutates: callbacks registered
+        # later are seen here without re-attachment.
+        self._stage_callbacks = network.stage_callbacks
         # Pre-resolve (dst node, dst input port) per output port so the
         # traversal hot path skips the per-flit string port lookups, and
         # the per-link ``EventCounts.count_link`` arguments likewise.
@@ -324,6 +330,9 @@ class Router:
                     self._n_rc -= 1
                     self._n_va += 1
                     self.events.rc_computations += 1
+                    if self._stage_callbacks:
+                        for callback in self._stage_callbacks:
+                            callback(cycle, self.node, flit, "rc")
 
         # --- VA stage ---
         if self._n_va:
@@ -363,6 +372,11 @@ class Router:
                     self._n_va -= 1
                     self._n_active += 1
                     self.events.va_allocations += 1
+                    if self._stage_callbacks:
+                        granted = unit.buffer.front()
+                        if granted is not None:
+                            for callback in self._stage_callbacks:
+                                callback(cycle, self.node, granted, "va")
 
         # --- SA + ST stage ---
         if self._n_active:

@@ -17,7 +17,7 @@ reflects only steady-state traffic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 from repro.noc.network import Network
 from repro.noc.packet import Packet, PacketClass
@@ -29,6 +29,9 @@ from repro.noc.sanitizer import (
 )
 from repro.noc.stats import EventCounts
 from repro.traffic.base import TrafficSource
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.telemetry.sampler import TelemetryConfig, TelemetrySnapshot
 
 
 @dataclass
@@ -71,6 +74,9 @@ class SimulationResult:
     #: Invariant-audit summary (audit counts plus any deadlock/livelock
     #: watchdog reports); ``None`` unless the run was sanitized.
     sanity: Optional[SanitySnapshot] = None
+    #: Telemetry summary (windows sampled, trace/stream destinations);
+    #: ``None`` unless the run was telemetered.
+    telemetry: Optional["TelemetrySnapshot"] = None
     #: Tail latencies over measured packets (nearest-rank percentiles).
     latency_p50: float = 0.0
     latency_p95: float = 0.0
@@ -101,6 +107,7 @@ class Simulator:
         sanitize: bool = False,
         sanitize_interval: int = 1,
         watchdog_window: int = DEFAULT_WATCHDOG_WINDOW,
+        telemetry: Optional["TelemetryConfig"] = None,
     ) -> None:
         """``drain_to_quiescence`` keeps draining (still bounded by
         ``drain_cycles``) until the traffic source reports finished and
@@ -120,7 +127,15 @@ class Simulator:
         ``sanitize_interval`` cycles, deadlock watchdog arming after
         ``watchdog_window`` delivery-free cycles) and reports its
         snapshot on ``SimulationResult.sanity``.  A sanitizer already on
-        the network is kept as-is."""
+        the network is kept as-is.
+
+        ``telemetry`` attaches a
+        :class:`~repro.telemetry.NetworkTelemetry` built from the given
+        :class:`~repro.telemetry.TelemetryConfig` (windowed metric
+        sampling and optional JSONL/trace export); :meth:`run` finishes
+        the stream and reports its snapshot on
+        ``SimulationResult.telemetry``.  A sampler already on the
+        network is kept as-is."""
         if warmup_cycles < 0 or measure_cycles <= 0 or drain_cycles < 0:
             raise ValueError("cycle counts must be non-negative (measure > 0)")
         self.network = network
@@ -140,6 +155,12 @@ class Simulator:
                 interval=sanitize_interval,
                 watchdog_window=watchdog_window,
             )
+        if telemetry is not None and network.telemetry is None:
+            # Lazy import: telemetry-free simulations never load the
+            # telemetry package.
+            from repro.telemetry.sampler import NetworkTelemetry
+
+            NetworkTelemetry(network, telemetry)  # self-registers
         self._future: Dict[int, List[Packet]] = {}
         # A network carries at most one simulator delivery hook: a
         # previous Simulator over the same network is deregistered so
@@ -246,6 +267,11 @@ class Simulator:
             self._tick(generate=True)
             drained += 1
 
+        if net.telemetry is not None:
+            # Flush the trailing partial window and write any export
+            # files before snapshotting (idempotent).
+            net.telemetry.finish()
+
         events = end_events.delta(start_events)
         num_nodes = net.topology.num_nodes
         window = self.measure_cycles
@@ -276,6 +302,11 @@ class Simulator:
             ),
             sanity=(
                 net.sanitizer.snapshot() if net.sanitizer is not None else None
+            ),
+            telemetry=(
+                net.telemetry.snapshot()
+                if net.telemetry is not None
+                else None
             ),
             latency_p50=stats.latency_percentile(50),
             latency_p95=stats.latency_percentile(95),

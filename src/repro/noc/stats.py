@@ -23,6 +23,26 @@ from typing import Dict, List, Optional, Tuple
 from repro.noc.packet import Packet, PacketClass
 
 
+def nearest_rank_percentile(ordered: List[int], percentile: float) -> float:
+    """Nearest-rank percentile over an already-sorted sample.
+
+    The rank is ``ceil(n * p / 100)`` computed in exact rational
+    arithmetic on the *decimal* value of ``percentile``
+    (``Fraction(str(p))``) — a pure-float ceil misrounds when ``n * p``
+    carries binary representation error across an integer boundary
+    (8.8% of 375 samples is exactly rank 33, but ``375 * 8.8 =
+    3300.0000000000005`` ceils to 34).
+    """
+    if not 0.0 < percentile <= 100.0:
+        raise ValueError(f"percentile must be in (0, 100], got {percentile}")
+    if not ordered:
+        return 0.0
+    n = len(ordered)
+    rank = math.ceil(Fraction(str(percentile)) * n / 100)
+    rank = min(max(rank, 1), n)
+    return float(ordered[rank - 1])
+
+
 @dataclass
 class EventCounts:
     """Cumulative event counters (raw and activity-weighted)."""
@@ -169,21 +189,74 @@ class NetworkStats:
         return sum(values) / len(values) if values else 0.0
 
     def latency_percentile(self, percentile: float) -> float:
-        """Latency percentile over measured packets (nearest-rank).
+        """Latency percentile over measured packets (nearest-rank, see
+        :func:`nearest_rank_percentile` for the exact-rational rank)."""
+        return nearest_rank_percentile(sorted(self.latencies), percentile)
 
-        The rank is ``ceil(n * p / 100)`` computed in exact rational
-        arithmetic on the *decimal* value of ``percentile``
-        (``Fraction(str(p))``) — a pure-float ceil misrounds when
-        ``n * p`` carries binary representation error across an integer
-        boundary (8.8% of 375 samples is exactly rank 33, but
-        ``375 * 8.8 = 3300.0000000000005`` ceils to 34).
-        """
-        if not 0.0 < percentile <= 100.0:
-            raise ValueError(f"percentile must be in (0, 100], got {percentile}")
+
+@dataclass(frozen=True)
+class StatsWindow:
+    """Delta of a :class:`NetworkStats` since the previous cursor read.
+
+    Produced by :meth:`StatsCursor.advance`; all counts cover only the
+    interval between two consecutive ``advance()`` calls, which is what
+    windowed telemetry samples instead of re-deriving running totals.
+    """
+
+    packets_injected: int
+    packets_delivered: int
+    flits_delivered: int
+    #: Measured packets delivered in the window (their latencies below).
+    measured_packets: int
+    #: Flits of measured packets delivered in the window.
+    measured_flits: int
+    #: Latencies of the measured packets delivered in the window.
+    latencies: Tuple[int, ...]
+
+    @property
+    def avg_latency(self) -> float:
         if not self.latencies:
             return 0.0
-        ordered = sorted(self.latencies)
-        n = len(ordered)
-        rank = math.ceil(Fraction(str(percentile)) * n / 100)
-        rank = min(max(rank, 1), n)
-        return float(ordered[rank - 1])
+        return sum(self.latencies) / len(self.latencies)
+
+    def latency_percentile(self, percentile: float) -> float:
+        """Nearest-rank percentile over this window's latencies."""
+        return nearest_rank_percentile(sorted(self.latencies), percentile)
+
+
+class StatsCursor:
+    """Incremental window reader over a live :class:`NetworkStats`.
+
+    Holds high-water marks into the stats object and, on each
+    :meth:`advance`, returns the delta accumulated since the previous
+    call (the first call covers everything since construction).  Never
+    mutates the stats it reads, so any number of cursors can watch the
+    same run independently.
+    """
+
+    def __init__(self, stats: NetworkStats) -> None:
+        self.stats = stats
+        self._injected = stats.packets_injected
+        self._delivered = stats.packets_delivered
+        self._flits = stats.flits_delivered
+        self._measured_flits = stats.measured_flits
+        self._n_latencies = len(stats.latencies)
+
+    def advance(self) -> StatsWindow:
+        """Return the delta since the last call and move the marks."""
+        stats = self.stats
+        n = len(stats.latencies)
+        window = StatsWindow(
+            packets_injected=stats.packets_injected - self._injected,
+            packets_delivered=stats.packets_delivered - self._delivered,
+            flits_delivered=stats.flits_delivered - self._flits,
+            measured_packets=n - self._n_latencies,
+            measured_flits=stats.measured_flits - self._measured_flits,
+            latencies=tuple(stats.latencies[self._n_latencies:n]),
+        )
+        self._injected = stats.packets_injected
+        self._delivered = stats.packets_delivered
+        self._flits = stats.flits_delivered
+        self._measured_flits = stats.measured_flits
+        self._n_latencies = n
+        return window

@@ -10,7 +10,7 @@ one reaches for when a latency number looks wrong.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Any, Dict, List
 
 from repro.noc.network import Network
 from repro.noc.packet import Flit
@@ -32,6 +32,12 @@ class PacketTracer:
 
     Use as a context manager or call :meth:`detach` when done; tracing
     every flit costs time, so it is strictly a debugging aid.
+
+    When the ``max_events`` cap is hit, recording stops but dropped
+    events are counted: :attr:`truncated` and :attr:`dropped` say how
+    much of the run the log is missing, and :meth:`summary` /
+    :meth:`format` surface both so a capped log is never mistaken for a
+    complete one.
     """
 
     def __init__(self, network: Network, max_events: int = 1_000_000) -> None:
@@ -72,6 +78,39 @@ class PacketTracer:
         self.detach()
 
     # -- queries -----------------------------------------------------------
+
+    @property
+    def truncated(self) -> bool:
+        """True when the ``max_events`` cap was hit: the log is a prefix
+        of the run, not the whole run, and every aggregate below
+        undercounts by :attr:`dropped` events."""
+        return self.dropped > 0
+
+    def summary(self) -> Dict[str, Any]:
+        """Recording totals, including whether the log was truncated."""
+        return {
+            "events": len(self.events),
+            "max_events": self.max_events,
+            "dropped": self.dropped,
+            "truncated": self.truncated,
+            "packets": len({e.packet_id for e in self.events}),
+            "nodes": len({e.node for e in self.events}),
+        }
+
+    def format(self) -> str:
+        """Human-readable recording summary (flags truncation loudly)."""
+        s = self.summary()
+        lines = [
+            f"events recorded   : {s['events']} (cap {s['max_events']})",
+            f"packets seen      : {s['packets']}",
+            f"routers touched   : {s['nodes']}",
+        ]
+        if self.truncated:
+            lines.append(
+                f"TRUNCATED         : {s['dropped']} events dropped after "
+                "the cap; aggregates undercount"
+            )
+        return "\n".join(lines)
 
     def packet_route(self, packet_id: int) -> List[int]:
         """Router sequence the packet's head flit traversed, in order."""

@@ -1,0 +1,62 @@
+"""Opt-in observability for the NoC simulator.
+
+Three layers of runtime introspection now exist, each answering a
+different question (see ``docs/OBSERVABILITY.md`` for the full guide):
+
+* the **profiler** (:mod:`repro.noc.profiling`) — "how fast is the
+  simulator running, and where does host time go?"
+* the **sanitizer** (:mod:`repro.noc.sanitizer`) — "is the model's
+  internal bookkeeping still correct?"
+* **telemetry** (this package) — "what is the simulated network doing
+  *over time*?"  Windowed counters/gauges/histograms streamed as JSONL,
+  plus Perfetto-loadable per-packet lifecycle traces.
+
+Quickstart::
+
+    from repro.telemetry import TelemetryConfig
+    sim = Simulator(network, traffic, telemetry=TelemetryConfig(
+        interval=100,
+        metrics_path="metrics.jsonl",
+        trace_path="trace.json",
+    ))
+    result = sim.run()
+    print(result.telemetry.format())
+
+Disabled (the default), telemetry costs one ``is None`` check per
+cycle; enabled runs are bit-identical to bare runs because the sampler
+only reads network state.
+"""
+
+from repro.telemetry.export import (
+    ChromeTraceBuilder,
+    HopRecord,
+    MetricsJsonlWriter,
+    PacketLife,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.sampler import (
+    DEFAULT_INTERVAL,
+    NetworkTelemetry,
+    TelemetryConfig,
+    TelemetrySnapshot,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsJsonlWriter",
+    "ChromeTraceBuilder",
+    "PacketLife",
+    "HopRecord",
+    "NetworkTelemetry",
+    "TelemetryConfig",
+    "TelemetrySnapshot",
+    "DEFAULT_INTERVAL",
+]

@@ -1,0 +1,187 @@
+"""Windowed metric primitives: counters, gauges, histograms.
+
+A :class:`MetricsRegistry` is a named catalogue of scalar time series
+sampled on a fixed cadence.  Three metric kinds cover the simulator's
+needs:
+
+* :class:`Counter` — monotonically increasing total (flits delivered,
+  packets injected).  Each sample reports the running total *and* the
+  delta accumulated since the previous sample, so consumers get rates
+  without re-deriving them.
+* :class:`Gauge` — instantaneous value re-set each window (buffer
+  occupancy, active-layer fraction, temperature).  A gauge left unset
+  during a window samples as ``None`` rather than repeating a stale
+  value.
+* :class:`Histogram` — a window-scoped distribution (per-window packet
+  latencies).  Each sample reports count/mean/min/max plus nearest-rank
+  percentiles, then clears for the next window.
+
+The registry is deliberately independent of the NoC model — it holds
+whatever the sampler (or a test) feeds it — so it can back any future
+subsystem that needs windowed observability.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.noc.stats import nearest_rank_percentile
+
+#: Percentiles every histogram sample reports.
+HISTOGRAM_PERCENTILES: Tuple[float, ...] = (50.0, 95.0, 99.0)
+
+
+class Counter:
+    """Monotonic running total with per-window deltas."""
+
+    __slots__ = ("name", "total", "_last_sampled")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.total = 0.0
+        self._last_sampled = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} cannot decrease (inc {amount})"
+            )
+        self.total += amount
+
+    def sample(self) -> Dict[str, float]:
+        delta = self.total - self._last_sampled
+        self._last_sampled = self.total
+        return {"total": self.total, "delta": delta}
+
+
+class Gauge:
+    """Instantaneous value; unset windows sample as ``None``."""
+
+    __slots__ = ("name", "value", "_set_this_window")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Optional[float] = None
+        self._set_this_window = False
+
+    def set(self, value: Optional[float]) -> None:
+        self.value = value
+        self._set_this_window = True
+
+    def sample(self) -> Optional[float]:
+        value = self.value if self._set_this_window else None
+        self._set_this_window = False
+        return value
+
+
+class Histogram:
+    """Window-scoped distribution; cleared after every sample."""
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(value)
+
+    def observe_many(self, values: Sequence[float]) -> None:
+        self.values.extend(values)
+
+    def sample(self) -> Dict[str, Any]:
+        values = self.values
+        if not values:
+            self.values = []
+            return {"count": 0}
+        ordered = sorted(values)
+        out: Dict[str, Any] = {
+            "count": len(ordered),
+            "mean": sum(ordered) / len(ordered),
+            "min": ordered[0],
+            "max": ordered[-1],
+        }
+        for p in HISTOGRAM_PERCENTILES:
+            out[f"p{p:g}"] = nearest_rank_percentile(ordered, p)
+        self.values = []
+        return out
+
+
+class MetricsRegistry:
+    """Named catalogue of counters, gauges, and histograms.
+
+    Metric accessors are idempotent — asking for an existing name
+    returns the existing instance — but re-registering a name as a
+    different kind raises, which catches catalogue typos early.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- registration ------------------------------------------------------
+
+    def _check_unique(self, name: str, kind: str) -> None:
+        owners = {
+            "counter": self._counters,
+            "gauge": self._gauges,
+            "histogram": self._histograms,
+        }
+        for other_kind, table in owners.items():
+            if other_kind != kind and name in table:
+                raise ValueError(
+                    f"metric {name!r} already registered as a {other_kind}"
+                )
+
+    def counter(self, name: str) -> Counter:
+        self._check_unique(name, "counter")
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        self._check_unique(name, "gauge")
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        self._check_unique(name, "histogram")
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name)
+        return metric
+
+    def names(self) -> List[str]:
+        """Every registered metric name, sorted (the metric catalogue)."""
+        return sorted(
+            list(self._counters)
+            + list(self._gauges)
+            + list(self._histograms)
+        )
+
+    # -- sampling ----------------------------------------------------------
+
+    def sample(self) -> Dict[str, Dict[str, Any]]:
+        """One window's worth of every metric, keyed by kind then name.
+
+        Counters report ``{total, delta}``, gauges their value (or
+        ``None`` when unset this window), histograms their window
+        distribution summary.  Histograms clear; counters move their
+        delta mark; gauges reset their freshness flag.
+        """
+        return {
+            "counters": {
+                name: c.sample() for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: g.sample() for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: h.sample()
+                for name, h in sorted(self._histograms.items())
+            },
+        }

@@ -1,0 +1,573 @@
+"""The network telemetry sampler: windowed metrics + lifecycle traces.
+
+:class:`NetworkTelemetry` attaches to a
+:class:`~repro.noc.network.Network` (``Simulator(..., telemetry=...)``,
+``Network(..., telemetry=...)``, or the ``--metrics-out`` /
+``--trace-out`` CLI flags) and, every ``interval`` cycles, samples a
+:class:`~repro.telemetry.metrics.MetricsRegistry` with the signals the
+paper's time-resolved claims hang on:
+
+* per-router buffer occupancy and per-VC utilisation,
+* per-link-kind and per-channel flit counts (link utilisation),
+* injection / ejection / throughput rates and windowed latency
+  percentiles (delta accounting via
+  :class:`~repro.noc.stats.StatsCursor`),
+* the layer-shutdown signal — active-layer fraction and short-flit
+  ratio over the window (Sec. 3.2.1),
+* windowed Orion energy and transient thermal samples when an
+  architecture config is supplied (Sec. 4.2.3's power-trace flow,
+  streamed instead of post-processed).
+
+Samples stream to a JSONL file as they are taken; when a trace path is
+given the sampler additionally records per-packet pipeline events
+(inject -> per-hop RC/VA/SA/ST -> eject) through the network's stage /
+traverse / delivery callbacks and renders them as a Perfetto-loadable
+``trace.json`` on :meth:`~NetworkTelemetry.finish`.
+
+The sampler never mutates network state, so telemetry-enabled runs are
+bit-identical to bare runs; detached (the default) the cost is one
+``is None`` check per cycle, the same guard discipline as the profiler
+and sanitizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, TYPE_CHECKING
+
+from repro.noc.stats import StatsCursor
+from repro.telemetry.export import (
+    ChromeTraceBuilder,
+    MetricsJsonlWriter,
+    PacketLife,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.noc.network import Network
+    from repro.noc.packet import Flit, Packet
+
+#: JSONL schema version stamped into every stream's meta record.
+SCHEMA_VERSION = 1
+
+#: Default sampling window, in cycles.
+DEFAULT_INTERVAL = 100
+
+
+@dataclass
+class TelemetryConfig:
+    """What to sample, how often, and where to put it."""
+
+    #: Sampling window in cycles.
+    interval: int = DEFAULT_INTERVAL
+    #: JSONL metrics stream destination; ``None`` keeps samples
+    #: in-memory only (``keep_samples`` governs retention).
+    metrics_path: Optional[str] = None
+    #: Chrome-trace destination; ``None`` disables lifecycle capture
+    #: entirely (no callbacks are registered, zero per-event cost).
+    trace_path: Optional[str] = None
+    #: Retain samples on ``NetworkTelemetry.samples`` (always on when no
+    #: metrics_path is given, so an in-memory run is still inspectable).
+    keep_samples: bool = False
+    #: Include the per-router occupancy vector in samples and emit
+    #: per-router counter tracks into the trace.
+    per_router: bool = True
+    #: Include per-channel flit counts in samples (the channel-load map;
+    #: sizeable on big meshes, hence the switch).
+    per_channel: bool = True
+    #: Lifecycle capture cap: packets beyond this are counted as dropped
+    #: and the trace is marked truncated (mirrors PacketTracer).
+    max_trace_packets: int = 5000
+    #: Architecture config enabling windowed Orion energy pricing (and
+    #: thermal sampling when ``thermal`` is set).  Kept untyped to avoid
+    #: importing the arch/power stack until actually used.
+    arch_config: Any = None
+    #: Sample transient chip temperature per window (needs arch_config
+    #: and scipy; one solver step per window).
+    thermal: bool = False
+
+    def validate(self) -> None:
+        if self.interval < 1:
+            raise ValueError(
+                f"telemetry interval must be >= 1, got {self.interval}"
+            )
+        if self.max_trace_packets < 1:
+            raise ValueError(
+                "max_trace_packets must be >= 1, got "
+                f"{self.max_trace_packets}"
+            )
+        if self.thermal and self.arch_config is None:
+            raise ValueError(
+                "thermal sampling needs an arch_config to build the "
+                "floorplan and power model"
+            )
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot:
+    """Immutable summary of a telemetered stretch of simulation."""
+
+    #: Sampling window in cycles.
+    interval: int
+    #: Windows sampled (including a trailing partial window).
+    windows: int
+    #: Cycles observed while attached.
+    cycles: int
+    #: Packet lifecycles fully captured into the trace.
+    packets_traced: int
+    #: Packets beyond ``max_trace_packets`` that were not captured.
+    packets_dropped: int
+    #: True when any lifecycle was dropped: the trace is a prefix, not
+    #: the whole run.
+    truncated: bool
+    #: Trace events accumulated (0 when tracing was off).
+    trace_events: int
+    metrics_path: Optional[str] = None
+    trace_path: Optional[str] = None
+
+    def format(self) -> str:
+        """Human-readable block for CLI output."""
+        lines = [
+            f"window            : {self.interval} cycles",
+            f"windows sampled   : {self.windows} ({self.cycles} cycles)",
+        ]
+        if self.metrics_path:
+            lines.append(f"metrics stream    : {self.metrics_path}")
+        if self.trace_path:
+            lines.append(
+                f"trace             : {self.trace_path} "
+                f"({self.trace_events} events, "
+                f"{self.packets_traced} packets)"
+            )
+        if self.truncated:
+            lines.append(
+                f"TRUNCATED         : {self.packets_dropped} packet "
+                "lifecycles dropped after the cap"
+            )
+        return "\n".join(lines)
+
+
+class _ThermalProbe:
+    """Incremental transient-thermal sampling, one solver step per window.
+
+    The offline flow (:mod:`repro.thermal.transient`) post-processes a
+    whole activity trace; this probe runs the same backward-Euler step
+    online so temperature appears in the live metric stream.  Solvers
+    are cached per window span (the trailing partial window is shorter).
+    """
+
+    def __init__(self, arch_config: Any, network: "Network") -> None:
+        from repro.power import technology as tech
+        from repro.power.area import router_area
+        from repro.power.orion import RouterEnergyModel
+        from repro.thermal.floorplan import floorplan_for
+        from repro.thermal.solver import ThermalGrid
+
+        self._arch_config = arch_config
+        self._floorplan_for = floorplan_for
+        self._grid = ThermalGrid(floorplan_for(arch_config))
+        self._cycle_s = tech.CYCLE_S
+        self._flit_energy_j = RouterEnergyModel.for_config(
+            arch_config
+        ).flit_hop_energy_j()
+        self._leak_w = (
+            router_area(arch_config).total_mm2 * tech.LEAKAGE_W_PER_MM2
+        )
+        self._last_switched = [r.flits_switched for r in network.routers]
+        self._solvers: Dict[int, Any] = {}
+        self._temps = None
+
+    def sample(self, network: "Network", span: int) -> Dict[str, float]:
+        from repro.thermal.transient import TransientSolver
+
+        switched = [r.flits_switched for r in network.routers]
+        window_s = span * self._cycle_s
+        router_power = [
+            (now - before) * self._flit_energy_j / window_s + self._leak_w
+            for now, before in zip(switched, self._last_switched)
+        ]
+        self._last_switched = switched
+        power = self._floorplan_for(self._arch_config, router_power).power_w
+        if self._temps is None:
+            # HotSpot-style warm start: steady state under the first
+            # window's power.
+            self._temps = self._grid.solve(power)
+        solver = self._solvers.get(span)
+        if solver is None:
+            solver = self._solvers[span] = TransientSolver(
+                self._grid, dt_s=window_s
+            )
+        self._temps = solver.step(self._temps, power)
+        return {
+            "mean_k": float(self._temps.mean()),
+            "max_k": float(self._temps.max()),
+        }
+
+
+class NetworkTelemetry:
+    """Windowed observability attached to a live network.
+
+    Construction registers the instance as ``network.telemetry`` (the
+    hook ``Network.step`` checks) and, when a trace is requested, adds
+    read-only stage/traverse/delivery callbacks for lifecycle capture.
+    Call :meth:`finish` (the Simulator does) to flush the trailing
+    partial window and write the trace file; :meth:`detach` removes
+    every hook.
+    """
+
+    def __init__(
+        self,
+        network: "Network",
+        config: Optional[TelemetryConfig] = None,
+        **kwargs,
+    ) -> None:
+        if config is None:
+            config = TelemetryConfig(**kwargs)
+        elif kwargs:
+            raise TypeError("pass either a TelemetryConfig or kwargs, not both")
+        config.validate()
+        self.network = network
+        self.config = config
+        self.registry = MetricsRegistry()
+        self.samples: List[Dict[str, Any]] = []
+        self.windows = 0
+        self.cycles_observed = 0
+        self._closed = False
+        self._cursor = StatsCursor(network.stats)
+        self._last_events = network.events.copy()
+        self._window_start = network.cycle
+        self._cycles_in_window = 0
+        self._num_links = sum(
+            len(ports) for ports in network.topology.out_ports.values()
+        )
+
+        # Metric catalogue.  Everything windowed lives in the registry;
+        # vector-valued extras (per-router, per-channel) ride alongside
+        # in the sample record.
+        reg = self.registry
+        self._c_injected = reg.counter("packets.injected")
+        self._c_delivered = reg.counter("packets.delivered")
+        self._c_flits = reg.counter("flits.delivered")
+        self._c_hops = reg.counter("flits.hops")
+        self._c_link_flits = reg.counter("links.flits")
+        self._g_occ_total = reg.gauge("occupancy.total")
+        self._g_occ_mean = reg.gauge("occupancy.mean")
+        self._g_occ_max = reg.gauge("occupancy.max")
+        self._g_vc_active = reg.gauge("vc.active")
+        self._g_vc_frac = reg.gauge("vc.active_fraction")
+        self._g_inj_rate = reg.gauge("rate.injection")
+        self._g_ej_rate = reg.gauge("rate.ejection")
+        self._g_throughput = reg.gauge("rate.throughput")
+        self._g_link_util = reg.gauge("link.utilization")
+        self._g_layers = reg.gauge("layers.active_fraction")
+        self._g_short = reg.gauge("flits.short_ratio")
+        self._h_latency = reg.histogram("latency.cycles")
+        if config.arch_config is not None:
+            self._g_energy_j = reg.gauge("energy.window_j")
+            self._g_dynamic_w = reg.gauge("energy.dynamic_w")
+            self._g_total_w = reg.gauge("energy.total_w")
+        if config.thermal:
+            self._g_temp_mean = reg.gauge("thermal.mean_k")
+            self._g_temp_max = reg.gauge("thermal.max_k")
+        self._thermal: Optional[_ThermalProbe] = None
+
+        self._writer: Optional[MetricsJsonlWriter] = None
+        if config.metrics_path is not None:
+            self._writer = MetricsJsonlWriter(config.metrics_path)
+            self._writer.write(self._meta_record())
+
+        self._trace: Optional[ChromeTraceBuilder] = None
+        self._lives: Dict[int, PacketLife] = {}
+        self._dropped_pids: Set[int] = set()
+        self.packets_traced = 0
+        if config.trace_path is not None:
+            self._trace = ChromeTraceBuilder()
+            network.stage_callbacks.append(self._on_stage)
+            network.traverse_callbacks.append(self._on_traverse)
+            network.delivery_callbacks.append(self._on_delivered)
+
+        network.telemetry = self
+
+    # -- metadata ----------------------------------------------------------
+
+    def _meta_record(self) -> Dict[str, Any]:
+        net = self.network
+        arch = self.config.arch_config
+        return {
+            "type": "meta",
+            "schema": SCHEMA_VERSION,
+            "interval": self.config.interval,
+            "start_cycle": self._window_start,
+            "num_nodes": net.topology.num_nodes,
+            "num_vcs": net.num_vcs,
+            "num_links": self._num_links,
+            "buffer_depth": net.buffer_depth,
+            "shutdown_enabled": net.shutdown_enabled,
+            "arch": getattr(arch, "name", None),
+            "metrics": self.registry.names(),
+        }
+
+    # -- lifecycle capture callbacks (read-only) ---------------------------
+
+    def _life_for(self, packet: "Packet") -> Optional[PacketLife]:
+        life = self._lives.get(packet.pid)
+        if life is not None:
+            return life
+        if packet.pid in self._dropped_pids:
+            return None
+        if (
+            self.packets_traced + len(self._lives)
+            >= self.config.max_trace_packets
+        ):
+            self._dropped_pids.add(packet.pid)
+            return None
+        life = PacketLife(
+            pid=packet.pid,
+            src=packet.src,
+            dst=packet.dst,
+            size_flits=packet.size_flits,
+            klass=packet.klass.value,
+            created=packet.created_cycle,
+            injected=packet.injected_cycle,
+        )
+        self._lives[packet.pid] = life
+        return life
+
+    def _on_stage(
+        self, cycle: int, node: int, flit: "Flit", stage: str
+    ) -> None:
+        life = self._life_for(flit.packet)
+        if life is not None:
+            life.note_stage(cycle, node, stage)
+
+    def _on_traverse(
+        self, cycle: int, node: int, flit: "Flit", out_port: str
+    ) -> None:
+        if not flit.is_head:
+            return
+        life = self._life_for(flit.packet)
+        if life is not None:
+            life.note_traverse(cycle, node)
+
+    def _on_delivered(self, packet: "Packet", cycle: int) -> None:
+        life = self._lives.pop(packet.pid, None)
+        if life is None:
+            return
+        life.delivered = cycle
+        life.injected = packet.injected_cycle
+        assert self._trace is not None
+        self._trace.add_packet(life)
+        self.packets_traced += 1
+
+    # -- sampling ----------------------------------------------------------
+
+    def on_cycle(self, cycle: int) -> None:
+        """Per-cycle hook called by ``Network.step`` (end of cycle)."""
+        if self._closed:
+            return
+        self.cycles_observed += 1
+        self._cycles_in_window += 1
+        if self._cycles_in_window >= self.config.interval:
+            self._sample(cycle + 1)
+
+    def _sample(self, end_cycle: int) -> None:
+        net = self.network
+        config = self.config
+        span = self._cycles_in_window
+        num_nodes = net.topology.num_nodes
+
+        delta = net.events.delta(self._last_events)
+        self._last_events = net.events.copy()
+        window = self._cursor.advance()
+
+        self._c_injected.inc(window.packets_injected)
+        self._c_delivered.inc(window.packets_delivered)
+        self._c_flits.inc(window.flits_delivered)
+        self._c_hops.inc(delta.flit_hops)
+        link_flits = sum(delta.link_flits.values())
+        self._c_link_flits.inc(link_flits)
+
+        occupancy = [router.occupancy() for router in net.routers]
+        total_occ = sum(occupancy)
+        self._g_occ_total.set(float(total_occ))
+        self._g_occ_mean.set(total_occ / len(occupancy))
+        self._g_occ_max.set(float(max(occupancy)))
+
+        # Per-VC utilisation: input VCs currently holding pipeline state.
+        active_vcs = 0
+        total_vcs = 0
+        for router in net.routers:
+            total_vcs += len(router.in_vcs)
+            for unit in router.in_vcs:
+                if unit.state != 0:  # _IDLE
+                    active_vcs += 1
+        self._g_vc_active.set(float(active_vcs))
+        self._g_vc_frac.set(active_vcs / total_vcs if total_vcs else 0.0)
+
+        node_cycles = num_nodes * span
+        self._g_inj_rate.set(window.packets_injected / node_cycles)
+        self._g_ej_rate.set(window.packets_delivered / node_cycles)
+        self._g_throughput.set(window.flits_delivered / node_cycles)
+        self._g_link_util.set(
+            link_flits / (self._num_links * span) if self._num_links else 0.0
+        )
+
+        # Layer-shutdown signals: mean fraction of word groups actually
+        # switched per crossbar traversal, and the short-flit share.
+        if delta.xbar_traversals:
+            self._g_layers.set(
+                delta.xbar_traversals_weighted / delta.xbar_traversals
+            )
+        else:
+            self._g_layers.set(None)
+        self._g_short.set(
+            delta.short_flit_fraction if delta.flit_hops else None
+        )
+
+        self._h_latency.observe_many(window.latencies)
+
+        if config.arch_config is not None:
+            # Priced exactly like the end-of-run power report, but over
+            # this window's event delta (lazy import keeps the power
+            # stack out of telemetry-free runs).
+            from repro.power import technology as tech
+            from repro.power.energy import power_report
+
+            report = power_report(
+                config.arch_config, delta, span,
+                shutdown_enabled=net.shutdown_enabled,
+            )
+            self._g_dynamic_w.set(report.dynamic_w)
+            self._g_total_w.set(report.total_w)
+            self._g_energy_j.set(report.total_w * span * tech.CYCLE_S)
+
+        if config.thermal:
+            if self._thermal is None:
+                self._thermal = _ThermalProbe(config.arch_config, net)
+            temps = self._thermal.sample(net, span)
+            self._g_temp_mean.set(temps["mean_k"])
+            self._g_temp_max.set(temps["max_k"])
+
+        record: Dict[str, Any] = {
+            "type": "sample",
+            "cycle": end_cycle,
+            "window": span,
+            **self.registry.sample(),
+        }
+        if config.per_router:
+            record["per_router"] = {"occupancy": occupancy}
+        if config.per_channel:
+            record["channels"] = {
+                f"{src}->{dst}": flits
+                for (src, dst), flits in sorted(delta.channel_flits.items())
+                if flits
+            }
+        if self._writer is not None:
+            self._writer.write(record)
+        if self._writer is None or config.keep_samples:
+            self.samples.append(record)
+
+        if self._trace is not None:
+            trace = self._trace
+            gauges = record["gauges"]
+            trace.add_counter(
+                "occupancy", end_cycle, {"flits": gauges["occupancy.total"]}
+            )
+            trace.add_counter(
+                "vc active fraction", end_cycle,
+                {"fraction": gauges["vc.active_fraction"]},
+            )
+            trace.add_counter(
+                "throughput", end_cycle,
+                {"flits/node/cycle": gauges["rate.throughput"]},
+            )
+            layers = gauges["layers.active_fraction"]
+            if layers is not None:
+                trace.add_counter(
+                    "active layer fraction", end_cycle, {"fraction": layers}
+                )
+            if config.per_router:
+                for node, occ in enumerate(occupancy):
+                    trace.add_counter(
+                        f"occupancy r{node}", end_cycle, {"flits": occ}
+                    )
+
+        self.windows += 1
+        self._window_start = end_cycle
+        self._cycles_in_window = 0
+
+    # -- teardown ----------------------------------------------------------
+
+    def finish(self) -> None:
+        """Flush the trailing partial window and write the trace file.
+
+        Idempotent; called automatically at the end of
+        :meth:`~repro.noc.simulator.Simulator.run`.
+        """
+        if self._closed:
+            return
+        if self._cycles_in_window:
+            # Trailing partial window: emitted with its true span, not
+            # dropped (same contract as the activity windows).
+            self._sample(self.network.cycle)
+        if self._trace is not None:
+            for life in self._lives.values():
+                # Packets still in flight render as open-ended spans.
+                self._trace.add_packet(life)
+            self._trace.write(
+                self.config.trace_path,
+                other_data={
+                    "packets_traced": self.packets_traced,
+                    "packets_in_flight": len(self._lives),
+                    "packets_dropped": len(self._dropped_pids),
+                    "truncated": bool(self._dropped_pids),
+                    "windows": self.windows,
+                },
+            )
+        if self._writer is not None:
+            self._writer.write(
+                {
+                    "type": "end",
+                    "cycle": self.network.cycle,
+                    "windows": self.windows,
+                }
+            )
+            self._writer.close()
+        self._closed = True
+
+    def detach(self) -> None:
+        """Remove every hook this instance installed on the network."""
+        self.finish()
+        net = self.network
+        for bucket, callback in (
+            (net.stage_callbacks, self._on_stage),
+            (net.traverse_callbacks, self._on_traverse),
+            (net.delivery_callbacks, self._on_delivered),
+        ):
+            try:
+                bucket.remove(callback)
+            except ValueError:
+                pass
+        if net.telemetry is self:
+            net.telemetry = None
+
+    def __enter__(self) -> "NetworkTelemetry":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    def snapshot(self) -> TelemetrySnapshot:
+        return TelemetrySnapshot(
+            interval=self.config.interval,
+            windows=self.windows,
+            cycles=self.cycles_observed,
+            packets_traced=self.packets_traced,
+            packets_dropped=len(self._dropped_pids),
+            truncated=bool(self._dropped_pids),
+            trace_events=(
+                len(self._trace.events) if self._trace is not None else 0
+            ),
+            metrics_path=self.config.metrics_path,
+            trace_path=self.config.trace_path,
+        )

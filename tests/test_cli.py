@@ -94,3 +94,35 @@ def test_report_command(tmp_path, capsys):
 def test_report_command_missing_dir(tmp_path):
     with pytest.raises(FileNotFoundError):
         main(["report", "--results", str(tmp_path / "nope")])
+
+
+def test_simulate_telemetry_flags(tmp_path, capsys, monkeypatch):
+    import json
+
+    monkeypatch.setenv("REPRO_SCALE", "quick")
+    metrics = tmp_path / "metrics.jsonl"
+    trace = tmp_path / "trace.json"
+    assert main([
+        "simulate", "--arch", "3DM", "--rate", "0.1",
+        "--short-flits", "0.5",
+        "--metrics-out", str(metrics),
+        "--trace-out", str(trace),
+        "--metrics-interval", "50",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "--- telemetry ---" in out
+    assert "windows sampled" in out
+
+    records = [json.loads(l) for l in metrics.read_text().splitlines()]
+    assert records[0]["type"] == "meta"
+    assert records[0]["interval"] == 50
+    assert records[-1]["type"] == "end"
+    payload = json.loads(trace.read_text())
+    assert payload["traceEvents"]
+    assert payload["otherData"]["ts_unit"] == "simulation cycles"
+
+
+def test_simulate_without_telemetry_flags_prints_no_block(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "quick")
+    assert main(["simulate", "--arch", "2DB", "--rate", "0.05"]) == 0
+    assert "--- telemetry ---" not in capsys.readouterr().out

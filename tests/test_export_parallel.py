@@ -177,3 +177,30 @@ class TestParallelSweep:
         (rate, point), = sweep["2DB"]
         assert rate == 0.1
         assert point.avg_latency > 0
+
+
+class TestSweepTelemetry:
+    def test_telemetry_dir_writes_per_point_streams(self, settings, tmp_path):
+        out_dir = tmp_path / "timelines"
+        results = parallel_sweep(
+            [Architecture.BASELINE_2D], [0.1], settings,
+            processes=1, telemetry_dir=str(out_dir), telemetry_interval=100,
+        )
+        stream = out_dir / "2DB_uniform@0.1.jsonl"
+        assert stream.exists()
+        records = [json.loads(l) for l in stream.read_text().splitlines()]
+        assert records[0]["type"] == "meta"
+        assert records[-1]["type"] == "end"
+        assert any(r["type"] == "sample" for r in records)
+        # Telemetry must not perturb the sweep itself.
+        (rate, point), = results["2DB"]
+        bare = parallel_sweep(
+            [Architecture.BASELINE_2D], [0.1], settings, processes=1
+        )
+        assert point.avg_latency == bare["2DB"][0][1].avg_latency
+
+    def test_no_telemetry_dir_writes_nothing(self, settings, tmp_path):
+        parallel_sweep(
+            [Architecture.BASELINE_2D], [0.1], settings, processes=1
+        )
+        assert not list(tmp_path.iterdir())

@@ -112,3 +112,35 @@ def test_cli_profile_flag(capsys, monkeypatch):
     out = capsys.readouterr().out
     assert "hot-loop profile" in out
     assert "active ratio" in out
+
+
+def test_telemetry_phase_in_snapshot():
+    profiler = NetworkProfiler(clock=_FakeClock())
+    profiler.record_cycle(1.0, 1.0, 1.0, stepped=1, population=4,
+                          telemetry_s=0.5)
+    snap = profiler.snapshot()
+    assert snap.phase_wall_s["telemetry"] == 0.5
+    assert snap.wall_s == 3.5
+    assert "phase telemetry" in snap.format()
+    # Without telemetry time the phase stays absent (exact 3-phase shape).
+    profiler.reset()
+    profiler.record_cycle(1.0, 1.0, 1.0, stepped=1, population=4)
+    assert "telemetry" not in profiler.snapshot().phase_wall_s
+
+
+def test_profiled_telemetry_run_reports_phase(tmp_path):
+    from repro.telemetry import TelemetryConfig
+
+    config = make_2db()
+    network = config.build_network()
+    sim = Simulator(
+        network,
+        UniformRandomTraffic(num_nodes=config.num_nodes, flit_rate=0.05,
+                             seed=3),
+        warmup_cycles=10, measure_cycles=100, drain_cycles=2000,
+        profile=True,
+        telemetry=TelemetryConfig(interval=25),
+    )
+    snap = sim.run().profile
+    assert "telemetry" in snap.phase_wall_s
+    assert snap.phase_wall_s["telemetry"] > 0.0

@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.timing",
     "repro.cache",
     "repro.experiments",
+    "repro.telemetry",
 ]
 
 

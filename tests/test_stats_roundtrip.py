@@ -88,3 +88,96 @@ def test_count_link_typed_channel():
     ev.count_link("normal", 1.0, 0.5, channel=(3, 4))
     assert ev.link_flits == {"normal": 2}
     assert ev.channel_flits == {(3, 4): 1}
+
+
+# ---------------------------------------------------------------------------
+# StatsCursor: incremental windows over a live NetworkStats
+
+
+def _note(stats, latency, flits=1):
+    from repro.noc.packet import ctrl_packet, data_packet
+
+    make = data_packet if flits > 1 else ctrl_packet
+    packet = make(0, 1, created_cycle=0)
+    packet.injected_cycle = 0
+    packet.delivered_cycle = latency
+    stats.note_injected(packet)
+    stats.note_delivered(packet)
+    return packet
+
+
+def test_stats_cursor_first_window_covers_since_construction():
+    from repro.noc.stats import NetworkStats, StatsCursor
+
+    stats = NetworkStats()
+    _note(stats, 10)
+    cursor = StatsCursor(stats)  # packet above predates the cursor
+    _note(stats, 20)
+    _note(stats, 30)
+    window = cursor.advance()
+    assert window.packets_injected == 2
+    assert window.packets_delivered == 2
+    assert window.latencies == (20, 30)
+    assert window.avg_latency == 25.0
+
+
+def test_stats_cursor_windows_are_disjoint_and_sum_to_totals():
+    from repro.noc.stats import NetworkStats, StatsCursor
+
+    stats = NetworkStats()
+    cursor = StatsCursor(stats)
+    latencies = [7, 11, 13, 17, 19]
+    windows = []
+    for i, latency in enumerate(latencies):
+        _note(stats, latency)
+        if i % 2 == 1:
+            windows.append(cursor.advance())
+    windows.append(cursor.advance())
+
+    seen = [lat for w in windows for lat in w.latencies]
+    assert seen == latencies  # disjoint, ordered, nothing dropped
+    assert sum(w.packets_delivered for w in windows) == (
+        stats.packets_delivered
+    )
+    assert sum(w.flits_delivered for w in windows) == stats.flits_delivered
+    assert sum(w.measured_flits for w in windows) == stats.measured_flits
+
+
+def test_stats_cursor_empty_window():
+    from repro.noc.stats import NetworkStats, StatsCursor
+
+    stats = NetworkStats()
+    cursor = StatsCursor(stats)
+    window = cursor.advance()
+    assert window.packets_injected == 0
+    assert window.latencies == ()
+    assert window.avg_latency == 0.0
+    assert window.latency_percentile(99) == 0.0
+
+
+def test_stats_cursor_never_mutates_stats():
+    from repro.noc.stats import NetworkStats, StatsCursor
+
+    stats = NetworkStats()
+    _note(stats, 12)
+    before = (stats.packets_delivered, list(stats.latencies))
+    StatsCursor(stats).advance()
+    assert (stats.packets_delivered, list(stats.latencies)) == before
+
+
+def test_stats_window_percentiles_match_global_helper():
+    from repro.noc.stats import (
+        NetworkStats,
+        StatsCursor,
+        nearest_rank_percentile,
+    )
+
+    stats = NetworkStats()
+    cursor = StatsCursor(stats)
+    for latency in (5, 1, 9, 3, 7):
+        _note(stats, latency)
+    window = cursor.advance()
+    assert window.latency_percentile(50) == nearest_rank_percentile(
+        [1, 3, 5, 7, 9], 50
+    )
+    assert window.latency_percentile(100) == 9

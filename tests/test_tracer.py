@@ -80,3 +80,29 @@ def test_validation():
     network = Network(Mesh2D(2, 1, pitch_mm=1.0))
     with pytest.raises(ValueError):
         PacketTracer(network, max_events=0)
+
+
+def test_truncation_is_surfaced_not_silent():
+    packets = [data_packet(i, (i + 5) % 16, created_cycle=i) for i in range(10)]
+    _, tracer = _traced_run(packets, max_events=5)
+    assert tracer.truncated
+    summary = tracer.summary()
+    assert summary["events"] == 5
+    assert summary["max_events"] == 5
+    assert summary["dropped"] == tracer.dropped > 0
+    assert summary["truncated"] is True
+    text = tracer.format()
+    assert "TRUNCATED" in text
+    assert str(tracer.dropped) in text
+
+
+def test_untruncated_summary():
+    packet = ctrl_packet(0, 3, created_cycle=0)
+    _, tracer = _traced_run([packet])
+    assert not tracer.truncated
+    summary = tracer.summary()
+    assert summary["dropped"] == 0
+    assert summary["truncated"] is False
+    assert summary["packets"] == 1
+    assert summary["nodes"] == 4  # src, two intermediates, dst
+    assert "TRUNCATED" not in tracer.format()
