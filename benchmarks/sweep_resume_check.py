@@ -1,0 +1,164 @@
+#!/usr/bin/env python
+"""CI check: kill a sweep mid-run, resume it, assert zero recomputation.
+
+Drives the real CLI (``python -m repro sweep``) end to end:
+
+1. Launch a small cached+journaled sweep and ``SIGKILL`` it once the
+   journal shows at least ``--kill-after`` completed points — a genuine
+   hard interrupt, not a cooperative shutdown.
+2. Re-run with ``--resume`` and assert, from the engine's own counters,
+   that every previously finished point was a cache hit and only the
+   gap was simulated.
+3. Re-run once more and assert the sweep is now 100% cache hits with
+   zero points executed.
+
+The journal and stats files are left in ``--workdir`` for artifact
+upload.  Exits non-zero on any violated invariant.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+ARCHS = "2DB,3DM"
+RATES = "0.05,0.1,0.15"
+TOTAL_POINTS = 6
+
+
+def _journal_done_count(journal: Path) -> int:
+    if not journal.exists():
+        return 0
+    count = 0
+    for line in journal.read_text(encoding="utf-8").splitlines():
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue  # torn trailing write from the kill
+        if record.get("type") == "point" and record.get("status") == "done":
+            count += 1
+    return count
+
+
+def _sweep_cmd(workdir: Path, resume: bool, stats_name: str) -> list:
+    cmd = [
+        sys.executable, "-m", "repro", "sweep",
+        "--archs", ARCHS, "--rates", RATES, "--processes", "1",
+        "--cache-dir", str(workdir / "cache"),
+        "--journal", str(workdir / "journal.jsonl"),
+        "--stats-out", str(workdir / stats_name),
+    ]
+    if resume:
+        cmd.append("--resume")
+    return cmd
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workdir", default="artifacts/sweep")
+    parser.add_argument(
+        "--kill-after", type=int, default=2,
+        help="completed points to wait for before SIGKILL (default 2)",
+    )
+    parser.add_argument(
+        "--kill-wait", type=float, default=300.0,
+        help="max seconds to wait for the kill threshold",
+    )
+    args = parser.parse_args()
+
+    workdir = Path(args.workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    journal = workdir / "journal.jsonl"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env.setdefault("REPRO_SCALE", "quick")
+
+    # --- Run 1: start the sweep, hard-kill it mid-run -------------------
+    print(f"[1/3] starting sweep, will SIGKILL after "
+          f"{args.kill_after} completed points")
+    proc = subprocess.Popen(
+        _sweep_cmd(workdir, resume=False, stats_name="stats_killed.json"),
+        env=env, cwd=str(REPO_ROOT),
+    )
+    deadline = time.monotonic() + args.kill_wait
+    while time.monotonic() < deadline:
+        if _journal_done_count(journal) >= args.kill_after:
+            break
+        if proc.poll() is not None:
+            print("FAIL: sweep finished before it could be killed; "
+                  "raise the point count or lower --kill-after")
+            return 1
+        time.sleep(0.05)
+    else:
+        proc.kill()
+        print("FAIL: journal never reached the kill threshold")
+        return 1
+    proc.send_signal(signal.SIGKILL)
+    proc.wait()
+    done_before = _journal_done_count(journal)
+    print(f"      killed with {done_before}/{TOTAL_POINTS} points journaled")
+    if not args.kill_after <= done_before < TOTAL_POINTS:
+        print("FAIL: kill landed outside the mid-run window")
+        return 1
+
+    # --- Run 2: resume; finished points must all be cache hits ---------
+    print("[2/3] resuming the interrupted sweep")
+    subprocess.run(
+        _sweep_cmd(workdir, resume=True, stats_name="stats_resumed.json"),
+        env=env, cwd=str(REPO_ROOT), check=True,
+    )
+    stats = json.loads((workdir / "stats_resumed.json").read_text())["stats"]
+    print(f"      resume counters: {stats}")
+    failures = []
+    if stats["points"] != TOTAL_POINTS:
+        failures.append(f"expected {TOTAL_POINTS} points, saw {stats['points']}")
+    if stats["cache_hits"] != done_before:
+        failures.append(
+            f"expected {done_before} cache hits (the journaled points), "
+            f"saw {stats['cache_hits']} — finished work was recomputed"
+        )
+    if stats["executed"] != TOTAL_POINTS - done_before:
+        failures.append(
+            f"expected {TOTAL_POINTS - done_before} executed, "
+            f"saw {stats['executed']}"
+        )
+    if stats["failed_points"]:
+        failures.append(f"{stats['failed_points']} points failed")
+
+    # --- Run 3: replay; everything must come from cache -----------------
+    print("[3/3] replaying the completed sweep")
+    subprocess.run(
+        _sweep_cmd(workdir, resume=True, stats_name="stats_replayed.json"),
+        env=env, cwd=str(REPO_ROOT), check=True,
+    )
+    stats = json.loads((workdir / "stats_replayed.json").read_text())["stats"]
+    print(f"      replay counters: {stats}")
+    if stats["cache_hits"] != TOTAL_POINTS:
+        failures.append(
+            f"replay expected {TOTAL_POINTS} cache hits, saw {stats['cache_hits']}"
+        )
+    if stats["executed"] != 0:
+        failures.append(
+            f"replay recomputed {stats['executed']} points (expected 0)"
+        )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("OK: kill-and-resume completed with zero recomputation")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

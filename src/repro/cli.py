@@ -9,6 +9,7 @@ Gives downstream users one-line access to the main flows:
 * ``trace``       — synthesise an MP trace from a workload model
 * ``workloads``   — list the calibrated workload profiles
 * ``experiment``  — run a named table/figure harness
+* ``sweep``       — cached, resumable, fault-tolerant rate sweeps
 """
 
 from __future__ import annotations
@@ -197,20 +198,93 @@ def cmd_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Cached, resumable, fault-tolerant sweep over archs x rates."""
+    import json
+
+    from repro.experiments.export import export_json, sweep_to_dict
+    from repro.experiments.sweep import run_sweep, specs_for_grid
+
+    settings = _settings(args)
+    archs = [_resolve_arch(name.strip()) for name in args.archs.split(",")]
+    if args.rates:
+        rates = [float(r) for r in args.rates.split(",")]
+    else:
+        rates = list(
+            settings.uniform_rates if args.traffic == "uniform"
+            else settings.nuca_rates
+        )
+    outcome = run_sweep(
+        specs_for_grid(archs, rates, kind=args.traffic),
+        settings,
+        processes=args.processes,
+        cache_dir=args.cache_dir,
+        journal_path=args.journal,
+        resume=args.resume,
+        retries=args.retries,
+        backoff_s=args.backoff,
+        point_timeout=args.point_timeout,
+        failure_mode="report",
+        telemetry_dir=args.telemetry_dir,
+    )
+
+    rows = []
+    for arch, series in outcome.series.items():
+        for rate, point in series:
+            rows.append([
+                arch, f"{rate:g}", f"{point.avg_latency:.2f}",
+                f"{point.avg_hops:.2f}", f"{point.total_power_w:.3f}",
+            ])
+    print(f"{args.traffic} sweep, {len(archs)} arch(s) x {len(rates)} rate(s)")
+    print(format_table(
+        ["arch", "rate", "latency (cyc)", "hops", "power (W)"], rows
+    ))
+    print("--- sweep engine ---")
+    print(outcome.stats.format())
+    for failure in outcome.failures:
+        print(f"FAILED: {failure.describe()}")
+    if args.out:
+        path = export_json(sweep_to_dict(outcome.series), args.out)
+        print(f"wrote {path}")
+    if args.stats_out:
+        from pathlib import Path
+
+        stats_path = Path(args.stats_out)
+        if stats_path.parent != Path(""):
+            stats_path.parent.mkdir(parents=True, exist_ok=True)
+        stats_path.write_text(json.dumps({
+            "stats": outcome.stats.to_json(),
+            "failures": [f.describe() for f in outcome.failures],
+        }, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+        print(f"wrote {stats_path}")
+    return 0 if outcome.ok else 1
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     import repro.experiments as exp
     from repro.experiments.report import dict_table, sweep_table
 
     settings = _settings(args)
+    store = None
+    if getattr(args, "cache_dir", None):
+        from repro.experiments.store import ResultStore
+
+        store = ResultStore(args.cache_dir)
     name = args.name
     if name == "fig11a":
-        print(sweep_table(exp.fig11a_uniform_latency(settings), "avg_latency"))
+        print(sweep_table(
+            exp.fig11a_uniform_latency(settings, store=store), "avg_latency"
+        ))
     elif name == "fig11b":
-        print(sweep_table(exp.fig11b_nuca_latency(settings), "avg_latency"))
+        print(sweep_table(
+            exp.fig11b_nuca_latency(settings, store=store), "avg_latency"
+        ))
     elif name == "fig11d":
         print(dict_table(exp.fig11d_hop_counts(settings), row_label="traffic"))
     elif name == "fig12a":
-        print(sweep_table(exp.fig12a_uniform_power(settings), "total_power_w"))
+        print(sweep_table(
+            exp.fig12a_uniform_power(settings, store=store), "total_power_w"
+        ))
     elif name == "fig13a":
         fractions = exp.fig13a_short_flit_fractions(settings)
         print(dict_table({"short_flits": fractions}, row_label=""))
@@ -331,7 +405,70 @@ def build_parser() -> argparse.ArgumentParser:
 
     ex = sub.add_parser("experiment", help="run a table/figure harness")
     ex.add_argument("name")
+    ex.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="serve simulation points from (and fill) the result cache",
+    )
     ex.set_defaults(func=cmd_experiment)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="cached, resumable, fault-tolerant sweep over archs x rates",
+    )
+    sweep.add_argument(
+        "--archs", default="2DB,3DB,3DM,3DM(NC),3DM-E,3DM-E(NC)",
+        help="comma-separated architecture names",
+    )
+    sweep.add_argument(
+        "--rates", default="",
+        help="comma-separated injection rates "
+        "(default: the scale preset's rate grid)",
+    )
+    sweep.add_argument(
+        "--traffic", choices=["uniform", "nuca"], default="uniform"
+    )
+    sweep.add_argument("--processes", type=int, default=2)
+    sweep.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed result cache; finished points are "
+        "served without simulating",
+    )
+    sweep.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="JSONL run journal checkpointing each completed point",
+    )
+    sweep.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted sweep: append to the journal and "
+        "skip points already in the cache (requires --cache-dir)",
+    )
+    sweep.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry each failed/timed-out point up to N times "
+        "with exponential backoff",
+    )
+    sweep.add_argument(
+        "--backoff", type=float, default=0.5, metavar="SECONDS",
+        help="initial retry backoff; doubles per attempt (default 0.5)",
+    )
+    sweep.add_argument(
+        "--point-timeout", type=float, default=None, metavar="SECONDS",
+        help="terminate any point running longer than this "
+        "(counts as a failed attempt)",
+    )
+    sweep.add_argument(
+        "--telemetry-dir", default=None, metavar="DIR",
+        help="per-point windowed telemetry JSONL streams",
+    )
+    sweep.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the sweep series as JSON",
+    )
+    sweep.add_argument(
+        "--stats-out", default=None, metavar="PATH",
+        help="write cache/retry counters and the failure report as JSON",
+    )
+    sweep.set_defaults(func=cmd_sweep)
 
     report = sub.add_parser(
         "report", help="stitch results/ artifacts into REPORT.md"

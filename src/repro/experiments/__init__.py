@@ -61,7 +61,18 @@ from repro.experiments.headline import evaluate_headline_claims, render_claims
 from repro.experiments.compression_exp import compression_vs_shutdown
 from repro.experiments.protocol_exp import ProtocolResult, compare_protocols
 from repro.experiments.export import export_json, point_to_dict, sweep_to_dict
-from repro.experiments.parallel import parallel_sweep
+from repro.experiments.parallel import SweepPointError, parallel_sweep
+from repro.experiments.store import (
+    PointFailure,
+    PointSpec,
+    ResultStore,
+    RunJournal,
+    SweepOutcome,
+    SweepStats,
+    cached_point_run,
+    point_key,
+)
+from repro.experiments.sweep import run_sweep, specs_for_grid
 from repro.experiments.summary import write_report
 
 __all__ = [
@@ -104,5 +115,16 @@ __all__ = [
     "point_to_dict",
     "sweep_to_dict",
     "parallel_sweep",
+    "SweepPointError",
+    "PointFailure",
+    "PointSpec",
+    "ResultStore",
+    "RunJournal",
+    "SweepOutcome",
+    "SweepStats",
+    "cached_point_run",
+    "point_key",
+    "run_sweep",
+    "specs_for_grid",
     "write_report",
 ]

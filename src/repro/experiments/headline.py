@@ -13,7 +13,7 @@ from typing import Callable, Dict, List, Optional
 from repro.core.arch import make_2db, make_3db, make_3dm, make_3dme
 from repro.core.express import average_hops, nuca_pairs
 from repro.experiments.config import ExperimentSettings
-from repro.experiments.runner import run_uniform_point
+from repro.experiments.store import PointSpec, ResultStore, cached_point_run
 from repro.experiments.thermal_exp import fig13c_temperature_reduction
 from repro.power.gating import shutdown_saving
 from repro.power.orion import RouterEnergyModel
@@ -33,8 +33,14 @@ class Claim:
 def evaluate_headline_claims(
     settings: Optional[ExperimentSettings] = None,
     rate: float = 0.3,
+    store: Optional[ResultStore] = None,
 ) -> List[Claim]:
-    """Evaluate the headline claims at one uniform-random load point."""
+    """Evaluate the headline claims at one uniform-random load point.
+
+    ``store`` (opt-in) reuses simulation points already in the result
+    cache — a full figure run that populated the cache makes this check
+    nearly free.
+    """
     settings = settings or ExperimentSettings.from_env()
     configs = {
         "2DB": make_2db(),
@@ -44,7 +50,9 @@ def evaluate_headline_claims(
         "3DM-E": make_3dme(),
     }
     points = {
-        name: run_uniform_point(config, rate, settings)
+        name: cached_point_run(
+            store, PointSpec(config, "uniform", rate), settings
+        )
         for name, config in configs.items()
     }
     claims: List[Claim] = []
@@ -121,7 +129,7 @@ def evaluate_headline_claims(
 
     # Temperature drop trend (Fig. 13c).
     drops = fig13c_temperature_reduction(
-        settings, rates=tuple(settings.uniform_rates[:2])
+        settings, rates=tuple(settings.uniform_rates[:2]), store=store
     )
     values = list(drops.values())
     add("Temperature drop grows with injection (Fig. 13c)",

@@ -13,6 +13,7 @@ from repro.experiments.runner import (
     run_trace_point,
     run_uniform_point,
 )
+from repro.experiments.store import PointSpec, ResultStore, cached_point_run
 from repro.traffic.workloads import WORKLOADS
 
 #: Series type: architecture name -> [(x, PointResult)].
@@ -26,14 +27,22 @@ def _configs(configs: Optional[List[ArchitectureConfig]]) -> List[ArchitectureCo
 def fig11a_uniform_latency(
     settings: Optional[ExperimentSettings] = None,
     configs: Optional[List[ArchitectureConfig]] = None,
+    store: Optional[ResultStore] = None,
 ) -> Sweep:
-    """Fig. 11a: average latency vs injection rate, uniform random."""
+    """Fig. 11a: average latency vs injection rate, uniform random.
+
+    ``store`` (opt-in) serves previously simulated points from the
+    content-addressed result cache and fills it with fresh ones.
+    """
     settings = settings or ExperimentSettings.from_env()
     out: Sweep = {}
     for config in _configs(configs):
         series = []
         for rate in settings.uniform_rates:
-            series.append((rate, run_uniform_point(config, rate, settings)))
+            point = cached_point_run(
+                store, PointSpec(config, "uniform", rate), settings
+            )
+            series.append((rate, point))
         out[config.name] = series
     return out
 
@@ -41,6 +50,7 @@ def fig11a_uniform_latency(
 def fig11b_nuca_latency(
     settings: Optional[ExperimentSettings] = None,
     configs: Optional[List[ArchitectureConfig]] = None,
+    store: Optional[ResultStore] = None,
 ) -> Sweep:
     """Fig. 11b: average latency vs request rate, NUCA-UR."""
     settings = settings or ExperimentSettings.from_env()
@@ -48,7 +58,10 @@ def fig11b_nuca_latency(
     for config in _configs(configs):
         series = []
         for rate in settings.nuca_rates:
-            series.append((rate, run_nuca_point(config, rate, settings)))
+            point = cached_point_run(
+                store, PointSpec(config, "nuca", rate), settings
+            )
+            series.append((rate, point))
         out[config.name] = series
     return out
 

@@ -25,20 +25,36 @@ class SweepPointError(RuntimeError):
     """A sweep worker failed; names the work item so a bad point in a
     54-point sweep is identifiable without re-running serially."""
 
-    def __init__(self, item: WorkItem, cause: str) -> None:
+    def __init__(self, item: WorkItem, cause: str, attempts: int = 1) -> None:
         arch, rate, kind = item
+        tries = f" after {attempts} attempts" if attempts > 1 else ""
         super().__init__(
             f"sweep point (arch={arch.value}, rate={rate:g}, kind={kind!r}) "
-            f"failed: {cause}"
+            f"failed{tries}: {cause}"
         )
         self.item = item
         self.cause = cause
+        self.attempts = attempts
 
     def __reduce__(self):
         # Default exception pickling would replay __init__ with the
-        # formatted message alone; rebuild from (item, cause) so the
-        # error survives the pool's result pipe intact.
-        return (SweepPointError, (self.item, self.cause))
+        # formatted message alone; rebuild from (item, cause, attempts)
+        # so the error survives the pool's result pipe intact.
+        return (SweepPointError, (self.item, self.cause, self.attempts))
+
+
+def failure_to_error(failure) -> SweepPointError:
+    """Convert a :class:`~repro.experiments.store.PointFailure` into the
+    exception the raise-on-failure paths throw.  Callers that want the
+    original exception chained do ``raise failure_to_error(f) from exc``
+    so retry wrapping preserves ``__cause__``."""
+    arch = _ARCH_BY_VALUE[failure.arch]
+    return SweepPointError(
+        (arch, failure.rate, failure.kind), failure.error, failure.attempts
+    )
+
+
+_ARCH_BY_VALUE = {arch.value: arch for arch in Architecture}
 
 
 def _run_item(
@@ -81,6 +97,12 @@ def parallel_sweep(
     processes: int = 2,
     telemetry_dir: Optional[str] = None,
     telemetry_interval: int = 100,
+    *,
+    cache_dir: Optional[str] = None,
+    resume: bool = False,
+    retries: int = 0,
+    point_timeout: Optional[float] = None,
+    journal_path: Optional[str] = None,
 ) -> Dict[str, List[Tuple[float, PointResult]]]:
     """Run ``archs x rates`` points over *processes* workers.
 
@@ -91,12 +113,38 @@ def parallel_sweep(
     telemetry to ``<dir>/<arch>_<kind>@<rate>.jsonl``, sampling every
     ``telemetry_interval`` cycles — per-point timelines for offline
     comparison across the sweep.
+
+    Passing any of ``cache_dir`` / ``resume`` / ``retries`` /
+    ``point_timeout`` / ``journal_path`` delegates to the v2 engine
+    (:func:`repro.experiments.sweep.run_sweep`): completed points are
+    served from the content-addressed cache, progress is checkpointed to
+    the journal, and failed points retry with backoff.  A point that
+    still fails raises :class:`SweepPointError` (use ``run_sweep``
+    directly with ``failure_mode="report"`` for partial results).
     """
     settings = settings or ExperimentSettings.from_env()
     if processes < 1:
         raise ValueError(f"processes must be >= 1, got {processes}")
     if kind not in ("uniform", "nuca"):
         raise ValueError(f"unknown traffic kind {kind!r}")
+    if (cache_dir is not None or resume or retries or point_timeout is not None
+            or journal_path is not None):
+        from repro.experiments.sweep import run_sweep, specs_for_grid
+
+        outcome = run_sweep(
+            specs_for_grid(archs, rates, kind=kind),
+            settings,
+            processes=processes,
+            cache_dir=cache_dir,
+            journal_path=journal_path,
+            resume=resume,
+            retries=retries,
+            point_timeout=point_timeout,
+            failure_mode="raise",
+            telemetry_dir=telemetry_dir,
+            telemetry_interval=telemetry_interval,
+        )
+        return outcome.series
     if telemetry_dir is not None:
         os.makedirs(telemetry_dir, exist_ok=True)
     items = [

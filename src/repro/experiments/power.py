@@ -8,12 +8,8 @@ from repro.cache.hierarchy import generate_trace
 from repro.core.arch import ArchitectureConfig, standard_configs
 from repro.experiments.config import ExperimentSettings
 from repro.experiments.latency import Sweep
-from repro.experiments.runner import (
-    PointResult,
-    run_nuca_point,
-    run_trace_point,
-    run_uniform_point,
-)
+from repro.experiments.runner import PointResult, run_trace_point
+from repro.experiments.store import PointSpec, ResultStore, cached_point_run
 from repro.traffic.workloads import WORKLOADS
 
 
@@ -24,13 +20,21 @@ def _configs(configs: Optional[List[ArchitectureConfig]]) -> List[ArchitectureCo
 def fig12a_uniform_power(
     settings: Optional[ExperimentSettings] = None,
     configs: Optional[List[ArchitectureConfig]] = None,
+    store: Optional[ResultStore] = None,
 ) -> Sweep:
-    """Fig. 12a: average power vs injection rate (UR, 0% short flits)."""
+    """Fig. 12a: average power vs injection rate (UR, 0% short flits).
+
+    ``store`` (opt-in) serves previously simulated points from the
+    content-addressed result cache and fills it with fresh ones.  The
+    uniform points here share keys with :func:`fig11a_uniform_latency`,
+    so running both against one store simulates each point once.
+    """
     settings = settings or ExperimentSettings.from_env()
     out: Sweep = {}
     for config in _configs(configs):
         out[config.name] = [
-            (rate, run_uniform_point(config, rate, settings))
+            (rate, cached_point_run(
+                store, PointSpec(config, "uniform", rate), settings))
             for rate in settings.uniform_rates
         ]
     return out
@@ -39,13 +43,15 @@ def fig12a_uniform_power(
 def fig12b_nuca_power(
     settings: Optional[ExperimentSettings] = None,
     configs: Optional[List[ArchitectureConfig]] = None,
+    store: Optional[ResultStore] = None,
 ) -> Sweep:
     """Fig. 12b: average power vs request rate (NUCA-UR)."""
     settings = settings or ExperimentSettings.from_env()
     out: Sweep = {}
     for config in _configs(configs):
         out[config.name] = [
-            (rate, run_nuca_point(config, rate, settings))
+            (rate, cached_point_run(
+                store, PointSpec(config, "nuca", rate), settings))
             for rate in settings.nuca_rates
         ]
     return out

@@ -14,6 +14,7 @@ from repro.traffic.synthetic import UniformRandomTraffic
 from repro.traffic.traces import TraceRecord, TraceTraffic
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.store import PointSpec
     from repro.telemetry.sampler import TelemetryConfig
 
 
@@ -148,6 +149,29 @@ def run_nuca_point(
     return _run(
         config, traffic, settings, f"NUCA@{request_rate:g}", shutdown_enabled,
         profile=profile, sanitize=sanitize, sanitize_interval=sanitize_interval,
+        telemetry=telemetry,
+    )
+
+
+def run_point_spec(
+    spec: "PointSpec",
+    settings: ExperimentSettings,
+    telemetry: Optional["TelemetryConfig"] = None,
+) -> PointResult:
+    """Run one :class:`~repro.experiments.store.PointSpec`.
+
+    The single dispatch point the sweep engine and the result cache
+    share: the spec carries everything that identifies the point, so
+    running it here is guaranteed to match what its cache key hashes.
+    """
+    run = run_uniform_point if spec.kind == "uniform" else run_nuca_point
+    return run(
+        spec.config,
+        spec.rate,
+        settings,
+        short_flit_fraction=spec.short_flit_fraction,
+        shutdown_enabled=spec.shutdown_enabled,
+        seed=spec.seed,
         telemetry=telemetry,
     )
 

@@ -7,7 +7,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.cache.hierarchy import generate_trace
 from repro.core.arch import ArchitectureConfig, make_2db, make_3dm, make_3dme
 from repro.experiments.config import ExperimentSettings
-from repro.experiments.runner import run_uniform_point
+from repro.experiments.store import PointSpec, ResultStore, cached_point_run
 from repro.power.gating import shutdown_saving
 from repro.thermal.hotspot import temperature_drop
 from repro.traffic.workloads import WORKLOADS
@@ -68,6 +68,7 @@ def fig13c_temperature_reduction(
     rates: Optional[Tuple[float, ...]] = None,
     short_fraction: float = 0.50,
     config: Optional[ArchitectureConfig] = None,
+    store: Optional[ResultStore] = None,
 ) -> Dict[float, float]:
     """Fig. 13c: average temperature drop of 3DM with 50% short flits.
 
@@ -82,15 +83,18 @@ def fig13c_temperature_reduction(
         rates = tuple(settings.uniform_rates[:3])
     out: Dict[float, float] = {}
     for rate in rates:
-        base = run_uniform_point(
-            config, rate, settings, short_flit_fraction=0.0, shutdown_enabled=True
-        )
-        gated = run_uniform_point(
-            config,
-            rate,
+        base = cached_point_run(
+            store,
+            PointSpec(config, "uniform", rate, shutdown_enabled=True),
             settings,
-            short_flit_fraction=short_fraction,
-            shutdown_enabled=True,
+        )
+        gated = cached_point_run(
+            store,
+            PointSpec(
+                config, "uniform", rate,
+                short_flit_fraction=short_fraction, shutdown_enabled=True,
+            ),
+            settings,
         )
         out[rate] = temperature_drop(
             config,

@@ -1,0 +1,172 @@
+"""Golden end-to-end digests for all six architectures.
+
+Each case runs a tiny, fully deterministic simulation and hashes the
+complete stats surface (latency/hops/throughput/percentiles, power
+breakdown, event counters, per-node activity) into one digest compared
+against ``tests/golden/e2e_digests.json``.  Any hot-path change that
+perturbs results — however slightly, on any architecture — fails here
+loudly, with the fixture's summary stats showing what moved.
+
+To refresh after an *intentional* behaviour change::
+
+    REPRO_REFRESH_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_e2e.py
+
+then review the diff of the fixture and commit it (see docs/TESTING.md).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict
+
+import pytest
+
+from repro.core.arch import make_2db, make_3dm, standard_configs
+from repro.experiments.config import ExperimentSettings
+from repro.experiments.export import point_to_dict
+from repro.experiments.runner import PointResult, run_point_spec
+from repro.experiments.store import PointSpec, canonical_json
+
+FIXTURE = Path(__file__).parent / "golden" / "e2e_digests.json"
+
+#: Budgets are deliberately tiny: large enough to exercise warm-up,
+#: measurement, and drain on every architecture; small enough that all
+#: eight sims run in a few seconds.
+SETTINGS = ExperimentSettings(
+    warmup_cycles=100,
+    measure_cycles=400,
+    drain_cycles=3000,
+    uniform_rates=(0.1,),
+    nuca_rates=(0.1,),
+    trace_cycles=3000,
+    workloads=("tpcw",),
+    seed=7,
+)
+
+
+def _cases() -> Dict[str, PointSpec]:
+    """Uniform traffic on all six architectures, plus NUCA on the two
+    ends of the design space (2DB and 3DM) for request/response coverage."""
+    cases = {
+        f"{config.name}:uniform": PointSpec(config, "uniform", 0.1)
+        for config in standard_configs()
+    }
+    cases["2DB:nuca"] = PointSpec(make_2db(), "nuca", 0.1)
+    cases["3DM:nuca"] = PointSpec(make_3dm(), "nuca", 0.1)
+    return cases
+
+
+CASES = _cases()
+
+
+def digest_payload(point: PointResult) -> Dict[str, Any]:
+    """Everything the digest covers: the export surface plus the raw
+    event counters and per-node activity shares."""
+    events = point.sim.events
+    return {
+        "point": point_to_dict(point),
+        "events": {
+            "flit_hops": events.flit_hops,
+            "short_flit_hops": events.short_flit_hops,
+            "buffer_writes": events.buffer_writes,
+            "buffer_reads": events.buffer_reads,
+            "xbar_traversals": events.xbar_traversals,
+            "rc_computations": events.rc_computations,
+            "va_allocations": events.va_allocations,
+            "sa_allocations": events.sa_allocations,
+            "link_flits": dict(events.link_flits),
+        },
+        "node_activity": list(point.node_activity),
+        "accepted_throughput": point.sim.accepted_throughput,
+        "cycles": point.sim.cycles,
+    }
+
+
+def compute_digest(point: PointResult) -> str:
+    text = canonical_json(digest_payload(point))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _summary(point: PointResult) -> Dict[str, Any]:
+    """Human-oriented excerpt committed beside each digest, so a golden
+    failure's fixture diff shows *what* moved, not just that it moved."""
+    return {
+        "avg_latency": point.avg_latency,
+        "avg_hops": point.avg_hops,
+        "packets_measured": point.sim.packets_measured,
+        "flit_hops": point.sim.events.flit_hops,
+        "total_power_w": point.total_power_w,
+    }
+
+
+@pytest.fixture(scope="module")
+def computed():
+    return {
+        name: run_point_spec(spec, SETTINGS) for name, spec in CASES.items()
+    }
+
+
+@pytest.fixture(scope="module")
+def golden(computed):
+    if os.environ.get("REPRO_REFRESH_GOLDEN", "") not in ("", "0"):
+        FIXTURE.parent.mkdir(parents=True, exist_ok=True)
+        data = {
+            "settings": {
+                "warmup_cycles": SETTINGS.warmup_cycles,
+                "measure_cycles": SETTINGS.measure_cycles,
+                "drain_cycles": SETTINGS.drain_cycles,
+                "seed": SETTINGS.seed,
+            },
+            "cases": {
+                name: {
+                    "digest": compute_digest(point),
+                    "summary": _summary(point),
+                }
+                for name, point in computed.items()
+            },
+        }
+        FIXTURE.write_text(
+            json.dumps(data, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    if not FIXTURE.exists():
+        pytest.fail(
+            "golden fixture missing; generate it with "
+            "REPRO_REFRESH_GOLDEN=1 (see docs/TESTING.md)"
+        )
+    return json.loads(FIXTURE.read_text(encoding="utf-8"))
+
+
+def test_fixture_covers_exactly_the_cases(golden):
+    assert set(golden["cases"]) == set(CASES)
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_golden_digest(name, computed, golden):
+    point = computed[name]
+    expected = golden["cases"][name]
+    measured = _summary(point)
+    assert compute_digest(point) == expected["digest"], (
+        f"{name}: simulator output drifted from the committed golden "
+        f"digest.\n  committed summary: {expected['summary']}\n"
+        f"  measured summary : {measured}\n"
+        "If the change is intentional, refresh with "
+        "REPRO_REFRESH_GOLDEN=1 and commit the fixture diff "
+        "(docs/TESTING.md)."
+    )
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_golden_summary_matches_digest_source(name, computed, golden):
+    """The committed summaries stay in sync with the committed digests
+    (a hand-edited fixture can't pass silently)."""
+    assert golden["cases"][name]["summary"] == _summary(computed[name])
+
+
+def test_digest_is_reproducible_within_process(computed):
+    name = "2DB:uniform"
+    again = run_point_spec(CASES[name], SETTINGS)
+    assert compute_digest(again) == compute_digest(computed[name])
