@@ -28,21 +28,38 @@ def test_fig13a_short_flit_percentage(benchmark, settings, save_report):
     assert 0.30 <= sum(values) / len(values) <= 0.50
 
 
-def test_fig13b_shutdown_power_saving(benchmark, save_report):
-    savings = benchmark.pedantic(fig13b_shutdown_savings, rounds=1, iterations=1)
+def test_fig13b_shutdown_power_saving(benchmark, settings, save_report):
+    savings = benchmark.pedantic(
+        lambda: fig13b_shutdown_savings(settings=settings),
+        rounds=1, iterations=1,
+    )
+    analytic = fig13b_shutdown_savings(analytic=True)
     rows = [
-        [arch, f"{by_s[0.25] * 100:.1f}%", f"{by_s[0.50] * 100:.1f}%"]
+        [
+            arch,
+            f"{by_s[0.25] * 100:.1f}%", f"{by_s[0.50] * 100:.1f}%",
+            f"{analytic[arch][0.25] * 100:.1f}%",
+            f"{analytic[arch][0.50] * 100:.1f}%",
+        ]
         for arch, by_s in savings.items()
     ]
     save_report(
         "fig13b_shutdown_savings",
         "dynamic power saved by layer shutdown\n"
-        + format_table(["arch", "25% short", "50% short"], rows),
+        "(simulated layer-resolved path vs analytic model at the nominal\n"
+        " payload fraction; headers/control flits are short by\n"
+        " construction, so simulated savings sit above the model)\n"
+        + format_table(
+            ["arch", "25% sim", "50% sim", "25% model", "50% model"], rows
+        ),
     )
     for arch, by_s in savings.items():
-        # Paper: up to ~36% at 50% short flits.
-        assert 0.25 <= by_s[0.50] <= 0.37, arch
         assert by_s[0.25] < by_s[0.50]
+        # Simulated: measured short fraction (1 + 2s)/3 at nominal s.
+        assert 0.25 <= by_s[0.50] <= 0.55, arch
+        # Paper: up to ~36% at 50% short flits (analytic model).
+        assert 0.25 <= analytic[arch][0.50] <= 0.37, arch
+        assert analytic[arch][0.25] < analytic[arch][0.50]
 
 
 def test_fig13c_temperature_reduction(benchmark, settings, save_report):

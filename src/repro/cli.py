@@ -288,6 +288,29 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     elif name == "fig13a":
         fractions = exp.fig13a_short_flit_fractions(settings)
         print(dict_table({"short_flits": fractions}, row_label=""))
+    elif name == "fig13b":
+        savings = exp.fig13b_shutdown_savings(
+            settings=settings,
+            analytic=args.analytic_shutdown,
+            store=store,
+        )
+        print(dict_table(
+            {
+                arch: {f"{s:g} short": v for s, v in by_s.items()}
+                for arch, by_s in savings.items()
+            },
+            row_label="arch",
+        ))
+    elif name == "fig13c":
+        drops = exp.fig13c_temperature_reduction(
+            settings,
+            store=store,
+            analytic_split=args.analytic_shutdown,
+        )
+        print(dict_table(
+            {"temp_drop_k": {f"{r:g}": v for r, v in drops.items()}},
+            row_label="rate",
+        ))
     elif name == "fig9":
         print(dict_table(exp.fig9_energy_breakdown(), row_label="arch"))
     elif name == "fig1":
@@ -295,7 +318,8 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     else:
         raise SystemExit(
             "unknown experiment; choose from fig1, fig9, fig11a, fig11b, "
-            "fig11d, fig12a, fig13a (run the benchmark suite for the rest)"
+            "fig11d, fig12a, fig13a, fig13b, fig13c (run the benchmark "
+            "suite for the rest)"
         )
     return 0
 
@@ -408,6 +432,11 @@ def build_parser() -> argparse.ArgumentParser:
     ex.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="serve simulation points from (and fill) the result cache",
+    )
+    ex.add_argument(
+        "--analytic-shutdown", action="store_true",
+        help="use the closed-form shutdown model instead of the "
+        "layer-resolved simulated path (fig13b/fig13c)",
     )
     ex.set_defaults(func=cmd_experiment)
 

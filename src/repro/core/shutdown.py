@@ -40,10 +40,28 @@ class ShortFlitDetector:
     def active_layers(self, words: Sequence[int]) -> int:
         """Layers that must stay powered for this flit's words."""
         active = flit_active_groups(list(words))
-        self.flits_seen += 1
-        if active == 1:
-            self.short_flits += 1
+        self.observe(active)
         return min(active, self.layers)
+
+    def observe(self, active_groups: int) -> int:
+        """Record one flit of known activity; return its layer mask.
+
+        The simulated pipeline summarises each flit's payload by its
+        pattern class (``active_groups``, the word-level classification
+        :func:`~repro.traffic.patterns.flit_active_groups` would produce
+        on the raw words), so the detector observes that count directly
+        at injection.  Valid words fill groups bottom-up, hence the mask
+        is the contiguous ``(1 << active) - 1`` with bit 0 — the
+        always-on top group — set.
+        """
+        if active_groups < 1:
+            raise ValueError(
+                f"active_groups must be >= 1, got {active_groups}"
+            )
+        self.flits_seen += 1
+        if active_groups == 1:
+            self.short_flits += 1
+        return (1 << min(active_groups, self.layers)) - 1
 
     @property
     def observed_short_fraction(self) -> float:

@@ -37,6 +37,13 @@ def point_to_dict(point: PointResult) -> Dict[str, Any]:
         },
         "pdp_ws": point.pdp,
         "short_flit_fraction": sim.events.short_flit_fraction,
+        "layer_power_w": {
+            "per_layer_dynamic": list(point.layer_power.layer_dynamic_w),
+            "all_layers_on_dynamic": point.layer_power.all_layers_on_dynamic_w,
+            "shutdown_saving_fraction": (
+                point.layer_power.shutdown_saving_fraction
+            ),
+        },
     }
 
 

@@ -127,6 +127,33 @@ def evaluate_headline_claims(
     add("Shutdown saving @50% short flits", "up to 36%",
         f"{s:.0%}", 0.25 <= s <= 0.37)
 
+    # Simulated shutdown path agrees with the analytic model when the
+    # latter is evaluated at the measured short-flit fraction (header
+    # and control flits are short by construction, so the measured
+    # fraction exceeds the nominal payload knob).
+    gated = cached_point_run(
+        store,
+        PointSpec(
+            configs["3DM"], "uniform", rate,
+            short_flit_fraction=0.50, shutdown_enabled=True,
+        ),
+        settings,
+    )
+    sim_saving = gated.layer_power.shutdown_saving_fraction
+    events = gated.sim.events
+    measured_fraction = (
+        events.short_flit_hops / events.flit_hops if events.flit_hops else 0.0
+    )
+    ref_saving = shutdown_saving(
+        configs["3DM"], measured_fraction
+    ).saving_fraction
+    rel_err = abs(sim_saving - ref_saving) / ref_saving if ref_saving else 1.0
+    add("Simulated vs analytic shutdown saving (Fig. 13b)",
+        "within 2% relative",
+        f"{sim_saving:.1%} vs {ref_saving:.1%} "
+        f"@measured {measured_fraction:.0%} short",
+        rel_err <= 0.02)
+
     # Temperature drop trend (Fig. 13c).
     drops = fig13c_temperature_reduction(
         settings, rates=tuple(settings.uniform_rates[:2]), store=store

@@ -8,7 +8,12 @@ from typing import List, Optional, TYPE_CHECKING
 from repro.core.arch import ArchitectureConfig
 from repro.experiments.config import ExperimentSettings
 from repro.noc.simulator import SimulationResult, Simulator
-from repro.power.energy import PowerReport, power_report
+from repro.power.energy import (
+    LayerPowerReport,
+    PowerReport,
+    layer_power_report,
+    power_report,
+)
 from repro.traffic.nuca import NucaUniformTraffic
 from repro.traffic.synthetic import UniformRandomTraffic
 from repro.traffic.traces import TraceRecord, TraceTraffic
@@ -28,6 +33,14 @@ class PointResult:
     power: PowerReport
     #: Per-node share of switched flits (for thermal power maps).
     node_activity: List[float]
+    #: Per-node, per-datapath-layer share of that layer's switched
+    #: flits: ``node_layer_activity[n][l]`` is node *n*'s fraction of
+    #: all flit traversals that drove layer *l* (each layer column sums
+    #: to 1 when the layer saw any traffic, 0 otherwise).
+    node_layer_activity: List[List[float]]
+    #: Layer-resolved dynamic power from the same event stream (the
+    #: simulated Fig. 13b/13c path).
+    layer_power: LayerPowerReport
 
     @property
     def avg_latency(self) -> float:
@@ -52,6 +65,27 @@ class PointResult:
         return [
             self.power.dynamic_w * share + leak_each
             for share in self.node_activity
+        ]
+
+    def router_layer_power_per_node(self) -> List[List[float]]:
+        """Per-node, per-layer router power map (W) for the thermal model.
+
+        Each datapath layer's simulated dynamic power is split across
+        routers by that layer's own activity shares (so a layer gated at
+        most nodes concentrates its power where it actually switched);
+        leakage is split evenly over nodes and layers.  Sums back to
+        ``layer_power.total_w``.
+        """
+        lp = self.layer_power
+        n = len(self.node_layer_activity) or 1
+        groups = len(lp.layer_dynamic_w)
+        leak_each = lp.leakage_w / (n * groups)
+        return [
+            [
+                lp.layer_dynamic_w[layer] * shares[layer] + leak_each
+                for layer in range(groups)
+            ]
+            for shares in self.node_layer_activity
         ]
 
 
@@ -91,12 +125,41 @@ def _run(
     )
     total_flits = sum(r.flits_switched for r in network.routers) or 1
     activity = [r.flits_switched / total_flits for r in network.routers]
+    groups = network.layer_groups
+    # Node n's flit traversals that drove layer l: effective active-layer
+    # count k > l, i.e. histogram indices k-1 >= l.
+    layer_flits = [
+        [
+            sum(r.flits_switched_by_layers[i] for i in range(layer, groups))
+            for layer in range(groups)
+        ]
+        for r in network.routers
+    ]
+    layer_totals = [
+        sum(per_node[layer] for per_node in layer_flits)
+        for layer in range(groups)
+    ]
+    layer_activity = [
+        [
+            per_node[layer] / layer_totals[layer] if layer_totals[layer] else 0.0
+            for layer in range(groups)
+        ]
+        for per_node in layer_flits
+    ]
+    layer_report = layer_power_report(
+        config,
+        result.events,
+        result.window_cycles,
+        shutdown_enabled=shutdown_enabled,
+    )
     return PointResult(
         arch=config.name,
         label=label,
         sim=result,
         power=report,
         node_activity=activity,
+        node_layer_activity=layer_activity,
+        layer_power=layer_report,
     )
 
 

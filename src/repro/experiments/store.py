@@ -44,11 +44,12 @@ from repro.experiments.config import ExperimentSettings
 from repro.experiments.runner import PointResult, run_point_spec
 from repro.noc.simulator import SimulationResult
 from repro.noc.stats import EventCounts
-from repro.power.energy import PowerReport
+from repro.power.energy import LayerPowerReport, PowerReport
 
 #: Bump when the serialised result layout or the key payload changes;
 #: part of every key, so stale cache entries can never be misread.
-SCHEMA_VERSION = 1
+#: v2: layer-resolved event histograms, node_layer_activity, layer_power.
+SCHEMA_VERSION = 2
 
 
 # ---------------------------------------------------------------------------
@@ -177,6 +178,9 @@ def _events_from_json(data: Dict[str, Any]) -> EventCounts:
         value = data[f.name]
         if f.name == "channel_flits":
             value = {(src, dst): n for src, dst, n in value}
+        elif f.name.endswith("_by_layers"):
+            # JSON stringifies the int active-layer-count keys.
+            value = {int(k): v for k, v in value.items()}
         setattr(events, f.name, value)
     return events
 
@@ -219,6 +223,18 @@ def point_result_to_json(point: PointResult) -> Dict[str, Any]:
             "leakage_w": point.power.leakage_w,
             "breakdown_w": dict(point.power.breakdown_w),
         },
+        "node_layer_activity": [
+            list(shares) for shares in point.node_layer_activity
+        ],
+        "layer_power": {
+            "name": point.layer_power.name,
+            "layer_dynamic_w": list(point.layer_power.layer_dynamic_w),
+            "leakage_w": point.layer_power.leakage_w,
+            "all_layers_on_dynamic_w": (
+                point.layer_power.all_layers_on_dynamic_w
+            ),
+            "breakdown_w": dict(point.layer_power.breakdown_w),
+        },
     }
 
 
@@ -228,12 +244,19 @@ def point_result_from_json(data: Dict[str, Any]) -> PointResult:
     sim_data["events"] = _events_from_json(sim_data["events"])
     sim = SimulationResult(**sim_data)
     power = PowerReport(**data["power"])
+    layer_data = dict(data["layer_power"])
+    layer_data["layer_dynamic_w"] = tuple(layer_data["layer_dynamic_w"])
+    layer_power = LayerPowerReport(**layer_data)
     return PointResult(
         arch=data["arch"],
         label=data["label"],
         sim=sim,
         power=power,
         node_activity=list(data["node_activity"]),
+        node_layer_activity=[
+            list(shares) for shares in data["node_layer_activity"]
+        ],
+        layer_power=layer_power,
     )
 
 

@@ -22,26 +22,31 @@ class VirtualChannelBuffer:
         if depth < 1:
             raise ValueError(f"buffer depth must be >= 1, got {depth}")
         self.depth = depth
-        self._fifo: Deque[Flit] = deque()
+        #: Underlying FIFO, front at index 0.  Public so the router's hot
+        #: loops can test emptiness (``if unit.buffer.fifo``) without a
+        #: method call or a private reach-through; treat it as read-only
+        #: outside this class — mutation must go through push()/pop() so
+        #: the read/write power counters stay truthful.
+        self.fifo: Deque[Flit] = deque()
         #: Cumulative write count, for power accounting.
         self.writes = 0
         #: Cumulative read (dequeue) count.
         self.reads = 0
 
     def __len__(self) -> int:
-        return len(self._fifo)
+        return len(self.fifo)
 
     @property
     def free_slots(self) -> int:
-        return self.depth - len(self._fifo)
+        return self.depth - len(self.fifo)
 
     @property
     def is_full(self) -> bool:
-        return len(self._fifo) >= self.depth
+        return len(self.fifo) >= self.depth
 
     @property
     def is_empty(self) -> bool:
-        return not self._fifo
+        return not self.fifo
 
     def push(self, flit: Flit) -> None:
         """Append *flit*; raises on overflow (a flow-control violation)."""
@@ -50,7 +55,7 @@ class VirtualChannelBuffer:
                 "buffer overflow: credit-based flow control should make this "
                 "impossible"
             )
-        self._fifo.append(flit)
+        self.fifo.append(flit)
         self.writes += 1
 
     def flits(self) -> Tuple[Flit, ...]:
@@ -59,15 +64,15 @@ class VirtualChannelBuffer:
         Used by audit passes (:mod:`repro.noc.sanitizer`); does not
         count as a read for power accounting.
         """
-        return tuple(self._fifo)
+        return tuple(self.fifo)
 
     def front(self) -> Optional[Flit]:
         """The flit at the head of the FIFO, or ``None`` when empty."""
-        return self._fifo[0] if self._fifo else None
+        return self.fifo[0] if self.fifo else None
 
     def pop(self) -> Flit:
         """Remove and return the head flit; raises on underflow."""
-        if not self._fifo:
+        if not self.fifo:
             raise IndexError("pop from empty virtual-channel buffer")
         self.reads += 1
-        return self._fifo.popleft()
+        return self.fifo.popleft()

@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, List, Optional, Set
 
+from repro.core.shutdown import ShortFlitDetector
 from repro.noc.packet import Flit, Packet, PacketClass
 from repro.noc.profiling import NetworkProfiler
 from repro.noc.router import Router
@@ -115,6 +116,12 @@ class Network:
         self.routing = routing or routing_for_topology(topology)
         self.events = EventCounts()
         self.stats = NetworkStats()
+        #: Functional zero-detector bank at the injection ports: every
+        #: flit is observed as its packet is serialised, stamping the
+        #: flit's layer mask and accumulating the *measured* short-flit
+        #: fraction (``short_flit_detector.observed_short_fraction``)
+        #: that the simulated shutdown-power path reports.
+        self.short_flit_detector = ShortFlitDetector(layer_groups)
         #: Hooks invoked on head-flit pipeline-stage completions as
         #: ``(cycle, node, flit, stage)`` with stage ``"rc"`` or
         #: ``"va"`` (SA+ST fires the traverse callbacks) — the raw feed
@@ -303,6 +310,11 @@ class Network:
                     continue
                 packet = src.packets.popleft()
                 src.flits = packet.make_flits(self.layer_groups)
+                detector = self.short_flit_detector
+                for new_flit in src.flits:
+                    new_flit.layer_mask = detector.observe(
+                        new_flit.active_groups
+                    )
                 src.flit_idx = 0
                 src.vc = vc
                 packet.injected_cycle = cycle

@@ -136,6 +136,13 @@ class Flit:
     seq: int
     #: Word groups carrying non-redundant data (1..layer_groups).
     active_groups: int = DEFAULT_LAYER_GROUPS
+    #: Bitmask of datapath layers this flit drives: bit ``i`` set means
+    #: word group ``i`` carries valid data.  Valid data always fills word
+    #: groups bottom-up (group 0 holds the header/address word), so the
+    #: mask is contiguous: ``(1 << active_groups) - 1``.  Derived in
+    #: ``__post_init__`` and conserved hop-to-hop (audited by the
+    #: sanitizer's layer-mask invariant).
+    layer_mask: int = 0
     #: Routers traversed so far; maintained by the network.
     hops: int = 0
     #: With look-ahead routing (Fig. 8c): output port name at the *next*
@@ -151,10 +158,20 @@ class Flit:
         # on every traversal and flit type never changes after creation.
         self.is_head = self.kind is FlitType.HEAD or self.kind is FlitType.SINGLE
         self.is_tail = self.kind is FlitType.TAIL or self.kind is FlitType.SINGLE
+        if self.active_groups < 1:
+            raise ValueError(
+                f"flit must drive >= 1 word group, got {self.active_groups}"
+            )
+        if not self.layer_mask:
+            self.layer_mask = (1 << self.active_groups) - 1
 
-    def is_short(self, layer_groups: int = DEFAULT_LAYER_GROUPS) -> bool:
-        """True when only the top word group carries valid data."""
-        del layer_groups  # short means exactly one active group
+    def is_short(self) -> bool:
+        """True when only the top word group carries valid data.
+
+        Short is an absolute property of the payload (exactly one active
+        group), independent of how many groups the network slices flits
+        into — so the method takes no arguments.
+        """
         return self.active_groups == 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

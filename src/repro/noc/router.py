@@ -152,6 +152,12 @@ class Router:
         )
         #: Flits this router has switched (for per-node power/thermal maps).
         self.flits_switched = 0
+        #: Histogram of switched flits by *effective* active-layer count:
+        #: index ``k-1`` counts traversals that drove exactly ``k``
+        #: datapath layers (k = flit.active_groups with shutdown enabled,
+        #: else layer_groups).  Feeds the per-router-per-layer power maps
+        #: handed to the thermal model.
+        self.flits_switched_by_layers = [0] * layer_groups
         # Flat indices of input VCs that may have work this cycle.
         self._active: set[int] = set()
         # Alias of network.stage_callbacks (bound in attach); empty list
@@ -264,12 +270,16 @@ class Router:
         unit = self.in_vcs[port * self.num_vcs + vc]
         unit.buffer.push(flit)
         ev = self.events
+        # Effective active-layer count: with shutdown disabled every
+        # layer switches regardless of payload.  k/layer_groups is the
+        # legacy activity weight (_weight() inlined; exactly 1.0 when
+        # k == layer_groups), so the layer histogram and the weighted
+        # float stay mutually consistent bit-for-bit.
+        k = flit.active_groups if self.shutdown_enabled else self.layer_groups
         ev.buffer_writes += 1
-        # _weight() inlined: called once per flit hop.
-        ev.buffer_writes_weighted += (
-            flit.active_groups / self.layer_groups
-            if self.shutdown_enabled else 1.0
-        )
+        ev.buffer_writes_weighted += k / self.layer_groups
+        by_layers = ev.buffer_writes_by_layers
+        by_layers[k] = by_layers.get(k, 0) + 1
         if unit.state == _IDLE:
             if not flit.is_head:
                 raise RuntimeError(
@@ -386,7 +396,7 @@ class Router:
                 if (
                     unit.state == _ACTIVE
                     and unit.ready_cycle <= cycle
-                    and unit.buffer._fifo  # non-empty; hot-path inline
+                    and unit.buffer.fifo  # non-empty; hot-path inline
                 ):
                     credits = credits_by_port[unit.out_port]
                     if credits is None or credits[unit.out_vc] > 0:
@@ -407,7 +417,7 @@ class Router:
         # Prune VCs with no buffered flits and no pending pipeline work.
         num_vcs = self.num_vcs
         for unit in active_units:
-            if not unit.buffer._fifo:
+            if not unit.buffer.fifo:
                 active.discard(unit.port * num_vcs + unit.vc)
 
     def _traverse(self, grant: SARequest, cycle: int) -> None:
@@ -416,11 +426,10 @@ class Router:
         assert network is not None, "router not attached to a network"
         unit = self.in_vcs[grant.in_port * self.num_vcs + grant.in_vc]
         flit = unit.buffer.pop()
-        # _weight() inlined: called once per flit hop.
-        weight = (
-            flit.active_groups / self.layer_groups
-            if self.shutdown_enabled else 1.0
-        )
+        # Effective active-layer count (see receive_flit); k/layer_groups
+        # is the legacy activity weight, inlined for the hot path.
+        k = flit.active_groups if self.shutdown_enabled else self.layer_groups
+        weight = k / self.layer_groups
         ev = self.events
         ev.buffer_reads += 1
         ev.buffer_reads_weighted += weight
@@ -428,7 +437,14 @@ class Router:
         ev.xbar_traversals += 1
         ev.xbar_traversals_weighted += weight
         ev.flit_hops += 1
+        by_layers = ev.buffer_reads_by_layers
+        by_layers[k] = by_layers.get(k, 0) + 1
+        by_layers = ev.xbar_traversals_by_layers
+        by_layers[k] = by_layers.get(k, 0) + 1
+        by_layers = ev.flit_hops_by_layers
+        by_layers[k] = by_layers.get(k, 0) + 1
         self.flits_switched += 1
+        self.flits_switched_by_layers[k - 1] += 1
         if flit.active_groups == 1:
             ev.short_flit_hops += 1
         if network.traverse_callbacks:
@@ -465,7 +481,7 @@ class Router:
                     )
                     ev.rc_computations += 1
             kind, length_mm, channel = self._link_args[out_port]
-            ev.count_link(kind, length_mm, weight, channel)
+            ev.count_link(kind, length_mm, weight, channel, k)
             dst, dst_port = self._arrival_targets[out_port]
             network.push_arrival(
                 dst, dst_port, out_vc, flit, cycle + self._hop_cycles

@@ -25,6 +25,13 @@ trusting any counter the audited code updates itself:
   router's pipeline-stage population counters and active sets agree with
   the actual VC states (a buffered flit outside the active set would be
   stranded forever).
+* **layer-mask integrity** — every in-network flit's active-layer mask
+  is well-formed (``1 <= active_groups <= layer_groups``, mask is the
+  contiguous bottom-up ``(1 << active_groups) - 1`` with the always-on
+  top group set) and is conserved hop-to-hop: a flit observed on an
+  earlier audit must carry the identical mask on every later audit until
+  ejection.  Layer-resolved power/thermal maps are only as good as this
+  invariant.
 * **allocator state** — the stateful round-robin arbiter pointers inside
   the VA/SA allocators stay within range (a corrupted rotation pointer
   silently biases fairness long before it crashes).
@@ -185,6 +192,9 @@ class SanitySnapshot:
     credits_checked: int
     #: Cumulative input-VC state machines checked.
     vcs_checked: int
+    #: Cumulative flit layer masks validated (well-formedness and
+    #: hop-to-hop conservation).
+    masks_checked: int = 0
     #: Stall snapshots taken by the deadlock/livelock watchdog.
     watchdog_reports: Tuple[WatchdogReport, ...] = field(default_factory=tuple)
 
@@ -195,6 +205,7 @@ class SanitySnapshot:
             f"flits checked     : {self.flits_checked}",
             f"credits checked   : {self.credits_checked}",
             f"VC states checked : {self.vcs_checked}",
+            f"layer masks checked: {self.masks_checked}",
             f"watchdog reports  : {len(self.watchdog_reports)}",
         ]
         for report in self.watchdog_reports:
@@ -245,8 +256,16 @@ class NetworkSanitizer:
         self.flits_checked = 0
         self.credits_checked = 0
         self.vcs_checked = 0
+        self.masks_checked = 0
         self.watchdog_reports: List[WatchdogReport] = []
         self._next_audit = 0
+        #: Layer mask by (pid, seq) for flits seen in-network on the
+        #: previous audit — the cross-audit baseline for the hop-to-hop
+        #: mask-conservation check.  Pruned to the currently present
+        #: flits each audit so ejected packets don't accumulate.
+        self._mask_seen: Dict[Tuple[int, int], int] = {}
+        self._mask_next: Dict[Tuple[int, int], int] = {}
+        self._audit_cycle = -1
         self._last_delivered = network.stats.flits_delivered
         self._progress_cycle = 0
         self._progress_hops = network.events.flit_hops
@@ -267,6 +286,7 @@ class NetworkSanitizer:
             flits_checked=self.flits_checked,
             credits_checked=self.credits_checked,
             vcs_checked=self.vcs_checked,
+            masks_checked=self.masks_checked,
             watchdog_reports=tuple(self.watchdog_reports),
         )
 
@@ -282,6 +302,8 @@ class NetworkSanitizer:
         or conservation mismatch.
         """
         present: Dict[int, _PacketPresence] = {}
+        self._audit_cycle = cycle
+        self._mask_next = {}
 
         arrivals_by_vc = self._walk_wheels(cycle, present)
         self._walk_routers(cycle, present)
@@ -290,6 +312,9 @@ class NetworkSanitizer:
         self._check_allocators(cycle)
         self._watchdog(cycle, present)
 
+        # The flits walked this audit become the next audit's baseline
+        # for mask conservation; everything else has left the network.
+        self._mask_seen = self._mask_next
         self.audits += 1
         self.last_audit_cycle = cycle
 
@@ -307,6 +332,45 @@ class NetworkSanitizer:
         rec.seqs.append(flit.seq)
         rec.locations.append(location)
         self.flits_checked += 1
+        self._check_layer_mask(flit, location)
+
+    def _check_layer_mask(
+        self, flit: Flit, location: Optional[Tuple[int, int, int]]
+    ) -> None:
+        """Mask well-formedness + hop-to-hop conservation for one flit."""
+        cycle = self._audit_cycle
+        node, port, vc = location if location else (None, None, None)
+        layer_groups = self.network.layer_groups
+        if not 1 <= flit.active_groups <= layer_groups:
+            raise SanityError(
+                "layer-mask",
+                f"flit seq {flit.seq} drives {flit.active_groups} layers, "
+                f"outside [1, {layer_groups}]",
+                cycle, node=node, port=port, vc=vc, pid=flit.packet.pid,
+            )
+        expected = (1 << flit.active_groups) - 1
+        if flit.layer_mask != expected:
+            raise SanityError(
+                "layer-mask",
+                f"flit seq {flit.seq} carries mask "
+                f"{flit.layer_mask:#06b} but {flit.active_groups} active "
+                f"groups imply the contiguous {expected:#06b} "
+                "(top group always on, valid words fill bottom-up)",
+                cycle, node=node, port=port, vc=vc, pid=flit.packet.pid,
+            )
+        key = (flit.packet.pid, flit.seq)
+        seen = self._mask_seen.get(key)
+        if seen is not None and seen != flit.layer_mask:
+            raise SanityError(
+                "layer-mask",
+                f"flit seq {flit.seq} changed layer mask in flight: "
+                f"{seen:#06b} on the previous audit, now "
+                f"{flit.layer_mask:#06b} (masks are fixed at injection "
+                "and conserved hop-to-hop)",
+                cycle, node=node, port=port, vc=vc, pid=flit.packet.pid,
+            )
+        self._mask_next[key] = flit.layer_mask
+        self.masks_checked += 1
 
     def _walk_wheels(
         self, cycle: int, present: Dict[int, _PacketPresence]

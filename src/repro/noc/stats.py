@@ -66,12 +66,28 @@ class EventCounts:
     short_flit_hops: int = 0
     flit_hops: int = 0
 
+    # Layer-resolved histograms, keyed by the *effective* active-layer
+    # count k (1..layer_groups): how many datapath layers switched for
+    # the event.  With shutdown disabled every event records
+    # k = layer_groups (all layers toggle regardless of payload), so in
+    # both modes ``sum_k k*count[k]/layer_groups`` reproduces the legacy
+    # ``*_weighted`` float exactly (k/layer_groups is dyadic for the
+    # paper's L=4) and ``sum_k count[k]`` reproduces the raw total.
+    buffer_writes_by_layers: Dict[int, int] = field(default_factory=dict)
+    buffer_reads_by_layers: Dict[int, int] = field(default_factory=dict)
+    xbar_traversals_by_layers: Dict[int, int] = field(default_factory=dict)
+    flit_hops_by_layers: Dict[int, int] = field(default_factory=dict)
+    #: Sum of link length_mm by effective active-layer count (all link
+    #: kinds pooled; the per-kind split stays in ``link_mm_weighted``).
+    link_mm_by_layers: Dict[int, float] = field(default_factory=dict)
+
     def count_link(
         self,
         kind: str,
         length_mm: float,
         weight: float,
         channel: Optional[Tuple[int, int]] = None,
+        active_layers: Optional[int] = None,
     ) -> None:
         self.link_flits[kind] = self.link_flits.get(kind, 0) + 1
         self.link_mm_weighted[kind] = (
@@ -79,6 +95,20 @@ class EventCounts:
         )
         if channel is not None:
             self.channel_flits[channel] = self.channel_flits.get(channel, 0) + 1
+        if active_layers is not None:
+            self.link_mm_by_layers[active_layers] = (
+                self.link_mm_by_layers.get(active_layers, 0.0) + length_mm
+            )
+
+    @staticmethod
+    def events_at_layer(by_layers: Dict[int, int], layer: int) -> int:
+        """Events during which datapath *layer* switched.
+
+        Valid data fills word groups bottom-up, so layer ``l`` (0-based,
+        0 = the always-on top group) toggles exactly for events whose
+        effective active-layer count exceeds ``l``.
+        """
+        return sum(count for k, count in by_layers.items() if k > layer)
 
     def copy(self) -> "EventCounts":
         """Deep-enough snapshot of every counter.

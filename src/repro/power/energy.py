@@ -9,7 +9,7 @@ exactly the Orion-into-NoC-simulator flow the paper describes (Sec. 4).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Tuple
 
 from repro.core.arch import ArchitectureConfig
 from repro.core.shutdown import DETECTOR_OVERHEAD
@@ -96,5 +96,139 @@ def power_report(
         name=config.name,
         dynamic_w=dynamic,
         leakage_w=leakage,
+        breakdown_w=breakdown,
+    )
+
+
+@dataclass(frozen=True)
+class LayerPowerReport:
+    """Average network power resolved per datapath layer.
+
+    The simulated counterpart of the analytic Fig. 13b model: built from
+    the layer histograms in :class:`~repro.noc.stats.EventCounts` (one
+    count per event per *effective* active-layer count), so the per-layer
+    split reflects the traffic the simulator actually carried rather than
+    an expected-value formula.  Layer 0 is the always-on top word group;
+    non-separable energy (arbitration, control, the zero detectors) is
+    charged to it, since that logic lives on the control layer and is
+    never gated.
+    """
+
+    name: str
+    #: Dynamic power per datapath layer (index 0 = top), W.
+    layer_dynamic_w: Tuple[float, ...]
+    leakage_w: float
+    #: Dynamic power the same event stream would have drawn with every
+    #: layer switching on every event (raw counts, no detector
+    #: overhead) — the shutdown-off baseline from the *same* run.
+    all_layers_on_dynamic_w: float
+    #: Per-component totals summed over layers (same keys as
+    #: :attr:`PowerReport.breakdown_w`).
+    breakdown_w: Dict[str, float]
+
+    @property
+    def dynamic_w(self) -> float:
+        return sum(self.layer_dynamic_w)
+
+    @property
+    def total_w(self) -> float:
+        return self.dynamic_w + self.leakage_w
+
+    @property
+    def shutdown_saving_fraction(self) -> float:
+        """Fraction of dynamic power saved vs the all-layers-on baseline
+        (the simulated Fig. 13b quantity; detector overhead included)."""
+        if self.all_layers_on_dynamic_w <= 0.0:
+            return 0.0
+        return 1.0 - self.dynamic_w / self.all_layers_on_dynamic_w
+
+
+def layer_power_report(
+    config: ArchitectureConfig,
+    events: EventCounts,
+    window_cycles: int,
+    shutdown_enabled: bool = True,
+) -> LayerPowerReport:
+    """Per-layer average power implied by *events* over *window_cycles*.
+
+    Separable modules (buffers, crossbar, links) are sliced evenly
+    across the ``layer_groups`` word groups; a slice on layer ``l``
+    switches exactly for the events whose effective active-layer count
+    exceeds ``l`` (:meth:`EventCounts.events_at_layer`).  Summed over
+    layers this reproduces :func:`power_report`'s weighted totals (up to
+    float association order), so the two views stay mutually consistent.
+    """
+    if window_cycles <= 0:
+        raise ValueError(f"window_cycles must be positive, got {window_cycles}")
+    model = RouterEnergyModel.for_config(config)
+    groups = max(
+        [1]
+        + list(events.buffer_writes_by_layers)
+        + list(events.buffer_reads_by_layers)
+        + list(events.xbar_traversals_by_layers)
+        + list(events.link_mm_by_layers)
+    )
+    window_s = window_cycles * tech.CYCLE_S
+
+    # Non-separable energy rides on the top layer.
+    e_arb = (
+        events.va_allocations * model.va_allocation_j
+        + events.sa_allocations * model.sa_allocation_j
+        + events.rc_computations * model.rc_compute_j
+    )
+    e_control = events.flit_hops * model.control_j
+    e_full_sep = (
+        events.buffer_writes * model.buffer_write_j
+        + events.buffer_reads * model.buffer_read_j
+        + events.xbar_traversals * model.xbar_traversal_j
+    )
+    e_detector = DETECTOR_OVERHEAD * e_full_sep if shutdown_enabled else 0.0
+
+    layer_w = []
+    e_buffer = e_xbar = e_link = 0.0
+    for layer in range(groups):
+        slice_buffer = (
+            EventCounts.events_at_layer(events.buffer_writes_by_layers, layer)
+            * model.buffer_write_j
+            + EventCounts.events_at_layer(events.buffer_reads_by_layers, layer)
+            * model.buffer_read_j
+        ) / groups
+        slice_xbar = (
+            EventCounts.events_at_layer(events.xbar_traversals_by_layers, layer)
+            * model.xbar_traversal_j
+        ) / groups
+        slice_link = (
+            EventCounts.events_at_layer(events.link_mm_by_layers, layer)
+            * model.link_j_per_mm
+        ) / groups
+        e_buffer += slice_buffer
+        e_xbar += slice_xbar
+        e_link += slice_link
+        e_layer = slice_buffer + slice_xbar + slice_link
+        if layer == 0:
+            e_layer += e_arb + e_control + e_detector
+        layer_w.append(e_layer / window_s)
+
+    # All-layers-on baseline: raw separable counts, raw link millimetres
+    # (the per-k histogram summed ignoring k), no detector overhead.
+    e_link_raw = sum(events.link_mm_by_layers.values()) * model.link_j_per_mm
+    all_on = (e_full_sep + e_link_raw + e_arb + e_control) / window_s
+    breakdown = {
+        "buffer": e_buffer / window_s,
+        "crossbar": e_xbar / window_s,
+        "link": e_link / window_s,
+        "arbitration": (e_arb + e_detector) / window_s,
+        "control": e_control / window_s,
+    }
+    leakage = (
+        router_area(config).total_mm2
+        * tech.LEAKAGE_W_PER_MM2
+        * config.num_nodes
+    )
+    return LayerPowerReport(
+        name=config.name,
+        layer_dynamic_w=tuple(layer_w),
+        leakage_w=leakage,
+        all_layers_on_dynamic_w=all_on,
         breakdown_w=breakdown,
     )

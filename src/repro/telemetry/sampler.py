@@ -35,7 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Set, TYPE_CHECKING
 
-from repro.noc.stats import StatsCursor
+from repro.noc.stats import EventCounts, StatsCursor
 from repro.telemetry.export import (
     ChromeTraceBuilder,
     MetricsJsonlWriter,
@@ -260,6 +260,13 @@ class NetworkTelemetry:
         self._g_throughput = reg.gauge("rate.throughput")
         self._g_link_util = reg.gauge("link.utilization")
         self._g_layers = reg.gauge("layers.active_fraction")
+        #: Per-datapath-layer duty cycle: fraction of the window's
+        #: crossbar traversals that actually drove layer i (measured
+        #: from the layer-resolved histogram, layer 0 = always-on top).
+        self._g_layer_frac = [
+            reg.gauge(f"layers.l{i}.active_fraction")
+            for i in range(network.layer_groups)
+        ]
         self._g_short = reg.gauge("flits.short_ratio")
         self._h_latency = reg.histogram("latency.cycles")
         if config.arch_config is not None:
@@ -413,13 +420,23 @@ class NetworkTelemetry:
         )
 
         # Layer-shutdown signals: mean fraction of word groups actually
-        # switched per crossbar traversal, and the short-flit share.
+        # switched per crossbar traversal, the per-layer duty cycles
+        # (both measured from the layer-resolved histogram), and the
+        # short-flit share.
         if delta.xbar_traversals:
             self._g_layers.set(
                 delta.xbar_traversals_weighted / delta.xbar_traversals
             )
+            by_layers = delta.xbar_traversals_by_layers
+            for layer, gauge in enumerate(self._g_layer_frac):
+                gauge.set(
+                    EventCounts.events_at_layer(by_layers, layer)
+                    / delta.xbar_traversals
+                )
         else:
             self._g_layers.set(None)
+            for gauge in self._g_layer_frac:
+                gauge.set(None)
         self._g_short.set(
             delta.short_flit_fraction if delta.flit_hops else None
         )

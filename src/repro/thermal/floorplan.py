@@ -84,12 +84,34 @@ def floorplan_for(
     router_power_w: Optional[Sequence[float]] = None,
     cpu_power_w: float = tech.CPU_CORE_POWER_W,
     cache_power_w: float = tech.CACHE_BANK_POWER_W,
+    router_layer_power_w: Optional[Sequence[Sequence[float]]] = None,
 ) -> Floorplan:
     """Build the thermal floorplan for *config*.
 
     Args:
         router_power_w: per-node router power (W); defaults to zero.
+        router_layer_power_w: per-node, per-datapath-layer router power
+            (W) from a layer-resolved simulation
+            (:meth:`~repro.experiments.runner.PointResult.
+            router_layer_power_per_node`).  For multi-layer
+            configurations this replaces the constant
+            :data:`MULTILAYER_ROUTER_SPLIT` with the split the traffic
+            actually produced (datapath layer 0 = thermal layer 0, the
+            always-on top group on the heat-sink side); planar/3DB
+            floorplans collapse it by summing over layers.  Mutually
+            exclusive with ``router_power_w``.
     """
+    if router_layer_power_w is not None:
+        if router_power_w is not None:
+            raise ValueError(
+                "pass router_power_w or router_layer_power_w, not both"
+            )
+        if len(router_layer_power_w) != config.num_nodes:
+            raise ValueError(
+                f"need {config.num_nodes} router layer-power rows, "
+                f"got {len(router_layer_power_w)}"
+            )
+        router_power_w = [sum(row) for row in router_layer_power_w]
     if router_power_w is None:
         router_power_w = [0.0] * config.num_nodes
     if len(router_power_w) != config.num_nodes:
@@ -133,20 +155,31 @@ def floorplan_for(
         )
 
     # Multi-layer: cores/caches split evenly across layers, routers per
-    # the layer plan split.
+    # the simulated layer map when one is given, else the layer plan
+    # split.
     layers = config.layers
     power = np.zeros((layers, height, width))
     cpu_set = set(config.cpu_nodes)
     split = MULTILAYER_ROUTER_SPLIT
     if len(split) != layers:
         split = tuple(1.0 / layers for _ in range(layers))
+    if router_layer_power_w is not None:
+        for row in router_layer_power_w:
+            if len(row) != layers:
+                raise ValueError(
+                    f"layer-power rows must have {layers} entries, "
+                    f"got {len(row)}"
+                )
     for node in range(config.num_nodes):
         y, x = divmod(node, width)
         core = cpu_power_w if node in cpu_set else cache_power_w
         for layer in range(layers):
-            power[layer, y, x] = (
-                core / layers + router_power_w[node] * split[layer]
+            router_watts = (
+                router_layer_power_w[node][layer]
+                if router_layer_power_w is not None
+                else router_power_w[node] * split[layer]
             )
+            power[layer, y, x] = core / layers + router_watts
     return Floorplan(
         name=config.name,
         layers=layers,

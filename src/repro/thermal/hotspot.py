@@ -26,13 +26,19 @@ def steady_state(
     config: ArchitectureConfig,
     router_power_w: Optional[Sequence[float]] = None,
     params: StackParameters = StackParameters(),
+    router_layer_power_w: Optional[Sequence[Sequence[float]]] = None,
 ) -> ThermalResult:
     """Solve the steady-state thermal field for one configuration.
 
     ``router_power_w`` is the per-node router power from the NoC
-    simulation (CPU/cache tile power is added per Sec. 4.2.3).
+    simulation (CPU/cache tile power is added per Sec. 4.2.3);
+    ``router_layer_power_w`` is the per-node-per-layer alternative from
+    a layer-resolved simulation (mutually exclusive — see
+    :func:`~repro.thermal.floorplan.floorplan_for`).
     """
-    floorplan = floorplan_for(config, router_power_w)
+    floorplan = floorplan_for(
+        config, router_power_w, router_layer_power_w=router_layer_power_w
+    )
     grid = ThermalGrid(floorplan, params)
     temps = grid.solve()
     avg, peak, per_layer = grid.stats(temps)
@@ -47,15 +53,25 @@ def steady_state(
 
 def temperature_drop(
     config: ArchitectureConfig,
-    router_power_base_w: Sequence[float],
-    router_power_reduced_w: Sequence[float],
+    router_power_base_w: Optional[Sequence[float]] = None,
+    router_power_reduced_w: Optional[Sequence[float]] = None,
     params: StackParameters = StackParameters(),
+    router_layer_power_base_w: Optional[Sequence[Sequence[float]]] = None,
+    router_layer_power_reduced_w: Optional[Sequence[Sequence[float]]] = None,
 ) -> float:
     """Average temperature reduction when router power drops (Fig. 13c).
 
-    The two power vectors are typically the same workload simulated with
-    0% and 50% short flits (layer shutdown off/on).
+    The two power maps are typically the same workload simulated with
+    0% and 50% short flits (layer shutdown off/on) — flat per-node
+    vectors, or per-node-per-layer maps from the layer-resolved
+    simulation path (pass one form per side, not both).
     """
-    base = steady_state(config, router_power_base_w, params)
-    reduced = steady_state(config, router_power_reduced_w, params)
+    base = steady_state(
+        config, router_power_base_w, params,
+        router_layer_power_w=router_layer_power_base_w,
+    )
+    reduced = steady_state(
+        config, router_power_reduced_w, params,
+        router_layer_power_w=router_layer_power_reduced_w,
+    )
     return base.avg_k - reduced.avg_k

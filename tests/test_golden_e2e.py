@@ -78,8 +78,15 @@ def digest_payload(point: PointResult) -> Dict[str, Any]:
             "va_allocations": events.va_allocations,
             "sa_allocations": events.sa_allocations,
             "link_flits": dict(events.link_flits),
+            "buffer_writes_by_layers": dict(events.buffer_writes_by_layers),
+            "buffer_reads_by_layers": dict(events.buffer_reads_by_layers),
+            "xbar_traversals_by_layers": dict(events.xbar_traversals_by_layers),
+            "flit_hops_by_layers": dict(events.flit_hops_by_layers),
+            "link_mm_by_layers": dict(events.link_mm_by_layers),
         },
         "node_activity": list(point.node_activity),
+        "node_layer_activity": [list(row) for row in point.node_layer_activity],
+        "layer_dynamic_w": list(point.layer_power.layer_dynamic_w),
         "accepted_throughput": point.sim.accepted_throughput,
         "cycles": point.sim.cycles,
     }

@@ -187,7 +187,7 @@ class TestSeededFaults:
         assert found, "traffic never built a 3-flit same-packet run"
         router, unit, index = found
         victim = unit.buffer.flits()[index]
-        del unit.buffer._fifo[index]
+        del unit.buffer.fifo[index]
 
         with pytest.raises(SanityError) as excinfo:
             network.sanitizer.audit(network.cycle)

@@ -26,6 +26,11 @@ def _populated() -> EventCounts:
     ev.channel_flits = {(0, 1): 4, (1, 2): 1}
     ev.short_flit_hops = 6
     ev.flit_hops = 13
+    ev.buffer_writes_by_layers = {1: 4, 4: 3}
+    ev.buffer_reads_by_layers = {1: 3, 4: 2}
+    ev.xbar_traversals_by_layers = {2: 6, 4: 3}
+    ev.flit_hops_by_layers = {1: 6, 4: 7}
+    ev.link_mm_by_layers = {1: 2.5, 4: 4.0}
     return ev
 
 

@@ -244,6 +244,28 @@ def test_active_layer_fraction_responds_to_short_flits(tmp_path):
     assert short < full - 0.1
 
 
+def test_per_layer_active_fraction_gauges(tmp_path):
+    """Layer-resolved gauges: the top layer is always on; deeper layers'
+    duty fraction falls monotonically (a layer switches for a subset of
+    the events that switch the layer above it)."""
+    path = tmp_path / "layers.jsonl"
+    _run_3dm(TelemetryConfig(interval=100, metrics_path=str(path)), short=0.8)
+    samples = [
+        r for r in map(json.loads, path.read_text().splitlines())
+        if r["type"] == "sample"
+        and r["gauges"].get("layers.l0.active_fraction") is not None
+    ]
+    assert samples, "no windows carried crossbar traffic"
+    for sample in samples:
+        fractions = [
+            sample["gauges"][f"layers.l{i}.active_fraction"]
+            for i in range(4)
+        ]
+        assert fractions[0] == pytest.approx(1.0)
+        assert all(0.0 <= f <= 1.0 for f in fractions)
+        assert all(a >= b for a, b in zip(fractions, fractions[1:]))
+
+
 def test_trace_json_schema_and_nesting(tmp_path):
     trace_path = tmp_path / "trace.json"
     result = _run_3dm(
