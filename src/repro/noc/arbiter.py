@@ -19,6 +19,8 @@ from typing import List, Optional, Sequence
 class RoundRobinArbiter:
     """Rotating-priority arbiter over *size* requesters."""
 
+    __slots__ = ("size", "_next")
+
     def __init__(self, size: int) -> None:
         if size < 1:
             raise ValueError(f"arbiter size must be >= 1, got {size}")

@@ -147,8 +147,6 @@ class Network:
             )
             for node in topology.iter_nodes()
         ]
-        for router in self.routers:
-            router.attach(self)
 
         # Upstream (src node, src out-port) feeding each (node, in-port),
         # resolved once so per-flit credit returns skip the string-keyed
@@ -180,6 +178,11 @@ class Network:
         #: through ``receive_flit``, which wakes them here), so the flag
         #: can be toggled at any time without losing work.
         self._active_routers: Set[int] = set()
+
+        # Attach after the wheels / credit targets / active set exist:
+        # routers alias their slot lists directly (hot-path appends).
+        for router in self.routers:
+            router.attach(self)
         self.active_scheduling = active_scheduling
         #: Attach a :class:`~repro.noc.profiling.NetworkProfiler` to
         #: collect cycles/sec, active-router ratio and per-phase wall

@@ -46,7 +46,7 @@ class FlitType(enum.Enum):
     SINGLE = "single"
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One network packet.
 
@@ -127,7 +127,7 @@ class Packet:
         return self.delivered_cycle - self.created_cycle
 
 
-@dataclass
+@dataclass(slots=True)
 class Flit:
     """One flow-control unit of a packet."""
 
@@ -152,10 +152,13 @@ class Flit:
     #: wrap-around channel (forces the escape VC from then on).
     wrapped_x: bool = False
     wrapped_y: bool = False
+    #: Cached flit-type predicates, derived from ``kind`` in
+    #: ``__post_init__``: the router pipeline consults these on every
+    #: traversal and flit type never changes after creation.
+    is_head: bool = field(init=False, default=False)
+    is_tail: bool = field(init=False, default=False)
 
     def __post_init__(self) -> None:
-        # Cached as plain attributes: the router pipeline consults these
-        # on every traversal and flit type never changes after creation.
         self.is_head = self.kind is FlitType.HEAD or self.kind is FlitType.SINGLE
         self.is_tail = self.kind is FlitType.TAIL or self.kind is FlitType.SINGLE
         if self.active_groups < 1:

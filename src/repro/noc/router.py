@@ -12,6 +12,17 @@ cycle ``c`` the flit reaches the next router's input buffer ready for RC
 at ``c + 2`` when ST and LT are merged (the 3DM/3DM-E single-stage
 traversal of Fig. 8d) or ``c + 3`` otherwise, which yields the paper's
 4-cycle vs 5-cycle per-hop latency.
+
+Hot-path layout (the event-driven engine): per-VC pipeline state lives in
+flat parallel arrays on the router — ``vc_state`` / ``vc_ready`` /
+``vc_out_port`` / ``vc_out_vc`` / ``vc_fifos`` indexed by
+``port * num_vcs + vc`` — not in per-VC objects.  Together with the
+``Network.routers`` list this is a structure-of-arrays keyed by
+``(node, port, vc)``: :meth:`step` runs tight loops over plain list
+slots instead of chasing attributes through thousands of tiny objects.
+:class:`_InputVC` remains as a read/write *view* of one slot so audits
+(sanitizer), telemetry sampling, and corruption-injection tests keep a
+stable object surface; mutating a view mutates the flat arrays.
 """
 
 from __future__ import annotations
@@ -46,18 +57,55 @@ ST_LT_SPLIT_CYCLES = 3
 
 
 class _InputVC:
-    """State machine for one (input port, VC) pair."""
+    """View of one (input port, VC) pair's slot in the flat arrays.
 
-    __slots__ = ("port", "vc", "buffer", "state", "out_port", "out_vc", "ready_cycle")
+    The pipeline state itself lives in the router's ``vc_*`` arrays;
+    reading or writing ``state`` / ``out_port`` / ``out_vc`` /
+    ``ready_cycle`` here goes straight through to those arrays, so audit
+    code and fault-injection tests observe and perturb exactly what the
+    engine executes on.
+    """
 
-    def __init__(self, port: int, vc: int, depth: int) -> None:
+    __slots__ = ("_router", "_i", "port", "vc", "buffer")
+
+    def __init__(self, router: "Router", port: int, vc: int) -> None:
+        self._router = router
+        self._i = port * router.num_vcs + vc
         self.port = port
         self.vc = vc
-        self.buffer = VirtualChannelBuffer(depth)
-        self.state = _IDLE
-        self.out_port: int = -1
-        self.out_vc: int = -1
-        self.ready_cycle = 0
+        self.buffer = router.vc_buffers[self._i]
+
+    @property
+    def state(self) -> int:
+        return self._router.vc_state[self._i]
+
+    @state.setter
+    def state(self, value: int) -> None:
+        self._router.vc_state[self._i] = value
+
+    @property
+    def out_port(self) -> int:
+        return self._router.vc_out_port[self._i]
+
+    @out_port.setter
+    def out_port(self, value: int) -> None:
+        self._router.vc_out_port[self._i] = value
+
+    @property
+    def out_vc(self) -> int:
+        return self._router.vc_out_vc[self._i]
+
+    @out_vc.setter
+    def out_vc(self, value: int) -> None:
+        self._router.vc_out_vc[self._i] = value
+
+    @property
+    def ready_cycle(self) -> int:
+        return self._router.vc_ready[self._i]
+
+    @ready_cycle.setter
+    def ready_cycle(self, value: int) -> None:
+        self._router.vc_ready[self._i] = value
 
 
 class Router:
@@ -125,8 +173,20 @@ class Router:
         self.num_ports = len(self.port_names)
         self.local_port = self.port_index[LOCAL_PORT]
 
+        # Flat per-VC hot-path state, indexed by port * num_vcs + vc.
+        units = self.num_ports * num_vcs
+        self.vc_state: List[int] = [_IDLE] * units
+        self.vc_ready: List[int] = [0] * units
+        self.vc_out_port: List[int] = [-1] * units
+        self.vc_out_vc: List[int] = [-1] * units
+        self.vc_buffers: List[VirtualChannelBuffer] = [
+            VirtualChannelBuffer(buffer_depth) for _ in range(units)
+        ]
+        #: Aliases of ``vc_buffers[i].fifo`` — the engine tests emptiness
+        #: and pops through these without touching the buffer objects.
+        self.vc_fifos = [buf.fifo for buf in self.vc_buffers]
         self.in_vcs: List[_InputVC] = [
-            _InputVC(p, v, buffer_depth)
+            _InputVC(self, p, v)
             for p in range(self.num_ports)
             for v in range(num_vcs)
         ]
@@ -147,9 +207,27 @@ class Router:
 
         self._va = VirtualChannelAllocator(self.num_ports, num_vcs)
         self._sa = SwitchAllocator(self.num_ports, num_vcs)
+        # Pre-resolved arbiter objects so the fast paths rotate pointers
+        # without dict lookups (same instances the allocators scan).
+        self._va1_arbs = [
+            self._va._va1[(p, v)]
+            for p in range(self.num_ports)
+            for v in range(num_vcs)
+        ]
+        self._va2_arbs = [
+            self._va._va2[(p, v)]
+            for p in range(self.num_ports)
+            for v in range(num_vcs)
+        ]
+        self._sa1_arbs = list(self._sa._sa1)
+        self._sa2_arbs = list(self._sa._sa2)
         self._hop_cycles = (
             ST_LT_MERGED_CYCLES if combined_st_lt else ST_LT_SPLIT_CYCLES
         )
+        #: Activity weight k/L for each effective layer count k (index
+        #: 0 unused) — the same dyadic float the legacy per-event
+        #: division produced, computed once.
+        self._w_table = [k / layer_groups for k in range(layer_groups + 1)]
         #: Flits this router has switched (for per-node power/thermal maps).
         self.flits_switched = 0
         #: Histogram of switched flits by *effective* active-layer count:
@@ -193,6 +271,20 @@ class Router:
                 self._link_args.append(
                     (link.kind.value, link.length_mm, (link.src, link.dst))
                 )
+        # Direct slot aliases into the network's timing wheels and
+        # active-router set.  Every in-simulator delay (credit return 1,
+        # ejection 1, hop 2-3) is far inside the wheel horizon, so the
+        # traversal hot path appends into the due slot directly instead
+        # of going through TimingWheel.push; the wheels' slot *list*
+        # objects are stable (pop_due swaps the inner lists only).
+        self._arr_slots = network._arrivals._slots
+        self._arr_size = network._arrivals._size
+        self._credit_slots = network._credits._slots
+        self._credit_size = network._credits._size
+        self._ej_slots = network._ejections._slots
+        self._ej_size = network._ejections._size
+        self._wake_add = network._active_routers.add
+        self._upstream = network._credit_targets[self.node]
 
     # -- helpers -----------------------------------------------------------
 
@@ -230,19 +322,23 @@ class Router:
 
     def free_local_vc(self) -> Optional[int]:
         """An idle, empty local-port VC available for injection."""
+        base = self.local_port * self.num_vcs
+        vc_state = self.vc_state
+        vc_fifos = self.vc_fifos
         for v in range(self.num_vcs):
-            unit = self._vc(self.local_port, v)
-            if unit.state == _IDLE and unit.buffer.is_empty:
+            i = base + v
+            if vc_state[i] == _IDLE and not vc_fifos[i]:
                 return v
         return None
 
     def free_local_vc_is(self, vc: int) -> bool:
         """True when the specific local VC is idle and empty."""
-        unit = self._vc(self.local_port, vc)
-        return unit.state == _IDLE and unit.buffer.is_empty
+        i = self.local_port * self.num_vcs + vc
+        return self.vc_state[i] == _IDLE and not self.vc_fifos[i]
 
     def local_vc_has_space(self, vc: int) -> bool:
-        return not self._vc(self.local_port, vc).buffer.is_full
+        fifo = self.vc_fifos[self.local_port * self.num_vcs + vc]
+        return len(fifo) < self.buffer_depth
 
     @property
     def busy(self) -> bool:
@@ -261,14 +357,23 @@ class Router:
 
     def occupancy(self) -> int:
         """Total buffered flits, across all input VCs."""
-        return sum(len(unit.buffer) for unit in self.in_vcs)
+        return sum(len(fifo) for fifo in self.vc_fifos)
 
     # -- flit reception ----------------------------------------------------
 
     def receive_flit(self, port: int, vc: int, flit: Flit, cycle: int) -> None:
         """Write an arriving flit into its input VC buffer."""
-        unit = self.in_vcs[port * self.num_vcs + vc]
-        unit.buffer.push(flit)
+        i = port * self.num_vcs + vc
+        # VirtualChannelBuffer.push, inlined for the hot path (the
+        # buffer's write counter stays truthful for power accounting).
+        fifo = self.vc_fifos[i]
+        if len(fifo) >= self.buffer_depth:
+            raise OverflowError(
+                "buffer overflow: credit-based flow control should make this "
+                "impossible"
+            )
+        fifo.append(flit)
+        self.vc_buffers[i].writes += 1
         ev = self.events
         # Effective active-layer count: with shutdown disabled every
         # layer switches regardless of payload.  k/layer_groups is the
@@ -277,10 +382,10 @@ class Router:
         # float stay mutually consistent bit-for-bit.
         k = flit.active_groups if self.shutdown_enabled else self.layer_groups
         ev.buffer_writes += 1
-        ev.buffer_writes_weighted += k / self.layer_groups
+        ev.buffer_writes_weighted += self._w_table[k]
         by_layers = ev.buffer_writes_by_layers
         by_layers[k] = by_layers.get(k, 0) + 1
-        if unit.state == _IDLE:
+        if self.vc_state[i] == _IDLE:
             if not flit.is_head:
                 raise RuntimeError(
                     f"router {self.node}: body flit arrived on idle VC "
@@ -288,18 +393,18 @@ class Router:
                 )
             if self.lookahead_rc and flit.lookahead_port is not None:
                 # The route travelled with the flit: skip straight to VA.
-                unit.out_port = self.port_index[flit.lookahead_port]
-                unit.state = _VA
+                self.vc_out_port[i] = self.port_index[flit.lookahead_port]
+                self.vc_state[i] = _VA
                 self._n_va += 1
             else:
-                unit.state = _RC
+                self.vc_state[i] = _RC
                 self._n_rc += 1
-            unit.ready_cycle = cycle
-        self._active.add(port * self.num_vcs + vc)
+            self.vc_ready[i] = cycle
+        self._active.add(i)
         # Wakeup protocol: every flit reception (re-)activates this
         # router with the network's scheduler.
         if self._network is not None:
-            self._network.wake(self.node)
+            self._wake_add(self.node)
 
     def receive_credit(self, port: int, vc: int) -> None:
         credits = self.credits[port]
@@ -317,53 +422,135 @@ class Router:
         active = self._active
         if not active:
             return
-        in_vcs = self.in_vcs
-        active_units = [in_vcs[i] for i in sorted(active)]
-
-        # --- RC stage --- (skipped when no VC is in the RC state; an
-        # empty pass is a no-op, so the skip is bit-identical)
-        if self._n_rc:
-            for unit in active_units:
-                if unit.state == _RC and unit.ready_cycle <= cycle:
-                    flit = unit.buffer.front()
-                    if flit is None:
-                        continue
+        if len(active) == 1:
+            # Dominant case (one VC streaming): dispatch on its state
+            # directly, skipping the sort and the three stage scans.
+            # Stage behaviour, arbiter pointer updates, and counter
+            # maintenance are identical to the general path below.
+            (i,) = active
+            if self.vc_ready[i] > cycle:
+                return
+            state = self.vc_state[i]
+            num_vcs = self.num_vcs
+            if state == _ACTIVE:
+                fifo = self.vc_fifos[i]
+                if fifo:
+                    out_port = self.vc_out_port[i]
+                    credits = self.credits[out_port]
+                    if credits is None or credits[self.vc_out_vc[i]] > 0:
+                        in_port = i // num_vcs
+                        self._sa1_arbs[in_port]._next = (
+                            i - in_port * num_vcs + 1
+                        ) % num_vcs
+                        self._sa2_arbs[out_port]._next = (
+                            in_port + 1
+                        ) % self.num_ports
+                        self._traverse_flat(i, in_port, cycle)
+                return
+            if state == _RC:
+                fifo = self.vc_fifos[i]
+                if fifo:
+                    flit = fifo[0]
                     if self._adaptive:
-                        unit.out_port = self._pick_adaptive_port(flit.packet.dst)
-                    else:
-                        port_name = self.routing.output_port(
-                            self.node, flit.packet.dst
+                        self.vc_out_port[i] = self._pick_adaptive_port(
+                            flit.packet.dst
                         )
-                        unit.out_port = self.port_index[port_name]
-                    unit.state = _VA
-                    unit.ready_cycle = cycle + 1
+                    else:
+                        self.vc_out_port[i] = self.port_index[
+                            self.routing.output_port(
+                                self.node, flit.packet.dst
+                            )
+                        ]
+                    self.vc_state[i] = _VA
+                    self.vc_ready[i] = cycle + 1
                     self._n_rc -= 1
                     self._n_va += 1
                     self.events.rc_computations += 1
                     if self._stage_callbacks:
                         for callback in self._stage_callbacks:
                             callback(cycle, self.node, flit, "rc")
+                return
+            if state == _VA:
+                if self._va_single(i, cycle) and self.speculative_sa:
+                    # Speculative SA (Fig. 8b): the freshly granted VC
+                    # bids for the crossbar in the same cycle.
+                    fifo = self.vc_fifos[i]
+                    if fifo:
+                        out_port = self.vc_out_port[i]
+                        credits = self.credits[out_port]
+                        if (
+                            credits is None
+                            or credits[self.vc_out_vc[i]] > 0
+                        ):
+                            in_port = i // num_vcs
+                            self._sa1_arbs[in_port]._next = (
+                                i - in_port * num_vcs + 1
+                            ) % num_vcs
+                            self._sa2_arbs[out_port]._next = (
+                                in_port + 1
+                            ) % self.num_ports
+                            self._traverse_flat(i, in_port, cycle)
+                return
+            return
+        order = sorted(active)
+        vc_state = self.vc_state
+        vc_ready = self.vc_ready
+        vc_out_port = self.vc_out_port
+        vc_out_vc = self.vc_out_vc
+        vc_fifos = self.vc_fifos
+        num_vcs = self.num_vcs
+
+        # --- RC stage --- (skipped when no VC is in the RC state; an
+        # empty pass is a no-op, so the skip is bit-identical)
+        if self._n_rc:
+            adaptive = self._adaptive
+            routing_output = self.routing.output_port
+            port_index = self.port_index
+            node = self.node
+            ev = self.events
+            callbacks = self._stage_callbacks
+            for i in order:
+                if vc_state[i] == _RC and vc_ready[i] <= cycle:
+                    fifo = vc_fifos[i]
+                    if not fifo:
+                        continue
+                    flit = fifo[0]
+                    if adaptive:
+                        vc_out_port[i] = self._pick_adaptive_port(
+                            flit.packet.dst
+                        )
+                    else:
+                        vc_out_port[i] = port_index[
+                            routing_output(node, flit.packet.dst)
+                        ]
+                    vc_state[i] = _VA
+                    vc_ready[i] = cycle + 1
+                    self._n_rc -= 1
+                    self._n_va += 1
+                    ev.rc_computations += 1
+                    if callbacks:
+                        for callback in callbacks:
+                            callback(cycle, node, flit, "rc")
 
         # --- VA stage ---
         if self._n_va:
-            requests: List[VARequest] = []
-            for unit in active_units:
-                if unit.state == _VA and unit.ready_cycle <= cycle:
-                    allowed = None
-                    flit = unit.buffer.front()
-                    if flit is not None:
-                        if self._vc_discipline:
-                            allowed = tuple(
-                                self.routing.allowed_vcs(
-                                    flit, self.node, self.port_names[unit.out_port]
-                                )
-                            )
-                        elif self.vc_by_class:
-                            allowed = (self._class_vc(flit),)
-                    requests.append(
-                        VARequest(unit.port, unit.vc, unit.out_port, allowed)
+            va_units = [
+                i
+                for i in order
+                if vc_state[i] == _VA and vc_ready[i] <= cycle
+            ]
+            if len(va_units) == 1:
+                self._va_single(va_units[0], cycle)
+            elif va_units:
+                requests = [
+                    VARequest(
+                        i // num_vcs,
+                        i % num_vcs,
+                        vc_out_port[i],
+                        self._allowed_vcs(i, vc_out_port[i], vc_fifos),
                     )
-            if requests:
+                    for i in va_units
+                ]
                 free = {
                     req.out_port: [
                         owner is None for owner in self.out_owner[req.out_port]
@@ -372,64 +559,230 @@ class Router:
                 }
                 grants = self._va.allocate(requests, free)
                 for (in_port, in_vc), (out_port, out_vc) in grants.items():
-                    unit = self._vc(in_port, in_vc)
-                    unit.out_vc = out_vc
-                    unit.state = _ACTIVE
-                    # Speculative switch allocation (Fig. 8b): the flit bids
-                    # for the crossbar in the same cycle its VC is granted.
-                    unit.ready_cycle = cycle if self.speculative_sa else cycle + 1
-                    self.out_owner[out_port][out_vc] = (in_port, in_vc)
-                    self._n_va -= 1
-                    self._n_active += 1
-                    self.events.va_allocations += 1
-                    if self._stage_callbacks:
-                        granted = unit.buffer.front()
-                        if granted is not None:
-                            for callback in self._stage_callbacks:
-                                callback(cycle, self.node, granted, "va")
+                    self._apply_va_grant(
+                        in_port * num_vcs + in_vc, out_port, out_vc, cycle
+                    )
 
         # --- SA + ST stage ---
         if self._n_active:
-            sa_requests: List[SARequest] = []
             credits_by_port = self.credits
-            for unit in active_units:
+            sa_units: List[int] = []
+            for i in order:
                 if (
-                    unit.state == _ACTIVE
-                    and unit.ready_cycle <= cycle
-                    and unit.buffer.fifo  # non-empty; hot-path inline
+                    vc_state[i] == _ACTIVE
+                    and vc_ready[i] <= cycle
+                    and vc_fifos[i]  # non-empty; hot-path inline
                 ):
-                    credits = credits_by_port[unit.out_port]
-                    if credits is None or credits[unit.out_vc] > 0:
-                        sa_requests.append(
-                            SARequest(unit.port, unit.vc, unit.out_port)
-                        )
-            if sa_requests:
-                priorities = None
-                if self.qos_enabled:
-                    priorities = {}
-                    for req in sa_requests:
-                        flit = self._vc(req.in_port, req.in_vc).buffer.front()
-                        if flit is not None:
-                            priorities[(req.in_port, req.in_vc)] = flit.packet.priority
-                for grant in self._sa.allocate(sa_requests, priorities):
-                    self._traverse(grant, cycle)
+                    credits = credits_by_port[vc_out_port[i]]
+                    if credits is None or credits[vc_out_vc[i]] > 0:
+                        sa_units.append(i)
+            n_sa = len(sa_units)
+            if n_sa == 1:
+                # Sole requester wins both stages outright; both arbiters
+                # would grant their only asserted line, so just rotate
+                # pointers (bit-identical to the allocator fast path).
+                i = sa_units[0]
+                in_port = i // num_vcs
+                self._sa1_arbs[in_port]._next = (i % num_vcs + 1) % num_vcs
+                self._sa2_arbs[vc_out_port[i]]._next = (
+                    in_port + 1
+                ) % self.num_ports
+                self._traverse_flat(i, in_port, cycle)
+            elif n_sa == 2:
+                a, b = sa_units
+                a_port, b_port = a // num_vcs, b // num_vcs
+                num_ports = self.num_ports
+                if (
+                    a_port != b_port
+                    and vc_out_port[a] != vc_out_port[b]
+                ):
+                    # Disjoint input and output ports never conflict:
+                    # each is the sole contender in its SA1/SA2 arbiters.
+                    self._sa1_arbs[a_port]._next = (
+                        a % num_vcs + 1
+                    ) % num_vcs
+                    self._sa1_arbs[b_port]._next = (
+                        b % num_vcs + 1
+                    ) % num_vcs
+                    self._sa2_arbs[vc_out_port[a]]._next = (
+                        a_port + 1
+                    ) % num_ports
+                    self._sa2_arbs[vc_out_port[b]]._next = (
+                        b_port + 1
+                    ) % num_ports
+                    self._traverse_flat(a, a_port, cycle)
+                    self._traverse_flat(b, b_port, cycle)
+                elif self.qos_enabled:
+                    # Priority filtering can reshape either arbitration;
+                    # keep the allocator's general path authoritative.
+                    self._sa_general(sa_units, cycle)
+                elif a_port == b_port:
+                    # Two VCs of one input port: SA1 arbitrates, the
+                    # winner is then sole contender at its output port.
+                    # (Same pointer updates as the allocator's general
+                    # path: SA1 scans from its pointer, SA2 sees one
+                    # asserted line, which is a rotation.)
+                    a_vc, b_vc = a % num_vcs, b % num_vcs
+                    arb = self._sa1_arbs[a_port]
+                    nxt = arb._next
+                    w = a
+                    for offset in range(num_vcs):
+                        v = nxt + offset
+                        if v >= num_vcs:
+                            v -= num_vcs
+                        if v == a_vc:
+                            break
+                        if v == b_vc:
+                            w = b
+                            break
+                    arb._next = (w % num_vcs + 1) % num_vcs
+                    self._sa2_arbs[vc_out_port[w]]._next = (
+                        a_port + 1
+                    ) % num_ports
+                    self._traverse_flat(w, a_port, cycle)
+                else:
+                    # Two input ports contending for one output port:
+                    # each wins its SA1 (sole request there — pointer
+                    # rotates for winner AND loser, as in the general
+                    # path), then SA2 picks the input port.
+                    self._sa1_arbs[a_port]._next = (
+                        a % num_vcs + 1
+                    ) % num_vcs
+                    self._sa1_arbs[b_port]._next = (
+                        b % num_vcs + 1
+                    ) % num_vcs
+                    arb = self._sa2_arbs[vc_out_port[a]]
+                    nxt = arb._next
+                    w, w_port = a, a_port
+                    for offset in range(num_ports):
+                        p = nxt + offset
+                        if p >= num_ports:
+                            p -= num_ports
+                        if p == a_port:
+                            break
+                        if p == b_port:
+                            w, w_port = b, b_port
+                            break
+                    arb._next = (w_port + 1) % num_ports
+                    self._traverse_flat(w, w_port, cycle)
+            elif n_sa:
+                self._sa_general(sa_units, cycle)
 
-        # Prune VCs with no buffered flits and no pending pipeline work.
+        # No end-of-step prune: a VC leaves ``_active`` the moment its
+        # last buffered flit is popped (in ``_traverse_flat``), so every
+        # unit in the set has a non-empty FIFO at step entry — the same
+        # membership the legacy end-of-cycle prune produced.
+
+    def _allowed_vcs(
+        self, i: int, out_port: int, vc_fifos
+    ) -> Optional[Tuple[int, ...]]:
+        """Output-VC restriction for the head flit of flat unit *i*."""
+        if self._vc_discipline:
+            fifo = vc_fifos[i]
+            if fifo:
+                return tuple(
+                    self.routing.allowed_vcs(
+                        fifo[0], self.node, self.port_names[out_port]
+                    )
+                )
+        elif self.vc_by_class:
+            fifo = vc_fifos[i]
+            if fifo:
+                return (self._class_vc(fifo[0]),)
+        return None
+
+    def _va_single(self, i: int, cycle: int) -> bool:
+        """VC allocation for a sole requester, on the flat arrays.
+
+        Stage 1 arbitrates among the free output VCs, stage 2 reduces to
+        a pointer rotation — bit-identical to the allocator's own
+        single-request path.  Returns True when a VC was granted.
+        """
         num_vcs = self.num_vcs
-        for unit in active_units:
-            if not unit.buffer.fifo:
-                active.discard(unit.port * num_vcs + unit.vc)
+        out_port = self.vc_out_port[i]
+        owners = self.out_owner[out_port]
+        allowed = self._allowed_vcs(i, out_port, self.vc_fifos)
+        if allowed is None:
+            lines = [owner is None for owner in owners]
+        else:
+            lines = [
+                owner is None and v in allowed
+                for v, owner in enumerate(owners)
+            ]
+        if True not in lines:
+            return False
+        arb = self._va1_arbs[i]
+        nxt = arb._next
+        for offset in range(num_vcs):
+            choice = nxt + offset
+            if choice >= num_vcs:
+                choice -= num_vcs
+            if lines[choice]:
+                arb._next = (choice + 1) % num_vcs
+                self._va2_arbs[out_port * num_vcs + choice]._next = (
+                    i + 1
+                ) % len(self.in_vcs)
+                self._apply_va_grant(i, out_port, choice, cycle)
+                return True
+        return False
 
-    def _traverse(self, grant: SARequest, cycle: int) -> None:
+    def _apply_va_grant(
+        self, i: int, out_port: int, out_vc: int, cycle: int
+    ) -> None:
+        """Commit one VA grant to the flat state (both VA paths)."""
+        self.vc_out_vc[i] = out_vc
+        self.vc_state[i] = _ACTIVE
+        # Speculative switch allocation (Fig. 8b): the flit bids for the
+        # crossbar in the same cycle its VC is granted.
+        self.vc_ready[i] = cycle if self.speculative_sa else cycle + 1
+        num_vcs = self.num_vcs
+        self.out_owner[out_port][out_vc] = (i // num_vcs, i % num_vcs)
+        self._n_va -= 1
+        self._n_active += 1
+        self.events.va_allocations += 1
+        if self._stage_callbacks:
+            fifo = self.vc_fifos[i]
+            if fifo:
+                granted = fifo[0]
+                for callback in self._stage_callbacks:
+                    callback(cycle, self.node, granted, "va")
+
+    def _sa_general(self, sa_units: List[int], cycle: int) -> None:
+        """Contended switch allocation through the separable allocator."""
+        num_vcs = self.num_vcs
+        sa_requests = [
+            SARequest(i // num_vcs, i % num_vcs, self.vc_out_port[i])
+            for i in sa_units
+        ]
+        priorities = None
+        if self.qos_enabled:
+            priorities = {}
+            for req, i in zip(sa_requests, sa_units):
+                fifo = self.vc_fifos[i]
+                if fifo:
+                    priorities[(req.in_port, req.in_vc)] = (
+                        fifo[0].packet.priority
+                    )
+        for grant in self._sa.allocate(sa_requests, priorities):
+            self._traverse_flat(
+                grant.in_port * num_vcs + grant.in_vc, grant.in_port, cycle
+            )
+
+    def _traverse_flat(self, i: int, in_port: int, cycle: int) -> None:
         """Move one flit through the crossbar and onto its output."""
         network = self._network
-        assert network is not None, "router not attached to a network"
-        unit = self.in_vcs[grant.in_port * self.num_vcs + grant.in_vc]
-        flit = unit.buffer.pop()
+        if network is None:
+            raise RuntimeError("router not attached to a network")
+        fifo = self.vc_fifos[i]
+        flit = fifo.popleft()
+        self.vc_buffers[i].reads += 1
+        if not fifo:
+            # Drained: deactivate now (replaces the end-of-step prune).
+            self._active.discard(i)
         # Effective active-layer count (see receive_flit); k/layer_groups
         # is the legacy activity weight, inlined for the hot path.
         k = flit.active_groups if self.shutdown_enabled else self.layer_groups
-        weight = k / self.layer_groups
+        weight = self._w_table[k]
         ev = self.events
         ev.buffer_reads += 1
         ev.buffer_reads_weighted += weight
@@ -447,12 +800,13 @@ class Router:
         self.flits_switched_by_layers[k - 1] += 1
         if flit.active_groups == 1:
             ev.short_flit_hops += 1
+        out_port = self.vc_out_port[i]
         if network.traverse_callbacks:
-            port_name = self.port_names[unit.out_port]
+            port_name = self.port_names[out_port]
             for callback in network.traverse_callbacks:
                 callback(cycle, self.node, flit, port_name)
 
-        out_port, out_vc = unit.out_port, unit.out_vc
+        out_vc = self.vc_out_vc[i]
         credits = self.credits[out_port]
         if credits is not None:
             credits[out_vc] -= 1
@@ -460,16 +814,20 @@ class Router:
                 raise RuntimeError(
                     f"router {self.node}: negative credit on port {out_port}"
                 )
-        if grant.in_port != self.local_port:
-            network.return_credit(self.node, grant.in_port, grant.in_vc, cycle + 1)
+        if in_port != self.local_port:
+            # Credit return, one cycle upstream-bound: direct slot append
+            # (the 1-cycle delay is always inside the wheel horizon).
+            upstream = self._upstream[in_port]
+            self._credit_slots[(cycle + 1) % self._credit_size].append(
+                (upstream[0], upstream[1], i - in_port * self.num_vcs)
+            )
 
         if out_port == self.local_port:
             # Ejection: one ST cycle, no link traversal.
-            network.schedule_ejection(flit, cycle + 1)
+            self._ej_slots[(cycle + 1) % self._ej_size].append(flit)
         else:
             if flit.is_head:
                 link = self.out_links[out_port]
-                assert link is not None
                 flit.packet.hops += 1
                 if self._vc_discipline:
                     self.routing.note_traverse(flit, link)
@@ -481,27 +839,41 @@ class Router:
                     )
                     ev.rc_computations += 1
             kind, length_mm, channel = self._link_args[out_port]
-            ev.count_link(kind, length_mm, weight, channel, k)
+            # count_link(), inlined for the hot path.
+            link_flits = ev.link_flits
+            link_flits[kind] = link_flits.get(kind, 0) + 1
+            link_mm = ev.link_mm_weighted
+            link_mm[kind] = link_mm.get(kind, 0.0) + length_mm * weight
+            channel_flits = ev.channel_flits
+            channel_flits[channel] = channel_flits.get(channel, 0) + 1
+            by_mm = ev.link_mm_by_layers
+            by_mm[k] = by_mm.get(k, 0.0) + length_mm
             dst, dst_port = self._arrival_targets[out_port]
-            network.push_arrival(
-                dst, dst_port, out_vc, flit, cycle + self._hop_cycles
+            self._arr_slots[(cycle + self._hop_cycles) % self._arr_size].append(
+                (dst, dst_port, out_vc, flit)
             )
 
         if flit.is_tail:
             self.out_owner[out_port][out_vc] = None
-            unit.out_port = -1
-            unit.out_vc = -1
+            self.vc_out_port[i] = -1
+            self.vc_out_vc[i] = -1
             self._n_active -= 1
-            if unit.buffer.is_empty:
-                unit.state = _IDLE
+            if not fifo:
+                self.vc_state[i] = _IDLE
             else:
-                nxt = unit.buffer.front()
-                if nxt is None or not nxt.is_head:
+                nxt = fifo[0]
+                if not nxt.is_head:
                     raise RuntimeError(
                         f"router {self.node}: non-head flit follows tail in VC"
                     )
-                unit.state = _RC
-                unit.ready_cycle = cycle + 1
+                self.vc_state[i] = _RC
+                self.vc_ready[i] = cycle + 1
                 self._n_rc += 1
         else:
-            unit.ready_cycle = cycle + 1
+            self.vc_ready[i] = cycle + 1
+
+    def _traverse(self, grant: SARequest, cycle: int) -> None:
+        """Legacy-shaped traversal entry point (kept for harness code)."""
+        self._traverse_flat(
+            grant.in_port * self.num_vcs + grant.in_vc, grant.in_port, cycle
+        )

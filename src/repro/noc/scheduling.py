@@ -25,10 +25,12 @@ class TimingWheel:
     The caller must drain cycles in non-decreasing order via
     :meth:`pop_due` (the network pops every wheel once per cycle), which
     is what guarantees a ring slot only ever holds events for a single
-    cycle at a time.  Events scheduled for a cycle that has already been
-    popped are never delivered — exactly the semantics of the previous
-    dict buckets, whose stale keys were likewise never popped — but they
-    still count toward :meth:`pending` so liveness checks notice them.
+    cycle at a time.  Pushing an event for a cycle that has already been
+    popped is a scheduling bug — the event could never be delivered, yet
+    it would keep :meth:`pending` non-zero (and :meth:`__bool__` truthy)
+    forever, silently wedging liveness checks.  :meth:`push` therefore
+    raises ``ValueError`` on such stale pushes instead of accepting
+    them.
     """
 
     __slots__ = ("_slots", "_size", "_now", "_overflow")
@@ -42,10 +44,22 @@ class TimingWheel:
         self._overflow: Dict[int, List[Any]] = {}
 
     def push(self, cycle: int, item: Any) -> None:
-        """Schedule *item* to be returned by ``pop_due(cycle)``."""
+        """Schedule *item* to be returned by ``pop_due(cycle)``.
+
+        Raises:
+            ValueError: if *cycle* was already popped (a stale push).
+                Such an event would never be delivered but would count
+                toward :meth:`pending` forever — a silent leak, so it
+                is rejected loudly instead.
+        """
         delta = cycle - self._now
         if 0 <= delta < self._size:
             self._slots[cycle % self._size].append(item)
+        elif delta < 0:
+            raise ValueError(
+                f"stale push: cycle {cycle} was already popped "
+                f"(next poppable cycle is {self._now})"
+            )
         else:
             self._overflow.setdefault(cycle, []).append(item)
 
@@ -63,7 +77,7 @@ class TimingWheel:
         return items
 
     def items(self) -> List[Any]:
-        """Every scheduled-but-unpopped event (including stale ones).
+        """Every scheduled-but-unpopped event.
 
         Audit-path helper (:mod:`repro.noc.sanitizer`): the same event
         population :meth:`pending` counts, as a flat list.  Order is
@@ -77,7 +91,7 @@ class TimingWheel:
         return out
 
     def pending(self) -> int:
-        """Events scheduled but not yet popped (including stale ones)."""
+        """Events scheduled but not yet popped."""
         count = sum(len(slot) for slot in self._slots)
         for items in self._overflow.values():
             count += len(items)

@@ -43,7 +43,7 @@ def nearest_rank_percentile(ordered: List[int], percentile: float) -> float:
     return float(ordered[rank - 1])
 
 
-@dataclass
+@dataclass(slots=True)
 class EventCounts:
     """Cumulative event counters (raw and activity-weighted)."""
 

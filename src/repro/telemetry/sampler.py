@@ -115,6 +115,11 @@ class TelemetrySnapshot:
     cycles: int
     #: Packet lifecycles fully captured into the trace.
     packets_traced: int
+    #: Lifecycles still in flight when :meth:`NetworkTelemetry.finish`
+    #: ran, rendered into the trace as open-ended spans.  Together with
+    #: ``packets_traced`` this accounts for every lifecycle the trace
+    #: file contains: 0 before ``finish`` and when tracing was off.
+    packets_in_flight: int
     #: Packets beyond ``max_trace_packets`` that were not captured.
     packets_dropped: int
     #: True when any lifecycle was dropped: the trace is a prefix, not
@@ -139,6 +144,11 @@ class TelemetrySnapshot:
                 f"({self.trace_events} events, "
                 f"{self.packets_traced} packets)"
             )
+            if self.packets_in_flight:
+                lines.append(
+                    f"in flight         : {self.packets_in_flight} "
+                    "open-ended packet spans"
+                )
         if self.truncated:
             lines.append(
                 f"TRUNCATED         : {self.packets_dropped} packet "
@@ -158,8 +168,6 @@ class _ThermalProbe:
 
     def __init__(self, arch_config: Any, network: "Network") -> None:
         from repro.power import technology as tech
-        from repro.power.area import router_area
-        from repro.power.orion import RouterEnergyModel
         from repro.thermal.floorplan import floorplan_for
         from repro.thermal.solver import ThermalGrid
 
@@ -167,27 +175,77 @@ class _ThermalProbe:
         self._floorplan_for = floorplan_for
         self._grid = ThermalGrid(floorplan_for(arch_config))
         self._cycle_s = tech.CYCLE_S
-        self._flit_energy_j = RouterEnergyModel.for_config(
-            arch_config
-        ).flit_hop_energy_j()
-        self._leak_w = (
-            router_area(arch_config).total_mm2 * tech.LEAKAGE_W_PER_MM2
-        )
-        self._last_switched = [r.flits_switched for r in network.routers]
+        self._last_switched_by_layers = [
+            list(r.flits_switched_by_layers) for r in network.routers
+        ]
         self._solvers: Dict[int, Any] = {}
         self._temps = None
 
-    def sample(self, network: "Network", span: int) -> Dict[str, float]:
+    def router_layer_power(
+        self, network: "Network", span: int, delta: EventCounts
+    ) -> List[List[float]]:
+        """Per-node, per-layer router power (W) over the last window.
+
+        Mirrors the offline Fig. 13c flow
+        (:meth:`repro.experiments.runner.PointResult.router_layer_power_per_node`):
+        each datapath layer's windowed dynamic power
+        (:func:`~repro.power.energy.layer_power_report` over the window's
+        event delta) is split across routers by that layer's own
+        activity shares, measured from the per-router
+        ``flits_switched_by_layers`` histogram deltas; leakage is split
+        evenly over nodes and layers."""
+        from repro.power.energy import layer_power_report
+
+        switched = [
+            list(r.flits_switched_by_layers) for r in network.routers
+        ]
+        groups = len(switched[0]) if switched else 1
+        # Node n's window flits that drove layer l: effective
+        # active-layer count k > l, i.e. histogram indices k-1 >= l.
+        layer_flits = [
+            [
+                sum(now[i] - before[i] for i in range(layer, groups))
+                for layer in range(groups)
+            ]
+            for now, before in zip(switched, self._last_switched_by_layers)
+        ]
+        self._last_switched_by_layers = switched
+        layer_totals = [
+            sum(per_node[layer] for per_node in layer_flits)
+            for layer in range(groups)
+        ]
+        lp = layer_power_report(
+            self._arch_config, delta, span,
+            shutdown_enabled=network.shutdown_enabled,
+        )
+        n = len(layer_flits) or 1
+        leak_each = lp.leakage_w / (n * groups)
+        return [
+            [
+                (
+                    lp.layer_dynamic_w[layer]
+                    * per_node[layer] / layer_totals[layer]
+                    if layer_totals[layer]
+                    else 0.0
+                )
+                + leak_each
+                for layer in range(groups)
+            ]
+            for per_node in layer_flits
+        ]
+
+    def sample(
+        self, network: "Network", span: int, delta: EventCounts
+    ) -> Dict[str, float]:
         from repro.thermal.transient import TransientSolver
 
-        switched = [r.flits_switched for r in network.routers]
         window_s = span * self._cycle_s
-        router_power = [
-            (now - before) * self._flit_energy_j / window_s + self._leak_w
-            for now, before in zip(switched, self._last_switched)
-        ]
-        self._last_switched = switched
-        power = self._floorplan_for(self._arch_config, router_power).power_w
+        power = self._floorplan_for(
+            self._arch_config,
+            router_layer_power_w=self.router_layer_power(
+                network, span, delta
+            ),
+        ).power_w
         if self._temps is None:
             # HotSpot-style warm start: steady state under the first
             # window's power.
@@ -287,6 +345,7 @@ class NetworkTelemetry:
         self._lives: Dict[int, PacketLife] = {}
         self._dropped_pids: Set[int] = set()
         self.packets_traced = 0
+        self.packets_in_flight = 0
         if config.trace_path is not None:
             self._trace = ChromeTraceBuilder()
             network.stage_callbacks.append(self._on_stage)
@@ -362,7 +421,15 @@ class NetworkTelemetry:
             return
         life.delivered = cycle
         life.injected = packet.injected_cycle
-        assert self._trace is not None
+        if self._trace is None:
+            # A live PacketLife implies the delivery callback was
+            # registered, which only happens with a trace builder; a
+            # bare ``assert`` would vanish under ``python -O``.
+            raise RuntimeError(
+                "delivery callback fired without a trace builder: "
+                "telemetry hooks are inconsistent (was the trace "
+                "builder cleared while callbacks stayed registered?)"
+            )
         self._trace.add_packet(life)
         self.packets_traced += 1
 
@@ -461,7 +528,7 @@ class NetworkTelemetry:
         if config.thermal:
             if self._thermal is None:
                 self._thermal = _ThermalProbe(config.arch_config, net)
-            temps = self._thermal.sample(net, span)
+            temps = self._thermal.sample(net, span, delta)
             self._g_temp_mean.set(temps["mean_k"])
             self._g_temp_max.set(temps["max_k"])
 
@@ -528,14 +595,18 @@ class NetworkTelemetry:
             # dropped (same contract as the activity windows).
             self._sample(self.network.cycle)
         if self._trace is not None:
+            # Packets still in flight render as open-ended spans; they
+            # are counted separately from completed lifecycles so the
+            # snapshot's packets_traced / packets_in_flight split
+            # matches both the trace file metadata and its event count.
+            self.packets_in_flight = len(self._lives)
             for life in self._lives.values():
-                # Packets still in flight render as open-ended spans.
                 self._trace.add_packet(life)
             self._trace.write(
                 self.config.trace_path,
                 other_data={
                     "packets_traced": self.packets_traced,
-                    "packets_in_flight": len(self._lives),
+                    "packets_in_flight": self.packets_in_flight,
                     "packets_dropped": len(self._dropped_pids),
                     "truncated": bool(self._dropped_pids),
                     "windows": self.windows,
@@ -580,6 +651,7 @@ class NetworkTelemetry:
             windows=self.windows,
             cycles=self.cycles_observed,
             packets_traced=self.packets_traced,
+            packets_in_flight=self.packets_in_flight,
             packets_dropped=len(self._dropped_pids),
             truncated=bool(self._dropped_pids),
             trace_events=(

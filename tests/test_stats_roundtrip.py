@@ -186,3 +186,84 @@ def test_stats_window_percentiles_match_global_helper():
         [1, 3, 5, 7, 9], 50
     )
     assert window.latency_percentile(100) == 9
+
+
+# ---------------------------------------------------------------------------
+# nearest_rank_percentile boundary ranks
+
+
+def test_percentile_tiny_p_clamps_to_first_rank():
+    """p -> 0+ : ceil of a tiny positive rank is 1, the minimum."""
+    from repro.noc.stats import nearest_rank_percentile
+
+    ordered = list(range(10, 110))
+    assert nearest_rank_percentile(ordered, 1e-9) == 10.0
+    assert nearest_rank_percentile(ordered, 0.001) == 10.0
+
+
+def test_percentile_100_is_last_rank():
+    from repro.noc.stats import nearest_rank_percentile
+
+    ordered = list(range(10, 110))
+    assert nearest_rank_percentile(ordered, 100.0) == 109.0
+
+
+def test_percentile_single_sample_any_p():
+    from repro.noc.stats import nearest_rank_percentile
+
+    for p in (1e-9, 0.5, 50.0, 99.9, 100.0):
+        assert nearest_rank_percentile([42], p) == 42.0
+
+
+def test_percentile_rejects_out_of_domain_p():
+    import pytest
+
+    from repro.noc.stats import nearest_rank_percentile
+
+    for p in (0.0, -1.0, 100.0001):
+        with pytest.raises(ValueError):
+            nearest_rank_percentile([1, 2, 3], p)
+
+
+def test_percentile_empty_sample_is_zero():
+    from repro.noc.stats import nearest_rank_percentile
+
+    assert nearest_rank_percentile([], 50.0) == 0.0
+
+
+def test_multi_cursor_independence_on_live_run():
+    """Two cursors over the same live run never perturb each other: an
+    eagerly-advanced cursor's windows re-sum to the lazy cursor's one
+    big window, latency tuples included."""
+    from repro.noc.network import Network
+    from repro.noc.stats import StatsCursor
+    from repro.topology.mesh2d import Mesh2D
+    from repro.traffic.synthetic import UniformRandomTraffic
+
+    network = Network(Mesh2D(4, 4, pitch_mm=1.0))
+    traffic = UniformRandomTraffic(num_nodes=16, flit_rate=0.25, seed=11)
+    network.stats.set_window(0, 400)
+    fast = StatsCursor(network.stats)  # advanced every 50 cycles
+    slow = StatsCursor(network.stats)  # advanced once at the end
+    fast_windows = []
+    for cycle in range(400):
+        for packet in traffic.packets_for_cycle(cycle):
+            network.enqueue_packet(packet)
+        network.step()
+        if (cycle + 1) % 50 == 0:
+            fast_windows.append(fast.advance())
+    total = slow.advance()
+    assert total.packets_delivered > 0
+    for field_name in (
+        "packets_injected",
+        "packets_delivered",
+        "flits_delivered",
+        "measured_packets",
+        "measured_flits",
+    ):
+        assert sum(getattr(w, field_name) for w in fast_windows) == (
+            getattr(total, field_name)
+        ), field_name
+    assert tuple(
+        latency for w in fast_windows for latency in w.latencies
+    ) == total.latencies

@@ -450,3 +450,120 @@ def test_windowed_counters_sum_to_run_totals(tmp_path):
         network.stats.flits_delivered
     )
     assert telemetry.windows == len(samples)
+
+
+# ---------------------------------------------------------------------------
+# Thermal probe: layer-resolved power (the online Fig. 13c path)
+
+
+def test_thermal_probe_power_matches_fig13c_runner():
+    """The probe's per-node-per-layer power map agrees with the offline
+    experiment runner's ``router_layer_power_per_node`` when both price
+    the same run: same event delta, same per-router layer histograms."""
+    from repro.experiments.config import ExperimentSettings
+    from repro.experiments.runner import run_uniform_point
+    from repro.telemetry.sampler import _ThermalProbe
+
+    config = make_3dm()
+    settings = ExperimentSettings(
+        warmup_cycles=50, measure_cycles=400, drain_cycles=5000,
+        uniform_rates=(), nuca_rates=(), trace_cycles=0, workloads=(),
+        seed=5,
+    )
+    point = run_uniform_point(
+        config, 0.1, settings, short_flit_fraction=0.5,
+        shutdown_enabled=True, seed=5,
+    )
+
+    network = config.build_network(shutdown_enabled=True)
+    probe = _ThermalProbe(config, network)  # baselines at zero counters
+    sim = Simulator(
+        network,
+        UniformRandomTraffic(
+            num_nodes=config.num_nodes, flit_rate=0.1, seed=5,
+            short_flit_fraction=0.5,
+        ),
+        warmup_cycles=50, measure_cycles=400, drain_cycles=5000,
+    )
+    result = sim.run()
+    probe_map = probe.router_layer_power(
+        network, result.window_cycles, result.events
+    )
+    expected = point.router_layer_power_per_node()
+    assert len(probe_map) == len(expected) == config.num_nodes
+    for probe_row, runner_row in zip(probe_map, expected):
+        assert probe_row == pytest.approx(runner_row)
+    # Layer-resolved pricing is not flat: the always-on top layer must
+    # carry more power than the gated bottom layers under short flits.
+    top = sum(row[0] for row in probe_map)
+    bottom = sum(row[-1] for row in probe_map)
+    assert top > bottom
+
+
+def test_thermal_sampling_streams_finite_temperatures():
+    config = make_3dm()
+    network = config.build_network(shutdown_enabled=True)
+    telemetry = NetworkTelemetry(
+        network,
+        TelemetryConfig(
+            interval=100, arch_config=config, thermal=True,
+            keep_samples=True,
+        ),
+    )
+    sim = Simulator(
+        network,
+        UniformRandomTraffic(
+            num_nodes=config.num_nodes, flit_rate=0.1, seed=3,
+            short_flit_fraction=0.5,
+        ),
+        warmup_cycles=0, measure_cycles=300, drain_cycles=3000,
+    )
+    sim.run()
+    telemetry.finish()
+    assert telemetry.samples
+    for sample in telemetry.samples:
+        mean_k = sample["gauges"]["thermal.mean_k"]
+        max_k = sample["gauges"]["thermal.max_k"]
+        assert mean_k is not None and mean_k > 250.0
+        assert max_k >= mean_k
+
+
+def test_in_flight_spans_consistent_in_snapshot(tmp_path):
+    """Packets still in flight at finish() render as open-ended spans
+    and are reported in the snapshot, consistent with the trace file's
+    metadata — they are not silently folded into packets_traced."""
+    path = tmp_path / "trace.json"
+    network = Network(Mesh2D(4, 4, pitch_mm=1.0))
+    telemetry = NetworkTelemetry(
+        network, TelemetryConfig(interval=50, trace_path=str(path))
+    )
+    sim = Simulator(
+        network,
+        UniformRandomTraffic(num_nodes=16, flit_rate=0.2, seed=7),
+        warmup_cycles=0, measure_cycles=120, drain_cycles=0,
+    )
+    sim.run()
+    telemetry.finish()
+    snap = telemetry.snapshot()
+    data = json.loads(path.read_text())
+    assert snap.packets_in_flight > 0  # drain was cut short
+    assert snap.packets_in_flight == data["otherData"]["packets_in_flight"]
+    assert snap.packets_traced == data["otherData"]["packets_traced"]
+    assert snap.trace_events == len(data["traceEvents"])
+    assert "in flight" in snap.format()
+
+
+def test_delivery_callback_without_trace_raises():
+    """The hook-consistency guard survives ``python -O`` (it is a real
+    raise, not an ``assert``)."""
+    from repro.noc.packet import ctrl_packet
+
+    network = Network(Mesh2D(4, 4, pitch_mm=1.0))
+    telemetry = NetworkTelemetry(
+        network, TelemetryConfig(interval=50, trace_path="unused.json")
+    )
+    packet = ctrl_packet(0, 5)
+    telemetry._life_for(packet)  # open a lifecycle
+    telemetry._trace = None      # simulate inconsistent hook state
+    with pytest.raises(RuntimeError, match="trace builder"):
+        telemetry._on_delivered(packet, cycle=10)

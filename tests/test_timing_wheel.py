@@ -1,6 +1,7 @@
 """Unit tests for the TimingWheel event buckets."""
 
 import pytest
+from hypothesis import given, settings as hyp_settings, strategies as st
 
 from repro.noc.scheduling import TimingWheel
 
@@ -52,19 +53,71 @@ def test_in_slot_and_overflow_events_merge():
     assert wheel.pop_due(10) == ["near", "late"]
 
 
-def test_stale_events_never_delivered_but_counted():
-    """Events scheduled for an already-popped cycle are never returned
-    (the semantics of the old dict buckets) but still count as pending,
-    so liveness checks can notice a scheduling bug."""
+def test_stale_push_raises():
+    """Pushing for an already-popped cycle raises instead of leaking.
+
+    Regression: such events could never be delivered, yet they used to
+    land silently in the overflow dict keyed by the past cycle — they
+    inflated ``pending()`` and kept ``bool(wheel)`` truthy forever."""
     wheel = TimingWheel(horizon=4)
     wheel.pop_due(0)
     wheel.pop_due(1)
-    wheel.push(0, "stale")            # cycle 0 already popped
-    assert wheel.pending() == 1
-    assert bool(wheel)
-    for cycle in range(2, 10):
-        assert "stale" not in wheel.pop_due(cycle)
-    assert wheel.pending() == 1
+    with pytest.raises(ValueError, match="stale push"):
+        wheel.push(0, "stale")        # cycle 0 already popped
+    with pytest.raises(ValueError, match="stale push"):
+        wheel.push(1, "stale")        # cycle 1: the just-popped cycle
+    # The rejected events left no trace behind.
+    assert wheel.pending() == 0
+    assert not wheel
+    # The first not-yet-popped cycle is still accepted.
+    wheel.push(2, "fresh")
+    assert wheel.pop_due(2) == ["fresh"]
+
+
+@hyp_settings(max_examples=120, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 30)), max_size=60
+    )
+)
+def test_property_wheel_matches_dict_bucket_oracle(ops):
+    """Random push/pop interleavings agree with a plain dict of buckets.
+
+    Each op ``(kind, value)`` pushes at ``now + value`` when ``kind > 0``
+    (spanning in-ring, horizon-edge and overflow deltas) and otherwise
+    pops the next cycle.  The oracle is a ``Dict[int, List]`` of buckets
+    popped one cycle at a time, split per cycle into (ring, overflow)
+    halves to mirror the wheel's documented merge order: ring-slot
+    events first, then overflow."""
+    horizon = 4
+    wheel = TimingWheel(horizon=horizon)
+    oracle = {}
+    now = 0
+    counter = 0
+    for kind, value in ops:
+        if kind > 0:
+            cycle = now + value
+            wheel.push(cycle, counter)
+            ring, overflow = oracle.setdefault(cycle, ([], []))
+            (ring if value < horizon else overflow).append(counter)
+            counter += 1
+        else:
+            ring, overflow = oracle.pop(now, ([], []))
+            assert wheel.pop_due(now) == ring + overflow
+            now += 1
+    assert wheel.pending() == sum(
+        len(r) + len(o) for r, o in oracle.values()
+    )
+    assert bool(wheel) == bool(oracle)
+    assert sorted(wheel.items()) == sorted(
+        x for r, o in oracle.values() for x in r + o
+    )
+    # Drain everything that remains.
+    while wheel:
+        ring, overflow = oracle.pop(now, ([], []))
+        assert wheel.pop_due(now) == ring + overflow
+        now += 1
+    assert not oracle
 
 
 def test_pending_and_bool():

@@ -131,17 +131,17 @@ class TestDateline:
         packet = ctrl_packet(src, dst, created_cycle=0)
         vc_claims = {}
 
-        original = network.routers[0].__class__._traverse
+        original = network.routers[0].__class__._traverse_flat
 
-        def spy(router, grant, cycle):
-            unit = router._vc(grant.in_port, grant.in_vc)
-            flit = unit.buffer.front()
+        def spy(router, i, in_port, cycle):
+            fifo = router.vc_fifos[i]
+            flit = fifo[0] if fifo else None
             if flit is not None and flit.packet is packet:
-                vc_claims[router.node] = unit.out_vc
-            return original(router, grant, cycle)
+                vc_claims[router.node] = router.vc_out_vc[i]
+            return original(router, i, in_port, cycle)
 
         for router in network.routers:
-            router._traverse = spy.__get__(router)
+            router._traverse_flat = spy.__get__(router)
         sim = Simulator(network, ScheduledTraffic([packet]), warmup_cycles=0,
                         measure_cycles=200, drain_cycles=1000)
         sim.run()
