@@ -1,17 +1,41 @@
 """Telemetry overhead snapshot: cycles/sec with telemetry off vs on.
 
-Runs the same 3DM uniform-random point three ways — bare, metrics-only,
-and metrics+trace — and writes ``BENCH_PR3.json`` with the measured
-simulation rates and overhead ratios.  The disabled path must stay at
-parity (one ``is None`` check per cycle); the enabled paths document
-what a window of sampling and full lifecycle capture actually cost.
+Runs the same 3DM uniform-random point four ways — bare, metrics-only,
+full trace capture (sample rate 1.0, the pre-ring default), and
+production sampled tracing (rate 0.05 + head/tail 16) — and writes
+``BENCH_PR7.json`` with best-of-N CPU-time rates and overhead ratios.
 
-    python benchmarks/telemetry_bench.py [--out BENCH_PR3.json]
+CPU-time (``time.process_time``) is the decision metric, same as
+``engine_bench.py``: wall-clock on shared runners is ±10-15% noise.
+The overhead *ratio* is a per-round paired comparison (every mode runs
+in the same process within the same round; the best round wins), so it
+is machine-normalized by construction; the calibration ops/s figure is
+recorded so absolute rates stay comparable across artifacts anyway.
+
+The ratio polices the **per-cycle hot-path tax**: the one-time
+``finish()`` flush (lifecycle reconstruction + trace serialization) is
+bounded by the capture caps, not by run length — on this deliberately
+short run it would dominate the measurement (tens of ms against a
+sub-second loop) while amortizing to nothing on a production-length
+run.  It is subtracted from the loop time and reported separately as
+``flush_ms`` so the cost stays visible instead of hidden.
+
+Bit-identity is verified the strong way: the six golden end-to-end
+digests are recomputed **with sampled tracing attached** and compared
+against the committed fixture — telemetry must not perturb the
+simulation by a single flit.
+
+    python benchmarks/telemetry_bench.py [--out BENCH_PR7.json]
+        [--rounds N] [--max-overhead 1.10] [--skip-identity]
+
+With ``--max-overhead``, exits non-zero when sampled tracing costs more
+than the given ratio over telemetry-off — the CI overhead gate.
 """
 
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import os
 import sys
@@ -22,6 +46,8 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(__file__), os.pardir, "src")
 )
 
+from engine_bench import calibrate  # noqa: E402
+
 from repro.core.arch import make_3dm  # noqa: E402
 from repro.noc.simulator import Simulator  # noqa: E402
 from repro.telemetry import TelemetryConfig  # noqa: E402
@@ -30,6 +56,14 @@ from repro.traffic.synthetic import UniformRandomTraffic  # noqa: E402
 WARMUP = 200
 MEASURE = 2000
 RATE = 0.15
+
+#: Production sampling knobs the "trace_sampled" mode (and CI) uses.
+SAMPLE_RATE = 0.05
+HEAD_TAIL = 16
+
+#: PR 3's measured full-capture overhead, kept for the narrative: this
+#: is the 2.5x trace tax the ring-buffer recorder was built to kill.
+PR3_TRACE_OVERHEAD = 2.5
 
 
 def run_once(telemetry):
@@ -44,71 +78,200 @@ def run_once(telemetry):
         warmup_cycles=WARMUP, measure_cycles=MEASURE, drain_cycles=10000,
         telemetry=telemetry,
     )
-    start = time.perf_counter()
-    result = sim.run()
-    wall = time.perf_counter() - start
-    return result, result.cycles / wall
+    # Settle the allocator and take the collector out of the timing:
+    # the previous mode's flush (trace_full frees ~200k event dicts)
+    # otherwise leaves GC debt that lands on whichever mode runs next.
+    gc.collect()
+    gc.disable()
+    try:
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        result = sim.run()
+        cpu = time.process_time() - cpu0
+        wall = time.perf_counter() - wall0
+    finally:
+        gc.enable()
+    # Exclude the one-time teardown flush from the per-cycle rate; it
+    # is reported separately (see the module docstring).
+    flush = result.telemetry.finish_cpu_s if result.telemetry else 0.0
+    loop_cpu = max(cpu - flush, 1e-9)
+    return result, result.cycles / wall, result.cycles / loop_cpu, flush
+
+
+def mode_configs(tmp: str, i: int):
+    """The benchmarked telemetry modes, rebuilt fresh every round."""
+    return {
+        "off": None,
+        "metrics": TelemetryConfig(
+            interval=100,
+            metrics_path=os.path.join(tmp, f"m{i}.jsonl"),
+        ),
+        "trace_full": TelemetryConfig(
+            interval=100,
+            metrics_path=os.path.join(tmp, f"tf{i}.jsonl"),
+            trace_path=os.path.join(tmp, f"tf{i}.json"),
+        ),
+        "trace_sampled": TelemetryConfig(
+            interval=100,
+            metrics_path=os.path.join(tmp, f"ts{i}.jsonl"),
+            trace_path=os.path.join(tmp, f"ts{i}.json"),
+            trace_sample_rate=SAMPLE_RATE,
+            trace_head_tail=HEAD_TAIL,
+        ),
+    }
 
 
 def bench(rounds: int):
-    rates = {"off": [], "metrics": [], "metrics+trace": []}
+    wall = {}
+    cpu = {}
+    flush_ms = {}
+    round_ratios = []
     reference = None
     with tempfile.TemporaryDirectory() as tmp:
+        # Warm imports, allocator, and branch caches so the first
+        # measured mode is not systematically penalized.
+        run_once(None)
         for i in range(rounds):
-            result, rate = run_once(None)
-            rates["off"].append(rate)
-            if reference is None:
-                reference = result
-
-            result, rate = run_once(
-                TelemetryConfig(
-                    interval=100,
-                    metrics_path=os.path.join(tmp, f"m{i}.jsonl"),
+            round_cpu = {}
+            for mode, telemetry in mode_configs(tmp, i).items():
+                result, wall_rate, cpu_rate, flush = run_once(telemetry)
+                if reference is None:
+                    reference = result
+                assert result.avg_latency == reference.avg_latency, (
+                    f"telemetry mode {mode!r} perturbed the simulation"
                 )
-            )
-            rates["metrics"].append(rate)
-            assert result.avg_latency == reference.avg_latency, (
-                "telemetry perturbed the simulation"
-            )
-
-            result, rate = run_once(
-                TelemetryConfig(
-                    interval=100,
-                    metrics_path=os.path.join(tmp, f"mt{i}.jsonl"),
-                    trace_path=os.path.join(tmp, f"t{i}.json"),
+                assert (
+                    result.events.flit_hops == reference.events.flit_hops
+                ), f"telemetry mode {mode!r} perturbed the simulation"
+                wall[mode] = max(wall.get(mode, 0.0), wall_rate)
+                cpu[mode] = max(cpu.get(mode, 0.0), cpu_rate)
+                flush_ms[mode] = max(
+                    flush_ms.get(mode, 0.0), flush * 1e3
                 )
+                round_cpu[mode] = cpu_rate
+            # Paired within-round ratios: all four modes ran
+            # back-to-back in this process, so a machine-speed drift
+            # between rounds cancels out of the ratio.
+            round_ratios.append(
+                {
+                    mode: round_cpu["off"] / round_cpu[mode]
+                    for mode in round_cpu
+                    if mode != "off"
+                }
             )
-            rates["metrics+trace"].append(rate)
-            assert result.avg_latency == reference.avg_latency, (
-                "trace capture perturbed the simulation"
+    overhead = {
+        mode: min(r[mode] for r in round_ratios)
+        for mode in round_ratios[0]
+    }
+    return wall, cpu, flush_ms, overhead
+
+
+def verify_bit_identity() -> bool:
+    """Recompute the golden end-to-end digests for every committed case
+    with **sampled tracing attached** and compare against the fixture:
+    the strongest form of the bit-identical guarantee this benchmark
+    reports."""
+    tests_dir = os.path.join(
+        os.path.dirname(__file__), os.pardir, "tests"
+    )
+    sys.path.insert(0, tests_dir)
+    try:
+        import test_golden_e2e as golden
+    finally:
+        sys.path.remove(tests_dir)
+    from repro.experiments.runner import run_point_spec
+
+    with open(golden.FIXTURE, encoding="utf-8") as handle:
+        fixture = json.load(handle)
+    ok = True
+    with tempfile.TemporaryDirectory() as tmp:
+        for name, spec in sorted(golden.CASES.items()):
+            telemetry = TelemetryConfig(
+                interval=100,
+                metrics_path=os.path.join(tmp, f"{name}.jsonl"),
+                trace_path=os.path.join(tmp, f"{name}.trace.json"),
+                trace_sample_rate=SAMPLE_RATE,
+                trace_head_tail=HEAD_TAIL,
             )
-    return {mode: max(values) for mode, values in rates.items()}
+            point = run_point_spec(spec, golden.SETTINGS, telemetry=telemetry)
+            digest = golden.compute_digest(point)
+            expected = fixture["cases"][name]["digest"]
+            match = digest == expected
+            ok = ok and match
+            print(f"  {name:16s} {'ok' if match else 'DIGEST MISMATCH'}")
+    return ok
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="BENCH_PR3.json")
+    parser.add_argument("--out", default="BENCH_PR7.json")
     parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument(
+        "--max-overhead", type=float, default=None, metavar="RATIO",
+        help="fail when sampled tracing costs more than RATIO x the "
+        "telemetry-off CPU-time rate (e.g. 1.10)",
+    )
+    parser.add_argument(
+        "--skip-identity", action="store_true",
+        help="skip the six-architecture traced golden digest "
+        "verification (report bit_identical: null)",
+    )
     args = parser.parse_args(argv)
 
-    best = bench(args.rounds)
+    if args.skip_identity:
+        bit_identical = None
+    else:
+        print("verifying traced runs against golden digests:")
+        bit_identical = verify_bit_identity()
+
+    wall, cpu, flush_ms, overhead = bench(args.rounds)
+    calib = calibrate()
+    overhead = {mode: round(ratio, 3) for mode, ratio in overhead.items()}
     payload = {
         "benchmark": "telemetry overhead (3DM uniform, "
         f"rate={RATE}, {MEASURE} measured cycles)",
-        "cycles_per_second": {
-            mode: round(rate, 1) for mode, rate in best.items()
+        "cycles_per_second_cpu": {
+            mode: round(rate, 1) for mode, rate in cpu.items()
         },
-        "overhead_ratio": {
-            "metrics": round(best["off"] / best["metrics"], 3),
-            "metrics+trace": round(best["off"] / best["metrics+trace"], 3),
+        "cycles_per_second_wall": {
+            mode: round(rate, 1) for mode, rate in wall.items()
         },
+        "overhead_ratio": overhead,
+        "flush_ms": {
+            mode: round(ms, 1) for mode, ms in flush_ms.items()
+        },
+        "sampling": {"sample_rate": SAMPLE_RATE, "head_tail": HEAD_TAIL},
+        "baseline_pr3_trace_overhead": PR3_TRACE_OVERHEAD,
         "rounds": args.rounds,
-        "bit_identical": True,  # asserted per round above
+        "calibration_ops_per_s": round(calib, 1),
+        "bit_identical": bit_identical,
+        "timing_note": "overhead_ratio is the best within-round paired "
+        "off_cpu/mode_cpu over the simulation loop (machine-normalized "
+        "by construction); the one-time finish() flush is excluded from "
+        "the loop time and reported as flush_ms; bit_identical means "
+        "the six golden digests matched with sampled tracing attached",
     }
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
     print(json.dumps(payload, indent=2))
+
+    if bit_identical is False:
+        print("FAIL: traced runs are not bit-identical to the golden "
+              "digests")
+        return 1
+    if args.max_overhead is not None:
+        measured = overhead["trace_sampled"]
+        if measured > args.max_overhead:
+            print(
+                f"FAIL: sampled tracing overhead {measured:.3f}x exceeds "
+                f"the {args.max_overhead:.2f}x gate"
+            )
+            return 1
+        print(
+            f"sampled tracing overhead {measured:.3f}x within the "
+            f"{args.max_overhead:.2f}x gate"
+        )
     return 0
 
 

@@ -37,11 +37,25 @@ def validate_metrics(path: str) -> int:
         fail(f"{path}: unknown schema version {meta.get('schema')!r}")
     if end.get("type") != "end":
         fail(f"{path}: last record is {end.get('type')!r}, not 'end'")
-    if end.get("windows") != len(samples):
+    # A clean finish() writes a footer with "windows"; a crashed run's
+    # writer synthesizes a minimal {"type":"end","records":N} footer so
+    # the stream still parses.  Cross-check whichever fields exist.
+    if "windows" in end and end["windows"] != len(samples):
         fail(
             f"{path}: end record claims {end.get('windows')} windows, "
             f"stream has {len(samples)}"
         )
+    if "records" in end and end["records"] != len(records):
+        fail(
+            f"{path}: end record claims {end.get('records')} records, "
+            f"stream has {len(records)}"
+        )
+    trace_meta = meta.get("trace")
+    if trace_meta is not None:
+        for key in ("sample_rate", "head_tail", "seed",
+                    "ring_capacity_events"):
+            if key not in trace_meta:
+                fail(f"{path}: meta trace block lacks {key!r}")
 
     catalogue = set(meta.get("metrics", ()))
     cycles: List[int] = []
@@ -85,11 +99,35 @@ def validate_trace(path: str) -> int:
     for key in ("packets_traced", "packets_dropped", "truncated", "windows"):
         if key not in other:
             fail(f"{path}: otherData lacks {key!r}")
+    sampling = other.get("sampling")
+    if sampling is None:
+        fail(f"{path}: otherData lacks the 'sampling' block")
+    for key in (
+        "mode", "sample_rate", "head_tail", "seed", "ring_capacity_events",
+        "packets_seen", "packets_captured", "head_captured", "hash_sampled",
+        "sampled_out", "tail_evicted", "events_recorded",
+        "events_overwritten", "events_orphaned",
+    ):
+        if key not in sampling:
+            fail(f"{path}: sampling block lacks {key!r}")
+    if sampling["mode"] not in ("full", "sampled"):
+        fail(f"{path}: unknown sampling mode {sampling['mode']!r}")
+    captured = other["packets_traced"] + other.get("packets_in_flight", 0)
+    if captured != sampling["packets_captured"]:
+        fail(
+            f"{path}: traced+in_flight = {captured} but the sampling "
+            f"block claims {sampling['packets_captured']} captured"
+        )
+    if sampling["packets_seen"] < sampling["packets_captured"]:
+        fail(f"{path}: more packets captured than seen")
 
     phases = {e.get("ph") for e in events}
-    for needed in ("M", "X", "C"):
-        if needed not in phases:
-            fail(f"{path}: no {needed!r}-phase events")
+    needed = ["M", "C"]
+    if sampling["packets_captured"] > 0:
+        needed.append("X")
+    for phase in needed:
+        if phase not in phases:
+            fail(f"{path}: no {phase!r}-phase events")
 
     # Per packet track, every child slice must nest inside the root
     # packet span (parents are emitted first).
@@ -97,7 +135,7 @@ def validate_trace(path: str) -> int:
     for event in events:
         if event["ph"] == "X" and event["pid"] == 1:
             by_tid.setdefault(event["tid"], []).append(event)
-    if not by_tid:
+    if not by_tid and sampling["packets_captured"] > 0:
         fail(f"{path}: no packet lifecycle slices")
     for tid, slices in by_tid.items():
         root = slices[0]

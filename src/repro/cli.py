@@ -55,6 +55,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             interval=args.metrics_interval,
             metrics_path=args.metrics_out,
             trace_path=args.trace_out,
+            trace_sample_rate=args.trace_sample_rate,
+            trace_head_tail=args.trace_head_tail,
+            trace_seed=args.trace_seed,
             arch_config=config,
         )
     if args.traffic == "uniform":
@@ -403,6 +406,22 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument(
         "--metrics-interval", type=int, default=100, metavar="N",
         help="telemetry sampling window in cycles (default 100)",
+    )
+    sim.add_argument(
+        "--trace-sample-rate", type=float, default=1.0, metavar="P",
+        help="with --trace-out: capture each packet's lifecycle with "
+        "probability P (deterministic seeded id hash; default 1.0 = "
+        "capture everything)",
+    )
+    sim.add_argument(
+        "--trace-head-tail", type=int, default=0, metavar="K",
+        help="with --trace-out: always capture the first K and last K "
+        "packets regardless of the sample rate (default 0)",
+    )
+    sim.add_argument(
+        "--trace-seed", type=int, default=0, metavar="S",
+        help="seed for the trace sampling hash: same seed, same "
+        "captured packets (default 0)",
     )
     sim.set_defaults(func=cmd_simulate)
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import os
 from multiprocessing import get_context
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.arch import Architecture, make_architecture
 from repro.experiments.config import ExperimentSettings
@@ -58,22 +58,27 @@ _ARCH_BY_VALUE = {arch.value: arch for arch in Architecture}
 
 
 def _run_item(
-    args: Tuple[WorkItem, ExperimentSettings, Optional[str], int]
+    args: Tuple[
+        WorkItem, ExperimentSettings, Optional[str], int,
+        Optional[Dict[str, Any]],
+    ]
 ) -> Tuple[str, float, PointResult]:
-    item, settings, telemetry_dir, telemetry_interval = args
+    item, settings, telemetry_dir, telemetry_interval, telemetry_trace = args
     arch, rate, kind = item
     try:
         config = make_architecture(arch)
         telemetry = None
         if telemetry_dir is not None:
             # Per-point metric timelines: one JSONL stream per sweep
-            # point, named so a 54-point sweep stays navigable.
-            from repro.telemetry.sampler import TelemetryConfig
+            # point (plus an optional sampled lifecycle trace), named so
+            # a 54-point sweep stays navigable.
+            from repro.experiments.runner import point_telemetry_config
 
-            stem = f"{arch.value}_{kind}@{rate:g}"
-            telemetry = TelemetryConfig(
+            telemetry = point_telemetry_config(
+                telemetry_dir,
+                f"{arch.value}_{kind}@{rate:g}",
                 interval=telemetry_interval,
-                metrics_path=os.path.join(telemetry_dir, stem + ".jsonl"),
+                trace=telemetry_trace,
             )
         extra = {} if telemetry is None else {"telemetry": telemetry}
         if kind == "uniform":
@@ -98,6 +103,7 @@ def parallel_sweep(
     telemetry_dir: Optional[str] = None,
     telemetry_interval: int = 100,
     *,
+    telemetry_trace: Optional[Dict[str, Any]] = None,
     cache_dir: Optional[str] = None,
     resume: bool = False,
     retries: int = 0,
@@ -112,7 +118,11 @@ def parallel_sweep(
     ``telemetry_dir`` (opt-in) makes every worker stream windowed
     telemetry to ``<dir>/<arch>_<kind>@<rate>.jsonl``, sampling every
     ``telemetry_interval`` cycles — per-point timelines for offline
-    comparison across the sweep.
+    comparison across the sweep.  ``telemetry_trace`` additionally
+    writes a sampled lifecycle trace per point
+    (``<dir>/<arch>_<kind>@<rate>.trace.json``); pass ``{}`` for the
+    production defaults or override the sampling knobs (see
+    :func:`~repro.experiments.runner.point_telemetry_config`).
 
     Passing any of ``cache_dir`` / ``resume`` / ``retries`` /
     ``point_timeout`` / ``journal_path`` delegates to the v2 engine
@@ -143,12 +153,16 @@ def parallel_sweep(
             failure_mode="raise",
             telemetry_dir=telemetry_dir,
             telemetry_interval=telemetry_interval,
+            telemetry_trace=telemetry_trace,
         )
         return outcome.series
     if telemetry_dir is not None:
         os.makedirs(telemetry_dir, exist_ok=True)
     items = [
-        ((arch, rate, kind), settings, telemetry_dir, telemetry_interval)
+        (
+            (arch, rate, kind), settings, telemetry_dir,
+            telemetry_interval, telemetry_trace,
+        )
         for arch in archs
         for rate in rates
     ]

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, TYPE_CHECKING
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
 
 from repro.core.arch import ArchitectureConfig
 from repro.experiments.config import ExperimentSettings
@@ -87,6 +87,44 @@ class PointResult:
             ]
             for shares in self.node_layer_activity
         ]
+
+
+def point_telemetry_config(
+    telemetry_dir: str,
+    stem: str,
+    interval: int = 100,
+    trace: Optional[Dict[str, Any]] = None,
+) -> "TelemetryConfig":
+    """Per-sweep-point telemetry: JSONL stream plus optional sampled trace.
+
+    Shared by both sweep engines so a 54-point sweep names its streams
+    (``<dir>/<stem>.jsonl``) and traces (``<dir>/<stem>.trace.json``)
+    the same way.  *trace*, when given, enables lifecycle capture with
+    production-grade defaults — sampled, not full — overridable via the
+    dict keys ``sample_rate`` (default 0.05), ``head_tail`` (default
+    16), ``seed``, ``ring_events``, and ``max_packets``.
+    """
+    import os
+
+    from repro.telemetry.sampler import TelemetryConfig
+
+    kwargs: Dict[str, Any] = {}
+    if trace is not None:
+        kwargs["trace_path"] = os.path.join(
+            telemetry_dir, stem + ".trace.json"
+        )
+        kwargs["trace_sample_rate"] = trace.get("sample_rate", 0.05)
+        kwargs["trace_head_tail"] = trace.get("head_tail", 16)
+        kwargs["trace_seed"] = trace.get("seed", 0)
+        if "ring_events" in trace:
+            kwargs["trace_ring_events"] = trace["ring_events"]
+        if "max_packets" in trace:
+            kwargs["max_trace_packets"] = trace["max_packets"]
+    return TelemetryConfig(
+        interval=interval,
+        metrics_path=os.path.join(telemetry_dir, stem + ".jsonl"),
+        **kwargs,
+    )
 
 
 def _run(

@@ -32,7 +32,7 @@ import os
 import time
 import traceback
 from multiprocessing import get_context
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.arch import Architecture, make_architecture
 from repro.experiments.config import ExperimentSettings
@@ -110,7 +110,7 @@ class _Running:
 
 
 def _child_main(conn, spec, settings, telemetry_dir, telemetry_interval,
-                worker_fn) -> None:
+                telemetry_trace, worker_fn) -> None:
     """Worker entry point: run one spec, ship the outcome over *conn*.
 
     Every exception is reported as data (message + traceback text) so
@@ -123,12 +123,13 @@ def _child_main(conn, spec, settings, telemetry_dir, telemetry_interval,
         else:
             telemetry = None
             if telemetry_dir is not None:
-                from repro.telemetry.sampler import TelemetryConfig
+                from repro.experiments.runner import point_telemetry_config
 
-                stem = f"{spec.arch_name}_{spec.kind}@{spec.rate:g}"
-                telemetry = TelemetryConfig(
+                telemetry = point_telemetry_config(
+                    telemetry_dir,
+                    f"{spec.arch_name}_{spec.kind}@{spec.rate:g}",
                     interval=telemetry_interval,
-                    metrics_path=os.path.join(telemetry_dir, stem + ".jsonl"),
+                    trace=telemetry_trace,
                 )
             point = run_point_spec(spec, settings, telemetry=telemetry)
         conn.send(("ok", point))
@@ -186,6 +187,7 @@ def run_sweep(
     failure_mode: str = "report",
     telemetry_dir: Optional[str] = None,
     telemetry_interval: int = 100,
+    telemetry_trace: Optional[Dict[str, Any]] = None,
     worker_fn: Optional[WorkerFn] = None,
 ) -> SweepOutcome:
     """Run *specs*, caching, journaling, and surviving worker failures.
@@ -203,6 +205,11 @@ def run_sweep(
     ``resume=True`` requires ``cache_dir`` (the cache is what serves
     previously finished points) and appends to an existing journal
     instead of truncating it.
+
+    ``telemetry_trace`` (with ``telemetry_dir``) additionally writes a
+    sampled lifecycle trace per point (``<dir>/<stem>.trace.json``);
+    pass ``{}`` for the production defaults or override the knobs (see
+    :func:`~repro.experiments.runner.point_telemetry_config`).
     """
     settings = settings or ExperimentSettings.from_env()
     if processes < 0:
@@ -270,8 +277,8 @@ def run_sweep(
                 _run_pooled(
                     pending, settings, processes, retries, backoff_s,
                     backoff_factor, point_timeout, failure_mode, worker_fn,
-                    telemetry_dir, telemetry_interval, store, journal, stats,
-                    results, failures,
+                    telemetry_dir, telemetry_interval, telemetry_trace,
+                    store, journal, stats, results, failures,
                 )
         stats.phase_wall_s["run"] = time.monotonic() - run_start
 
@@ -433,6 +440,7 @@ def _run_pooled(
     worker_fn: Optional[WorkerFn],
     telemetry_dir: Optional[str],
     telemetry_interval: int,
+    telemetry_trace: Optional[Dict[str, Any]],
     store: Optional[ResultStore],
     journal: Optional[RunJournal],
     stats: SweepStats,
@@ -458,7 +466,7 @@ def _run_pooled(
         process = ctx.Process(
             target=_child_main,
             args=(send, task.spec, settings, telemetry_dir,
-                  telemetry_interval, worker_fn),
+                  telemetry_interval, telemetry_trace, worker_fn),
         )
         process.start()
         send.close()  # child's end; parent sees EOF when the child dies

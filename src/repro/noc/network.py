@@ -10,7 +10,7 @@ integration on top.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, List, Optional, Set
+from typing import Callable, Deque, Dict, List, Optional, Set
 
 from repro.core.shutdown import ShortFlitDetector
 from repro.noc.packet import Flit, Packet, PacketClass
@@ -208,6 +208,20 @@ class Network:
         #: ``(cycle, node, flit, out_port_name)`` — see
         #: :class:`repro.noc.tracer.PacketTracer`.  Empty = zero cost.
         self.traverse_callbacks: List = []
+        #: Same signature, but invoked for **head flits only** — the
+        #: router filters at the call site, so a lifecycle consumer
+        #: (the telemetry trace recorder) never pays a call per body
+        #: flit.  Empty = zero cost.
+        self.head_traverse_callbacks: List = []
+        #: Optional pid -> capture-code map owned by an attached trace
+        #: recorder.  When a packet's pid maps to ``0`` (dropped /
+        #: sampled out), the routers skip the stage and head-traverse
+        #: hooks for it at the call site — a dict probe instead of a
+        #: Python call per event, which is what makes sampled tracing
+        #: cheap.  Unknown pids still fire (first sight = admission).
+        #: ``None`` disables the filter; it never affects
+        #: ``traverse_callbacks`` or ``delivery_callbacks``.
+        self.trace_drop_filter: Optional[Dict[int, int]] = None
         #: Opt-in windowed metrics/trace sampler; ``None`` (the
         #: default) costs one check per cycle, exactly like the
         #: profiler and sanitizer.

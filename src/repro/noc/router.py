@@ -467,8 +467,12 @@ class Router:
                     self._n_va += 1
                     self.events.rc_computations += 1
                     if self._stage_callbacks:
-                        for callback in self._stage_callbacks:
-                            callback(cycle, self.node, flit, "rc")
+                        # Call-site drop filter: a dict probe instead of
+                        # a Python call per event for sampled-out pids.
+                        drop = self._network.trace_drop_filter
+                        if drop is None or drop.get(flit.packet.pid, 1):
+                            for callback in self._stage_callbacks:
+                                callback(cycle, self.node, flit, "rc")
                 return
             if state == _VA:
                 if self._va_single(i, cycle) and self.speculative_sa:
@@ -529,8 +533,10 @@ class Router:
                     self._n_va += 1
                     ev.rc_computations += 1
                     if callbacks:
-                        for callback in callbacks:
-                            callback(cycle, node, flit, "rc")
+                        drop = self._network.trace_drop_filter
+                        if drop is None or drop.get(flit.packet.pid, 1):
+                            for callback in callbacks:
+                                callback(cycle, node, flit, "rc")
 
         # --- VA stage ---
         if self._n_va:
@@ -744,8 +750,10 @@ class Router:
             fifo = self.vc_fifos[i]
             if fifo:
                 granted = fifo[0]
-                for callback in self._stage_callbacks:
-                    callback(cycle, self.node, granted, "va")
+                drop = self._network.trace_drop_filter
+                if drop is None or drop.get(granted.packet.pid, 1):
+                    for callback in self._stage_callbacks:
+                        callback(cycle, self.node, granted, "va")
 
     def _sa_general(self, sa_units: List[int], cycle: int) -> None:
         """Contended switch allocation through the separable allocator."""
@@ -805,6 +813,12 @@ class Router:
             port_name = self.port_names[out_port]
             for callback in network.traverse_callbacks:
                 callback(cycle, self.node, flit, port_name)
+        if network.head_traverse_callbacks and flit.is_head:
+            drop = network.trace_drop_filter
+            if drop is None or drop.get(flit.packet.pid, 1):
+                port_name = self.port_names[out_port]
+                for callback in network.head_traverse_callbacks:
+                    callback(cycle, self.node, flit, port_name)
 
         out_vc = self.vc_out_vc[i]
         credits = self.credits[out_port]

@@ -9,7 +9,9 @@ different question (see ``docs/OBSERVABILITY.md`` for the full guide):
   internal bookkeeping still correct?"
 * **telemetry** (this package) — "what is the simulated network doing
   *over time*?"  Windowed counters/gauges/histograms streamed as JSONL,
-  plus Perfetto-loadable per-packet lifecycle traces.
+  plus Perfetto-loadable per-packet lifecycle traces captured through a
+  sampled, preallocated ring buffer (:mod:`repro.telemetry.recorder`)
+  cheap enough to leave on in production runs.
 
 Quickstart::
 
@@ -39,6 +41,11 @@ from repro.telemetry.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.telemetry.recorder import (
+    DEFAULT_RING_EVENTS,
+    TraceRecorder,
+    pid_hash_unit,
+)
 from repro.telemetry.sampler import (
     DEFAULT_INTERVAL,
     NetworkTelemetry,
@@ -58,5 +65,8 @@ __all__ = [
     "NetworkTelemetry",
     "TelemetryConfig",
     "TelemetrySnapshot",
+    "TraceRecorder",
+    "pid_hash_unit",
     "DEFAULT_INTERVAL",
+    "DEFAULT_RING_EVENTS",
 ]

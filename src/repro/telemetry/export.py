@@ -30,7 +30,19 @@ METRICS_PID = 2
 
 
 class MetricsJsonlWriter:
-    """Appends one JSON object per line to a metrics stream."""
+    """Appends one JSON object per line to a metrics stream.
+
+    The stream's contract is *tailable*: every record is flushed to the
+    OS as it is written (each write is a window boundary), so ``tail
+    -f`` on the file tracks the live simulation instead of an empty
+    buffer.  ``close()`` writes the ``end`` footer exactly once — pass
+    the footer record via ``end_record``, or let it synthesize a
+    minimal one — then closes the file; further ``close()`` calls are
+    no-ops, so the footer can never double up.  Used as a context
+    manager, ``__exit__`` closes (and therefore foots) the stream even
+    when the simulation crashes mid-run, so a crashed run leaves a
+    complete, parseable stream rather than a truncated last line.
+    """
 
     def __init__(self, path: Union[str, os.PathLike]) -> None:
         self.path = str(path)
@@ -39,18 +51,34 @@ class MetricsJsonlWriter:
             os.makedirs(parent, exist_ok=True)
         self._file = open(self.path, "w", encoding="utf-8")
         self.records_written = 0
+        self.end_written = False
 
     def write(self, record: Dict[str, Any]) -> None:
         if self._file is None:
             raise RuntimeError(f"metrics stream {self.path} already closed")
         self._file.write(json.dumps(record, separators=(",", ":")))
         self._file.write("\n")
+        self._file.flush()
         self.records_written += 1
 
-    def close(self) -> None:
-        if self._file is not None:
-            self._file.close()
-            self._file = None
+    def close(self, end_record: Optional[Dict[str, Any]] = None) -> None:
+        if self._file is None:
+            return
+        if not self.end_written:
+            footer = end_record or {
+                "type": "end",
+                "records": self.records_written,
+            }
+            self.write(footer)
+            self.end_written = True
+        self._file.close()
+        self._file = None
+
+    def __enter__(self) -> "MetricsJsonlWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 @dataclass
@@ -105,6 +133,8 @@ class PacketLife:
         if self.delivered is not None:
             return self.delivered
         last = self.created
+        if self.injected is not None and self.injected > last:
+            last = self.injected
         for hop in self.hops:
             for stamp in (hop.rc, hop.va, hop.st):
                 if stamp is not None and stamp > last:

@@ -55,7 +55,16 @@ class Counter:
 
 
 class Gauge:
-    """Instantaneous value; unset windows sample as ``None``."""
+    """Instantaneous value; unset windows sample as ``None``.
+
+    ``set(None)`` is an *explicit clear*: it discards the held value
+    AND the window's freshness, so the gauge reads exactly like one
+    that was never set this window (``value is None``, ``fresh`` is
+    False).  Before this was pinned, ``set(None)`` left the freshness
+    flag raised, making "explicitly cleared" and "never set" two
+    internal states with one observable meaning — and leaving a stale
+    ``value`` readable after a clear.
+    """
 
     __slots__ = ("name", "value", "_set_this_window")
 
@@ -66,7 +75,12 @@ class Gauge:
 
     def set(self, value: Optional[float]) -> None:
         self.value = value
-        self._set_this_window = True
+        self._set_this_window = value is not None
+
+    @property
+    def fresh(self) -> bool:
+        """True when a non-``None`` value was set this window."""
+        return self._set_this_window
 
     def sample(self) -> Optional[float]:
         value = self.value if self._set_this_window else None
@@ -75,7 +89,15 @@ class Gauge:
 
 
 class Histogram:
-    """Window-scoped distribution; cleared after every sample."""
+    """Window-scoped distribution; cleared after every sample.
+
+    The window clear happens **in place** (``values.clear()``), never by
+    rebinding ``self.values`` to a fresh list: ``self.values`` is the
+    same list object for the metric's whole life, so any caller that
+    captured a reference (to batch observations, or to inspect the
+    window) stays coherent with the live window instead of silently
+    writing into an orphaned list.
+    """
 
     __slots__ = ("name", "values")
 
@@ -92,9 +114,9 @@ class Histogram:
     def sample(self) -> Dict[str, Any]:
         values = self.values
         if not values:
-            self.values = []
             return {"count": 0}
         ordered = sorted(values)
+        values.clear()
         out: Dict[str, Any] = {
             "count": len(ordered),
             "mean": sum(ordered) / len(ordered),
@@ -103,7 +125,6 @@ class Histogram:
         }
         for p in HISTOGRAM_PERCENTILES:
             out[f"p{p:g}"] = nearest_rank_percentile(ordered, p)
-        self.values = []
         return out
 
 

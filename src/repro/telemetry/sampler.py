@@ -32,16 +32,17 @@ and sanitizer.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Set, TYPE_CHECKING
+from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.noc.stats import EventCounts, StatsCursor
 from repro.telemetry.export import (
     ChromeTraceBuilder,
     MetricsJsonlWriter,
-    PacketLife,
 )
 from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.recorder import DEFAULT_RING_EVENTS, TraceRecorder
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.noc.network import Network
@@ -78,6 +79,18 @@ class TelemetryConfig:
     #: Lifecycle capture cap: packets beyond this are counted as dropped
     #: and the trace is marked truncated (mirrors PacketTracer).
     max_trace_packets: int = 5000
+    #: Deterministic per-packet capture probability (seeded id hash).
+    #: 1.0 (the default) captures every packet — the full-trace mode;
+    #: production runs use a small rate plus ``trace_head_tail``.
+    trace_sample_rate: float = 1.0
+    #: Capture the first K and last K packets regardless of the sample
+    #: rate (0 disables head/tail capture).
+    trace_head_tail: int = 0
+    #: Seed for the sampling hash: same seed, same captured packets.
+    trace_seed: int = 0
+    #: Ring-buffer capacity in event records; the oldest records are
+    #: overwritten (and counted) when a run outgrows the ring.
+    trace_ring_events: int = DEFAULT_RING_EVENTS
     #: Architecture config enabling windowed Orion energy pricing (and
     #: thermal sampling when ``thermal`` is set).  Kept untyped to avoid
     #: importing the arch/power stack until actually used.
@@ -95,6 +108,21 @@ class TelemetryConfig:
             raise ValueError(
                 "max_trace_packets must be >= 1, got "
                 f"{self.max_trace_packets}"
+            )
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ValueError(
+                "trace_sample_rate must be in [0, 1], got "
+                f"{self.trace_sample_rate}"
+            )
+        if self.trace_head_tail < 0:
+            raise ValueError(
+                "trace_head_tail must be >= 0, got "
+                f"{self.trace_head_tail}"
+            )
+        if self.trace_ring_events < 1:
+            raise ValueError(
+                "trace_ring_events must be >= 1, got "
+                f"{self.trace_ring_events}"
             )
         if self.thermal and self.arch_config is None:
             raise ValueError(
@@ -129,6 +157,32 @@ class TelemetrySnapshot:
     trace_events: int
     metrics_path: Optional[str] = None
     trace_path: Optional[str] = None
+    #: Distinct packets the trace hooks saw (all of them, sampled or
+    #: not); 0 when tracing was off.
+    packets_seen: int = 0
+    #: Packets whose lifecycles were captured (head + hash + final tail
+    #: window), before the delivered/in-flight split.
+    packets_sampled: int = 0
+    #: Packets skipped by the sampling decision (deliberate, not an
+    #: error — distinct from ``packets_dropped``, the capture-cap
+    #: overflow).
+    sampled_out: int = 0
+    #: Provisional tail-window captures discarded when newer packets
+    #: displaced them.
+    tail_evicted: int = 0
+    #: Ring records written over the whole run.
+    events_recorded: int = 0
+    #: Ring records lost to wrap-around (oldest first); nonzero means
+    #: early lifecycles render partially.
+    events_overwritten: int = 0
+    #: The sampling knobs in force (echoed so an artifact is
+    #: self-describing).
+    sample_rate: float = 1.0
+    head_tail: int = 0
+    #: CPU seconds spent in the one-time ``finish()`` flush (lifecycle
+    #: reconstruction + serialization); bounded by the capture caps,
+    #: not by run length.
+    finish_cpu_s: float = 0.0
 
     def format(self) -> str:
         """Human-readable block for CLI output."""
@@ -144,6 +198,19 @@ class TelemetrySnapshot:
                 f"({self.trace_events} events, "
                 f"{self.packets_traced} packets)"
             )
+            if self.sample_rate < 1.0 or self.head_tail:
+                lines.append(
+                    f"sampling          : rate={self.sample_rate:g} "
+                    f"head/tail={self.head_tail} -> "
+                    f"{self.packets_sampled}/{self.packets_seen} packets "
+                    f"kept ({self.sampled_out} sampled out, "
+                    f"{self.tail_evicted} tail-evicted)"
+                )
+            if self.events_overwritten:
+                lines.append(
+                    f"ring wrapped      : {self.events_overwritten} oldest "
+                    "events overwritten"
+                )
             if self.packets_in_flight:
                 lines.append(
                     f"in flight         : {self.packets_in_flight} "
@@ -153,6 +220,11 @@ class TelemetrySnapshot:
             lines.append(
                 f"TRUNCATED         : {self.packets_dropped} packet "
                 "lifecycles dropped after the cap"
+            )
+        if self.finish_cpu_s:
+            lines.append(
+                f"flush             : {self.finish_cpu_s * 1e3:.1f} ms "
+                "CPU (one-time, at finish)"
             )
         return "\n".join(lines)
 
@@ -327,6 +399,17 @@ class NetworkTelemetry:
         ]
         self._g_short = reg.gauge("flits.short_ratio")
         self._h_latency = reg.histogram("latency.cycles")
+        # Per-stage rollups: windowed event counts straight off the
+        # network's own counters (full fidelity — every packet lands
+        # here whether or not its lifecycle is sampled into the trace)
+        # plus the stage occupancy of the input VCs at window end.
+        self._c_stage_rc = reg.counter("stage.rc")
+        self._c_stage_va = reg.counter("stage.va")
+        self._c_stage_sa = reg.counter("stage.sa")
+        self._c_stage_st = reg.counter("stage.st")
+        self._g_occ_rc = reg.gauge("stage.occupancy.rc")
+        self._g_occ_va = reg.gauge("stage.occupancy.va")
+        self._g_occ_active = reg.gauge("stage.occupancy.active")
         if config.arch_config is not None:
             self._g_energy_j = reg.gauge("energy.window_j")
             self._g_dynamic_w = reg.gauge("energy.dynamic_w")
@@ -336,21 +419,54 @@ class NetworkTelemetry:
             self._g_temp_max = reg.gauge("thermal.max_k")
         self._thermal: Optional[_ThermalProbe] = None
 
+        self._recorder: Optional[TraceRecorder] = None
+        #: Windowed counter-track points buffered during the run as
+        #: plain tuples (name, cycle, key, value); rendered into the
+        #: trace builder at finish(), off the hot path.
+        self._counter_points: List[Tuple[str, int, str, float]] = []
+        self.packets_traced = 0
+        self.packets_in_flight = 0
+        self._trace_event_total = 0
+        #: CPU seconds spent in the ``finish()`` flush (lifecycle
+        #: reconstruction + trace/JSONL serialization) — a one-time
+        #: teardown cost, bounded by the capture caps.
+        self.finish_cpu_s = 0.0
+        if config.trace_path is not None:
+            # Full-fidelity latency rollups: every delivered packet
+            # lands in these histograms even when its lifecycle is
+            # sampled out of the trace.
+            self._h_net_latency = reg.histogram("latency.network")
+            self._h_queue_delay = reg.histogram("latency.queue")
+            self._c_trace_events = reg.counter("trace.events")
+            self._c_trace_packets = reg.counter("trace.packets_seen")
+            self._g_trace_captured = reg.gauge("trace.packets_captured")
+            self._recorder = TraceRecorder(
+                sample_rate=config.trace_sample_rate,
+                head_tail=config.trace_head_tail,
+                seed=config.trace_seed,
+                ring_events=config.trace_ring_events,
+                max_packets=config.max_trace_packets,
+            )
+            self._last_trace_events = 0
+            self._last_trace_packets = 0
+            # The recorder's own bound methods go straight into the
+            # callback lists — one O(1) hop per event, no sampler-level
+            # indirection; traversal uses the head-only bucket so body
+            # flits never cost a call.  Delivery keeps a sampler wrapper
+            # for the hook-consistency guard and the latency rollups.
+            network.stage_callbacks.append(self._recorder.on_stage)
+            network.head_traverse_callbacks.append(
+                self._recorder.on_traverse
+            )
+            network.delivery_callbacks.append(self._on_delivered)
+            # Routers probe this map inline and skip the hooks for
+            # sampled-out pids — the zero-call early-out.
+            network.trace_drop_filter = self._recorder.drop_filter
+
         self._writer: Optional[MetricsJsonlWriter] = None
         if config.metrics_path is not None:
             self._writer = MetricsJsonlWriter(config.metrics_path)
             self._writer.write(self._meta_record())
-
-        self._trace: Optional[ChromeTraceBuilder] = None
-        self._lives: Dict[int, PacketLife] = {}
-        self._dropped_pids: Set[int] = set()
-        self.packets_traced = 0
-        self.packets_in_flight = 0
-        if config.trace_path is not None:
-            self._trace = ChromeTraceBuilder()
-            network.stage_callbacks.append(self._on_stage)
-            network.traverse_callbacks.append(self._on_traverse)
-            network.delivery_callbacks.append(self._on_delivered)
 
         network.telemetry = self
 
@@ -371,67 +487,37 @@ class NetworkTelemetry:
             "shutdown_enabled": net.shutdown_enabled,
             "arch": getattr(arch, "name", None),
             "metrics": self.registry.names(),
+            **(
+                {
+                    "trace": {
+                        "sample_rate": self.config.trace_sample_rate,
+                        "head_tail": self.config.trace_head_tail,
+                        "seed": self.config.trace_seed,
+                        "ring_capacity_events": (
+                            self.config.trace_ring_events
+                        ),
+                    }
+                }
+                if self._recorder is not None
+                else {}
+            ),
         }
 
-    # -- lifecycle capture callbacks (read-only) ---------------------------
-
-    def _life_for(self, packet: "Packet") -> Optional[PacketLife]:
-        life = self._lives.get(packet.pid)
-        if life is not None:
-            return life
-        if packet.pid in self._dropped_pids:
-            return None
-        if (
-            self.packets_traced + len(self._lives)
-            >= self.config.max_trace_packets
-        ):
-            self._dropped_pids.add(packet.pid)
-            return None
-        life = PacketLife(
-            pid=packet.pid,
-            src=packet.src,
-            dst=packet.dst,
-            size_flits=packet.size_flits,
-            klass=packet.klass.value,
-            created=packet.created_cycle,
-            injected=packet.injected_cycle,
-        )
-        self._lives[packet.pid] = life
-        return life
-
-    def _on_stage(
-        self, cycle: int, node: int, flit: "Flit", stage: str
-    ) -> None:
-        life = self._life_for(flit.packet)
-        if life is not None:
-            life.note_stage(cycle, node, stage)
-
-    def _on_traverse(
-        self, cycle: int, node: int, flit: "Flit", out_port: str
-    ) -> None:
-        if not flit.is_head:
-            return
-        life = self._life_for(flit.packet)
-        if life is not None:
-            life.note_traverse(cycle, node)
+    # -- lifecycle capture (read-only; hot paths live on the recorder) -----
 
     def _on_delivered(self, packet: "Packet", cycle: int) -> None:
-        life = self._lives.pop(packet.pid, None)
-        if life is None:
-            return
-        life.delivered = cycle
-        life.injected = packet.injected_cycle
-        if self._trace is None:
-            # A live PacketLife implies the delivery callback was
-            # registered, which only happens with a trace builder; a
+        if self._recorder is None:
+            # A registered delivery callback implies a live recorder; a
             # bare ``assert`` would vanish under ``python -O``.
             raise RuntimeError(
-                "delivery callback fired without a trace builder: "
-                "telemetry hooks are inconsistent (was the trace "
-                "builder cleared while callbacks stayed registered?)"
+                "delivery callback fired without a trace recorder: "
+                "telemetry hooks are inconsistent (was the recorder "
+                "cleared while callbacks stayed registered?)"
             )
-        self._trace.add_packet(life)
-        self.packets_traced += 1
+        injected = packet.injected_cycle
+        if injected is not None:
+            self._h_net_latency.observe(cycle - injected)
+            self._h_queue_delay.observe(injected - packet.created_cycle)
 
     # -- sampling ----------------------------------------------------------
 
@@ -467,16 +553,36 @@ class NetworkTelemetry:
         self._g_occ_mean.set(total_occ / len(occupancy))
         self._g_occ_max.set(float(max(occupancy)))
 
-        # Per-VC utilisation: input VCs currently holding pipeline state.
+        # Per-VC utilisation and per-stage occupancy: input VCs holding
+        # pipeline state, bucketed by which stage they are waiting in
+        # (read straight off the flat SoA state arrays).
         active_vcs = 0
         total_vcs = 0
+        occ_rc = occ_va = occ_st = 0
         for router in net.routers:
-            total_vcs += len(router.in_vcs)
-            for unit in router.in_vcs:
-                if unit.state != 0:  # _IDLE
+            states = router.vc_state
+            total_vcs += len(states)
+            for state in states:
+                if state:  # != _IDLE
                     active_vcs += 1
+                    if state == 1:  # _RC
+                        occ_rc += 1
+                    elif state == 2:  # _VA
+                        occ_va += 1
+                    else:  # _ACTIVE
+                        occ_st += 1
         self._g_vc_active.set(float(active_vcs))
         self._g_vc_frac.set(active_vcs / total_vcs if total_vcs else 0.0)
+        self._g_occ_rc.set(float(occ_rc))
+        self._g_occ_va.set(float(occ_va))
+        self._g_occ_active.set(float(occ_st))
+
+        # Per-stage windowed event rollups off the network's own
+        # counters: full fidelity regardless of trace sampling.
+        self._c_stage_rc.inc(delta.rc_computations)
+        self._c_stage_va.inc(delta.va_allocations)
+        self._c_stage_sa.inc(delta.sa_allocations)
+        self._c_stage_st.inc(delta.xbar_traversals)
 
         node_cycles = num_nodes * span
         self._g_inj_rate.set(window.packets_injected / node_cycles)
@@ -532,6 +638,18 @@ class NetworkTelemetry:
             self._g_temp_mean.set(temps["mean_k"])
             self._g_temp_max.set(temps["max_k"])
 
+        recorder = self._recorder
+        if recorder is not None:
+            self._c_trace_events.inc(
+                recorder.events_recorded - self._last_trace_events
+            )
+            self._last_trace_events = recorder.events_recorded
+            self._c_trace_packets.inc(
+                recorder.packets_seen - self._last_trace_packets
+            )
+            self._last_trace_packets = recorder.packets_seen
+            self._g_trace_captured.set(float(recorder.packets_captured()))
+
         record: Dict[str, Any] = {
             "type": "sample",
             "cycle": end_cycle,
@@ -551,29 +669,35 @@ class NetworkTelemetry:
         if self._writer is None or config.keep_samples:
             self.samples.append(record)
 
-        if self._trace is not None:
-            trace = self._trace
+        if recorder is not None:
+            # Counter-track points are buffered as tuples and rendered
+            # into the Chrome trace at finish(), off the hot path.
+            points = self._counter_points
             gauges = record["gauges"]
-            trace.add_counter(
-                "occupancy", end_cycle, {"flits": gauges["occupancy.total"]}
+            points.append(
+                ("occupancy", end_cycle, "flits", gauges["occupancy.total"])
             )
-            trace.add_counter(
-                "vc active fraction", end_cycle,
-                {"fraction": gauges["vc.active_fraction"]},
+            points.append(
+                (
+                    "vc active fraction", end_cycle, "fraction",
+                    gauges["vc.active_fraction"],
+                )
             )
-            trace.add_counter(
-                "throughput", end_cycle,
-                {"flits/node/cycle": gauges["rate.throughput"]},
+            points.append(
+                (
+                    "throughput", end_cycle, "flits/node/cycle",
+                    gauges["rate.throughput"],
+                )
             )
             layers = gauges["layers.active_fraction"]
             if layers is not None:
-                trace.add_counter(
-                    "active layer fraction", end_cycle, {"fraction": layers}
+                points.append(
+                    ("active layer fraction", end_cycle, "fraction", layers)
                 )
             if config.per_router:
                 for node, occ in enumerate(occupancy):
-                    trace.add_counter(
-                        f"occupancy r{node}", end_cycle, {"flits": occ}
+                    points.append(
+                        (f"occupancy r{node}", end_cycle, "flits", occ)
                     )
 
         self.windows += 1
@@ -594,48 +718,76 @@ class NetworkTelemetry:
             # Trailing partial window: emitted with its true span, not
             # dropped (same contract as the activity windows).
             self._sample(self.network.cycle)
-        if self._trace is not None:
-            # Packets still in flight render as open-ended spans; they
-            # are counted separately from completed lifecycles so the
-            # snapshot's packets_traced / packets_in_flight split
-            # matches both the trace file metadata and its event count.
-            self.packets_in_flight = len(self._lives)
-            for life in self._lives.values():
-                self._trace.add_packet(life)
-            self._trace.write(
+        flush_start = time.process_time()
+        recorder = self._recorder
+        if recorder is not None:
+            # Reconstruct lifecycles from the ring and render the
+            # Perfetto trace, all off the hot path.  Packets still in
+            # flight render as open-ended spans, counted separately
+            # from completed lifecycles so the snapshot's split matches
+            # both the trace file metadata and its event count.
+            trace = ChromeTraceBuilder()
+            lives, orphaned = recorder.lifecycles()
+            traced = in_flight = 0
+            for life in lives:
+                trace.add_packet(life)
+                if life.delivered is not None:
+                    traced += 1
+                else:
+                    in_flight += 1
+            for name, cycle, key, value in self._counter_points:
+                trace.add_counter(name, cycle, {key: value})
+            self.packets_traced = traced
+            self.packets_in_flight = in_flight
+            self._trace_event_total = len(trace.events)
+            trace.write(
                 self.config.trace_path,
                 other_data={
-                    "packets_traced": self.packets_traced,
-                    "packets_in_flight": self.packets_in_flight,
-                    "packets_dropped": len(self._dropped_pids),
-                    "truncated": bool(self._dropped_pids),
+                    "packets_traced": traced,
+                    "packets_in_flight": in_flight,
+                    "packets_dropped": len(recorder.dropped_pids),
+                    "truncated": bool(recorder.dropped_pids),
                     "windows": self.windows,
+                    "sampling": recorder.sampling_meta(orphaned),
                 },
             )
         if self._writer is not None:
-            self._writer.write(
+            # close() writes the end footer exactly once even if the
+            # writer was already closed by a crashed run's __exit__.
+            self._writer.close(
                 {
                     "type": "end",
                     "cycle": self.network.cycle,
                     "windows": self.windows,
                 }
             )
-            self._writer.close()
+        # The flush (lifecycle reconstruction + trace serialization) is
+        # a one-time cost bounded by the capture caps, not by run
+        # length; expose it so overhead accounting can separate the
+        # per-cycle tax from the teardown.
+        self.finish_cpu_s = time.process_time() - flush_start
         self._closed = True
 
     def detach(self) -> None:
         """Remove every hook this instance installed on the network."""
         self.finish()
         net = self.network
-        for bucket, callback in (
-            (net.stage_callbacks, self._on_stage),
-            (net.traverse_callbacks, self._on_traverse),
-            (net.delivery_callbacks, self._on_delivered),
-        ):
+        hooks = [(net.delivery_callbacks, self._on_delivered)]
+        if self._recorder is not None:
+            hooks.append((net.stage_callbacks, self._recorder.on_stage))
+            hooks.append(
+                (net.head_traverse_callbacks, self._recorder.on_traverse)
+            )
+        for bucket, callback in hooks:
             try:
                 bucket.remove(callback)
             except ValueError:
                 pass
+        if (
+            self._recorder is not None
+            and net.trace_drop_filter is self._recorder.drop_filter
+        ):
+            net.trace_drop_filter = None
         if net.telemetry is self:
             net.telemetry = None
 
@@ -646,17 +798,41 @@ class NetworkTelemetry:
         self.detach()
 
     def snapshot(self) -> TelemetrySnapshot:
+        recorder = self._recorder
         return TelemetrySnapshot(
             interval=self.config.interval,
             windows=self.windows,
             cycles=self.cycles_observed,
             packets_traced=self.packets_traced,
             packets_in_flight=self.packets_in_flight,
-            packets_dropped=len(self._dropped_pids),
-            truncated=bool(self._dropped_pids),
-            trace_events=(
-                len(self._trace.events) if self._trace is not None else 0
+            packets_dropped=(
+                len(recorder.dropped_pids) if recorder is not None else 0
             ),
+            truncated=(
+                bool(recorder.dropped_pids) if recorder is not None else False
+            ),
+            trace_events=self._trace_event_total,
             metrics_path=self.config.metrics_path,
             trace_path=self.config.trace_path,
+            packets_seen=(
+                recorder.packets_seen if recorder is not None else 0
+            ),
+            packets_sampled=(
+                recorder.packets_captured() if recorder is not None else 0
+            ),
+            sampled_out=(
+                recorder.sampled_out if recorder is not None else 0
+            ),
+            tail_evicted=(
+                recorder.tail_evicted if recorder is not None else 0
+            ),
+            events_recorded=(
+                recorder.events_recorded if recorder is not None else 0
+            ),
+            events_overwritten=(
+                recorder.events_overwritten if recorder is not None else 0
+            ),
+            sample_rate=self.config.trace_sample_rate,
+            head_tail=self.config.trace_head_tail,
+            finish_cpu_s=self.finish_cpu_s,
         )

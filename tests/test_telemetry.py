@@ -365,10 +365,11 @@ def test_detach_removes_all_hooks(tmp_path):
         network, TelemetryConfig(trace_path=str(tmp_path / "t.json"))
     ) as telemetry:
         assert network.telemetry is telemetry
-        assert telemetry._on_stage in network.stage_callbacks
+        recorder = telemetry._recorder
+        assert recorder.on_stage in network.stage_callbacks
     assert network.telemetry is None
-    assert telemetry._on_stage not in network.stage_callbacks
-    assert telemetry._on_traverse not in network.traverse_callbacks
+    assert recorder.on_stage not in network.stage_callbacks
+    assert recorder.on_traverse not in network.head_traverse_callbacks
     assert telemetry._on_delivered not in network.delivery_callbacks
     network.step()  # no sampling after detach
     assert telemetry.cycles_observed == 0
@@ -563,7 +564,6 @@ def test_delivery_callback_without_trace_raises():
         network, TelemetryConfig(interval=50, trace_path="unused.json")
     )
     packet = ctrl_packet(0, 5)
-    telemetry._life_for(packet)  # open a lifecycle
-    telemetry._trace = None      # simulate inconsistent hook state
-    with pytest.raises(RuntimeError, match="trace builder"):
+    telemetry._recorder = None   # simulate inconsistent hook state
+    with pytest.raises(RuntimeError, match="trace recorder"):
         telemetry._on_delivered(packet, cycle=10)
