@@ -1,11 +1,13 @@
-"""Validate telemetry artifacts: JSONL metric streams and trace.json.
+"""Validate telemetry artifacts: metric streams, traces, stall reports.
 
 CI runs a short telemetry-enabled simulation and then this script over
 its outputs; any schema drift (records out of order, spans escaping
-their packet, missing counter tracks) fails the build.  Usable locally
+their packet, missing counter tracks, a stall report whose latency
+decomposition does not conserve) fails the build.  Usable locally
 too::
 
-    python benchmarks/validate_telemetry.py metrics.jsonl trace.json
+    python benchmarks/validate_telemetry.py metrics.jsonl trace.json \\
+        --stall-report stall_report.json
 """
 
 from __future__ import annotations
@@ -151,10 +153,130 @@ def validate_trace(path: str) -> int:
     return len(events)
 
 
+#: The stall-cause catalogue is part of the report schema contract —
+#: kept literal here (not imported) so the validator stays standalone
+#: and catches accidental renames on the library side.
+STALL_CAUSES = (
+    "rc_wait", "va_conflict", "sa_loss", "credit_stall", "serialization",
+)
+DECOMPOSITION_COMPONENTS = (
+    "queue", "rc_wait", "va_wait", "sa_wait", "link_transit",
+    "serialization",
+)
+
+
+def validate_stall_report(path: str) -> int:
+    """Check the ``repro diagnose`` report schema; returns the total
+    attributed stall cycles."""
+    with open(path, encoding="utf-8") as handle:
+        try:
+            report = json.load(handle)
+        except json.JSONDecodeError as exc:
+            fail(f"{path} is not valid JSON: {exc}")
+    if report.get("type") != "stall_report":
+        fail(f"{path}: type is {report.get('type')!r}, not 'stall_report'")
+    if report.get("schema") != 1:
+        fail(f"{path}: unknown schema version {report.get('schema')!r}")
+    for key in ("arch", "cycles", "total_stall_cycles", "causes",
+                "composition", "by_active_layers", "hotspot_links",
+                "hotspot_nodes", "backpressure", "decomposition"):
+        if key not in report:
+            fail(f"{path}: report lacks {key!r}")
+
+    causes = report["causes"]
+    if set(causes) != set(STALL_CAUSES):
+        fail(
+            f"{path}: cause catalogue {sorted(causes)} != expected "
+            f"{sorted(STALL_CAUSES)}"
+        )
+    total = report["total_stall_cycles"]
+    if any(v < 0 for v in causes.values()):
+        fail(f"{path}: negative stall-cause counter")
+    if sum(causes.values()) != total:
+        fail(
+            f"{path}: causes sum to {sum(causes.values())} but "
+            f"total_stall_cycles is {total}"
+        )
+    if set(report["composition"]) != set(STALL_CAUSES):
+        fail(f"{path}: composition keys differ from the cause catalogue")
+    if total and abs(sum(report["composition"].values()) - 1.0) > 1e-9:
+        fail(f"{path}: composition shares do not sum to 1")
+
+    layer_total = 0
+    for k, block in report["by_active_layers"].items():
+        if not k.isdigit():
+            fail(f"{path}: by_active_layers key {k!r} is not a layer count")
+        if set(block["causes"]) != set(STALL_CAUSES):
+            fail(f"{path}: layer block {k} has a different cause catalogue")
+        if sum(block["causes"].values()) != block["total"]:
+            fail(f"{path}: layer block {k} causes do not sum to its total")
+        layer_total += block["total"]
+    if layer_total != total:
+        fail(
+            f"{path}: per-layer totals sum to {layer_total}, "
+            f"report total is {total}"
+        )
+
+    for kind, items, keys in (
+        ("hotspot_links", report["hotspot_links"], ("src", "dst", "stalls")),
+        ("hotspot_nodes", report["hotspot_nodes"], ("node", "stalls")),
+    ):
+        stalls = [item["stalls"] for item in items]
+        for item in items:
+            for key in keys + ("causes",):
+                if key not in item:
+                    fail(f"{path}: {kind} entry lacks {key!r}")
+            if sum(item["causes"].values()) != item["stalls"]:
+                fail(f"{path}: {kind} entry causes do not sum to stalls")
+        if stalls != sorted(stalls, reverse=True):
+            fail(f"{path}: {kind} not sorted by stalls descending")
+    if total and not report["hotspot_links"]:
+        fail(f"{path}: stalls were attributed but no hotspot links listed")
+
+    for entry in report["backpressure"]:
+        for key in ("link", "credit_stalls", "chain"):
+            if key not in entry:
+                fail(f"{path}: backpressure entry lacks {key!r}")
+        chain = entry["chain"]
+        if not chain or chain[0] != entry["link"]:
+            fail(f"{path}: backpressure chain does not start at its link")
+
+    decomposition = report["decomposition"]
+    if decomposition is not None:
+        for key in ("packets", "skipped_incomplete", "conservation_exact",
+                    "latency_total", "components_total", "components_mean",
+                    "mean_latency"):
+            if key not in decomposition:
+                fail(f"{path}: decomposition lacks {key!r}")
+        components = decomposition["components_total"]
+        if set(components) != set(DECOMPOSITION_COMPONENTS):
+            fail(
+                f"{path}: decomposition components {sorted(components)} "
+                f"!= expected {sorted(DECOMPOSITION_COMPONENTS)}"
+            )
+        if decomposition["conservation_exact"] != decomposition["packets"]:
+            fail(
+                f"{path}: only {decomposition['conservation_exact']} of "
+                f"{decomposition['packets']} decomposed packets conserve "
+                "latency exactly"
+            )
+        if sum(components.values()) != decomposition["latency_total"]:
+            fail(
+                f"{path}: decomposition components sum to "
+                f"{sum(components.values())} but latency_total is "
+                f"{decomposition['latency_total']}"
+            )
+    return total
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("metrics", help="JSONL metrics stream to validate")
     parser.add_argument("trace", nargs="?", help="trace.json to validate")
+    parser.add_argument(
+        "--stall-report", default=None, metavar="PATH",
+        help="repro diagnose stall report (JSON) to validate",
+    )
     args = parser.parse_args(argv)
 
     samples = validate_metrics(args.metrics)
@@ -162,6 +284,9 @@ def main(argv=None) -> int:
     if args.trace:
         events = validate_trace(args.trace)
         print(f"{args.trace}: OK ({events} events)")
+    if args.stall_report:
+        stalls = validate_stall_report(args.stall_report)
+        print(f"{args.stall_report}: OK ({stalls} stalled unit-cycles)")
     return 0
 
 

@@ -10,6 +10,8 @@ Gives downstream users one-line access to the main flows:
 * ``workloads``   — list the calibrated workload profiles
 * ``experiment``  — run a named table/figure harness
 * ``sweep``       — cached, resumable, fault-tolerant rate sweeps
+* ``diagnose``    — congestion forensics: stall attribution, latency
+  decomposition, and a hotspot/backpressure report for one run
 """
 
 from __future__ import annotations
@@ -104,6 +106,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 def cmd_compare(args: argparse.Namespace) -> int:
     settings = _settings(args)
     rows = []
+    summary = {}
     for config in standard_configs():
         point = run_uniform_point(config, args.rate, settings)
         rows.append(
@@ -115,12 +118,84 @@ def cmd_compare(args: argparse.Namespace) -> int:
                 f"{point.pdp * 1e9:.3f}",
             ]
         )
+        summary[config.name] = {
+            "avg_latency": point.avg_latency,
+            "avg_hops": point.avg_hops,
+            "total_power_w": point.total_power_w,
+            "pdp_wns": point.pdp * 1e9,
+            "throughput": point.sim.throughput,
+            "saturated": point.sim.saturated,
+        }
     print(f"uniform random @ {args.rate:g} flits/node/cycle")
     print(
         format_table(
             ["arch", "latency (cyc)", "hops", "power (W)", "PDP (W*ns)"], rows
         )
     )
+    if args.json:
+        # Machine-readable mirror of the table, same writer convention
+        # as `sweep --stats-out` (pretty-printed, sorted, newline).
+        import json
+        from pathlib import Path
+
+        json_path = Path(args.json)
+        if json_path.parent != Path(""):
+            json_path.parent.mkdir(parents=True, exist_ok=True)
+        json_path.write_text(json.dumps({
+            "traffic": "uniform",
+            "rate": args.rate,
+            "archs": summary,
+        }, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+        print(f"wrote {json_path}")
+    return 0
+
+
+def cmd_diagnose(args: argparse.Namespace) -> int:
+    """Run one point with stall attribution + sampled lifecycle capture
+    and print the congestion-forensics report."""
+    from repro.telemetry import format_stall_report
+    from repro.telemetry.sampler import TelemetryConfig
+
+    config = make_architecture(_resolve_arch(args.arch))
+    settings = _settings(args)
+    telemetry = TelemetryConfig(
+        interval=args.interval,
+        attribution=True,
+        attribution_top_k=args.top,
+        trace_capture=True,
+        trace_sample_rate=args.sample_rate,
+        trace_head_tail=args.head_tail,
+        trace_seed=args.trace_seed,
+        arch_config=config,
+    )
+    run = run_uniform_point if args.traffic == "uniform" else run_nuca_point
+    point = run(
+        config, args.rate, settings,
+        short_flit_fraction=args.short_flits,
+        shutdown_enabled=args.short_flits > 0,
+        telemetry=telemetry,
+    )
+    report = point.sim.telemetry.stall_report
+    print(f"architecture      : {point.arch}")
+    print(f"traffic           : {point.label}")
+    print(f"avg latency       : {point.avg_latency:.2f} cycles")
+    print(f"throughput        : {point.sim.throughput:.4f} flits/node/cycle")
+    if point.sim.saturated:
+        print("warning           : network saturated at this load")
+    print()
+    print(format_stall_report(report))
+    if args.json:
+        import json
+        from pathlib import Path
+
+        json_path = Path(args.json)
+        if json_path.parent != Path(""):
+            json_path.parent.mkdir(parents=True, exist_ok=True)
+        json_path.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {json_path}")
     return 0
 
 
@@ -229,6 +304,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         point_timeout=args.point_timeout,
         failure_mode="report",
         telemetry_dir=args.telemetry_dir,
+        telemetry_attribution=args.telemetry_attribution,
+        progress=args.progress,
+        progress_jsonl=args.progress_jsonl,
     )
 
     rows = []
@@ -427,7 +505,54 @@ def build_parser() -> argparse.ArgumentParser:
 
     cmp_ = sub.add_parser("compare", help="compare all six configurations")
     cmp_.add_argument("--rate", type=float, default=0.2)
+    cmp_.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the comparison as machine-readable JSON "
+        "(same convention as `sweep --stats-out`)",
+    )
     cmp_.set_defaults(func=cmd_compare)
+
+    diag = sub.add_parser(
+        "diagnose",
+        help="congestion forensics: stall attribution, latency "
+        "decomposition, hotspots and backpressure for one run",
+    )
+    diag.add_argument("--arch", default="3DM", help="2DB/3DB/3DM/3DM-E/...")
+    diag.add_argument(
+        "--rate", type=float, default=0.35,
+        help="injection rate; defaults high (0.35) so there is "
+        "congestion worth diagnosing",
+    )
+    diag.add_argument(
+        "--traffic", choices=["uniform", "nuca"], default="uniform"
+    )
+    diag.add_argument("--short-flits", type=float, default=0.0)
+    diag.add_argument(
+        "--top", type=int, default=5, metavar="K",
+        help="hotspot links/routers listed in the report (default 5)",
+    )
+    diag.add_argument(
+        "--interval", type=int, default=100, metavar="N",
+        help="telemetry sampling window in cycles (default 100)",
+    )
+    diag.add_argument(
+        "--sample-rate", type=float, default=0.25, metavar="P",
+        help="fraction of packets whose lifecycles feed the latency "
+        "decomposition (default 0.25)",
+    )
+    diag.add_argument(
+        "--head-tail", type=int, default=16, metavar="K",
+        help="always decompose the first/last K packets too (default 16)",
+    )
+    diag.add_argument(
+        "--trace-seed", type=int, default=0, metavar="S",
+        help="packet-sampling hash seed (default 0)",
+    )
+    diag.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the full stall report as JSON",
+    )
+    diag.set_defaults(func=cmd_diagnose)
 
     area = sub.add_parser("area", help="Table 1 area breakdown")
     area.set_defaults(func=cmd_area)
@@ -507,6 +632,20 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--telemetry-dir", default=None, metavar="DIR",
         help="per-point windowed telemetry JSONL streams",
+    )
+    sweep.add_argument(
+        "--telemetry-attribution", action="store_true",
+        help="with --telemetry-dir: attribute stalled unit-cycles per "
+        "point and write <dir>/<point>.stalls.json reports",
+    )
+    sweep.add_argument(
+        "--progress", action="store_true",
+        help="print per-point progress (done/total, retries, cache "
+        "hits, ETA) to stderr as the sweep runs",
+    )
+    sweep.add_argument(
+        "--progress-jsonl", default=None, metavar="PATH",
+        help="stream per-point progress events to PATH as JSONL",
     )
     sweep.add_argument(
         "--out", default=None, metavar="PATH",

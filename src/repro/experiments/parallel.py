@@ -60,10 +60,11 @@ _ARCH_BY_VALUE = {arch.value: arch for arch in Architecture}
 def _run_item(
     args: Tuple[
         WorkItem, ExperimentSettings, Optional[str], int,
-        Optional[Dict[str, Any]],
+        Optional[Dict[str, Any]], bool,
     ]
 ) -> Tuple[str, float, PointResult]:
-    item, settings, telemetry_dir, telemetry_interval, telemetry_trace = args
+    (item, settings, telemetry_dir, telemetry_interval, telemetry_trace,
+     telemetry_attribution) = args
     arch, rate, kind = item
     try:
         config = make_architecture(arch)
@@ -79,6 +80,7 @@ def _run_item(
                 f"{arch.value}_{kind}@{rate:g}",
                 interval=telemetry_interval,
                 trace=telemetry_trace,
+                attribution=telemetry_attribution,
             )
         extra = {} if telemetry is None else {"telemetry": telemetry}
         if kind == "uniform":
@@ -104,11 +106,14 @@ def parallel_sweep(
     telemetry_interval: int = 100,
     *,
     telemetry_trace: Optional[Dict[str, Any]] = None,
+    telemetry_attribution: bool = False,
     cache_dir: Optional[str] = None,
     resume: bool = False,
     retries: int = 0,
     point_timeout: Optional[float] = None,
     journal_path: Optional[str] = None,
+    progress: bool = False,
+    progress_jsonl: Optional[str] = None,
 ) -> Dict[str, List[Tuple[float, PointResult]]]:
     """Run ``archs x rates`` points over *processes* workers.
 
@@ -123,6 +128,12 @@ def parallel_sweep(
     (``<dir>/<arch>_<kind>@<rate>.trace.json``); pass ``{}`` for the
     production defaults or override the sampling knobs (see
     :func:`~repro.experiments.runner.point_telemetry_config`).
+    ``telemetry_attribution`` also attributes every stalled unit-cycle
+    to a cause and writes per-point stall reports
+    (``<dir>/<arch>_<kind>@<rate>.stalls.json``).  ``progress`` /
+    ``progress_jsonl`` stream per-point progress (stderr lines / JSONL
+    records) when delegating to the v2 engine; the v1 pool path has no
+    per-point completion hooks, so they are ignored there.
 
     Passing any of ``cache_dir`` / ``resume`` / ``retries`` /
     ``point_timeout`` / ``journal_path`` delegates to the v2 engine
@@ -154,6 +165,9 @@ def parallel_sweep(
             telemetry_dir=telemetry_dir,
             telemetry_interval=telemetry_interval,
             telemetry_trace=telemetry_trace,
+            telemetry_attribution=telemetry_attribution,
+            progress=progress,
+            progress_jsonl=progress_jsonl,
         )
         return outcome.series
     if telemetry_dir is not None:
@@ -161,7 +175,7 @@ def parallel_sweep(
     items = [
         (
             (arch, rate, kind), settings, telemetry_dir,
-            telemetry_interval, telemetry_trace,
+            telemetry_interval, telemetry_trace, telemetry_attribution,
         )
         for arch in archs
         for rate in rates

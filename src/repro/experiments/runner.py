@@ -94,6 +94,7 @@ def point_telemetry_config(
     stem: str,
     interval: int = 100,
     trace: Optional[Dict[str, Any]] = None,
+    attribution: bool = False,
 ) -> "TelemetryConfig":
     """Per-sweep-point telemetry: JSONL stream plus optional sampled trace.
 
@@ -103,6 +104,8 @@ def point_telemetry_config(
     production-grade defaults — sampled, not full — overridable via the
     dict keys ``sample_rate`` (default 0.05), ``head_tail`` (default
     16), ``seed``, ``ring_events``, and ``max_packets``.
+    *attribution* additionally turns on per-unit stall attribution and
+    writes each point's stall report to ``<dir>/<stem>.stalls.json``.
     """
     import os
 
@@ -120,6 +123,11 @@ def point_telemetry_config(
             kwargs["trace_ring_events"] = trace["ring_events"]
         if "max_packets" in trace:
             kwargs["max_trace_packets"] = trace["max_packets"]
+    if attribution:
+        kwargs["attribution"] = True
+        kwargs["attribution_path"] = os.path.join(
+            telemetry_dir, stem + ".stalls.json"
+        )
     return TelemetryConfig(
         interval=interval,
         metrics_path=os.path.join(telemetry_dir, stem + ".jsonl"),

@@ -28,11 +28,13 @@ ascending) regardless of completion order.
 
 from __future__ import annotations
 
+import json
 import os
+import sys
 import time
 import traceback
 from multiprocessing import get_context
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, IO, List, Optional, Sequence, Tuple
 
 from repro.core.arch import Architecture, make_architecture
 from repro.experiments.config import ExperimentSettings
@@ -110,7 +112,7 @@ class _Running:
 
 
 def _child_main(conn, spec, settings, telemetry_dir, telemetry_interval,
-                telemetry_trace, worker_fn) -> None:
+                telemetry_trace, telemetry_attribution, worker_fn) -> None:
     """Worker entry point: run one spec, ship the outcome over *conn*.
 
     Every exception is reported as data (message + traceback text) so
@@ -130,6 +132,7 @@ def _child_main(conn, spec, settings, telemetry_dir, telemetry_interval,
                     f"{spec.arch_name}_{spec.kind}@{spec.rate:g}",
                     interval=telemetry_interval,
                     trace=telemetry_trace,
+                    attribution=telemetry_attribution,
                 )
             point = run_point_spec(spec, settings, telemetry=telemetry)
         conn.send(("ok", point))
@@ -139,6 +142,99 @@ def _child_main(conn, spec, settings, telemetry_dir, telemetry_interval,
         )
     finally:
         conn.close()
+
+
+class ProgressEmitter:
+    """Structured per-point sweep progress.
+
+    Emits one human-readable line per point event (cache hit, done,
+    retry, failed) to *stream* (stderr by default, where it cannot
+    corrupt piped stdout output), and optionally mirrors each event as
+    a JSON record to *jsonl_path* for machine consumers (CI dashboards,
+    wrapper scripts polling a long sweep).  The ETA is a simple
+    rate-based extrapolation over finished points; cache hits complete
+    in microseconds, so early all-hit resumes show optimistic ETAs that
+    correct themselves as soon as real points land.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        stream: Optional[IO[str]] = None,
+        jsonl_path: Optional[str] = None,
+    ) -> None:
+        self.total = total
+        self.stream = stream if stream is not None else sys.stderr
+        self.done = 0
+        self.failed = 0
+        self.retries = 0
+        self.cache_hits = 0
+        self._start = time.monotonic()
+        self._jsonl: Optional[IO[str]] = None
+        if jsonl_path is not None:
+            parent = os.path.dirname(jsonl_path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            self._jsonl = open(jsonl_path, "w", encoding="utf-8")
+
+    def point(self, task: "_Task", status: str, cached: bool = False) -> None:
+        if status == "done":
+            self.done += 1
+            if cached:
+                self.cache_hits += 1
+        elif status == "failed":
+            self.failed += 1
+        elif status == "retry":
+            self.retries += 1
+        finished = self.done + self.failed
+        elapsed = time.monotonic() - self._start
+        eta = (
+            elapsed / finished * (self.total - finished)
+            if finished
+            else None
+        )
+        label = f"{task.spec.arch_name} {task.spec.kind}@{task.spec.rate:g}"
+        parts = [
+            f"[sweep {finished}/{self.total}]",
+            f"{status:<6}",
+            f"{label:<24}",
+            f"elapsed {elapsed:6.1f}s",
+        ]
+        if eta is not None:
+            parts.append(f"eta {eta:6.1f}s")
+        tallies = []
+        if self.cache_hits:
+            tallies.append(f"{self.cache_hits} cached")
+        if self.retries:
+            tallies.append(f"{self.retries} retries")
+        if self.failed:
+            tallies.append(f"{self.failed} failed")
+        if tallies:
+            parts.append("(" + ", ".join(tallies) + ")")
+        print(" ".join(parts), file=self.stream, flush=True)
+        if self._jsonl is not None:
+            self._jsonl.write(json.dumps({
+                "type": "progress",
+                "status": status,
+                "arch": task.spec.arch_name,
+                "kind": task.spec.kind,
+                "rate": task.spec.rate,
+                "attempts": task.attempts,
+                "cached": cached,
+                "done": self.done,
+                "failed": self.failed,
+                "retries": self.retries,
+                "cache_hits": self.cache_hits,
+                "total": self.total,
+                "elapsed_s": round(elapsed, 3),
+                "eta_s": round(eta, 3) if eta is not None else None,
+            }) + "\n")
+            self._jsonl.flush()
+
+    def close(self) -> None:
+        if self._jsonl is not None:
+            self._jsonl.close()
+            self._jsonl = None
 
 
 def _mp_context():
@@ -153,7 +249,12 @@ def _journal_point(
     task: _Task,
     status: str,
     cached: bool = False,
+    progress: Optional[ProgressEmitter] = None,
 ) -> None:
+    # Every per-point event (cache hit, done, retry, failed) funnels
+    # through here, so this is also where progress reporting hooks in.
+    if progress is not None:
+        progress.point(task, status, cached=cached)
     if journal is None:
         return
     record = {
@@ -188,6 +289,10 @@ def run_sweep(
     telemetry_dir: Optional[str] = None,
     telemetry_interval: int = 100,
     telemetry_trace: Optional[Dict[str, Any]] = None,
+    telemetry_attribution: bool = False,
+    progress: bool = False,
+    progress_stream: Optional[IO[str]] = None,
+    progress_jsonl: Optional[str] = None,
     worker_fn: Optional[WorkerFn] = None,
 ) -> SweepOutcome:
     """Run *specs*, caching, journaling, and surviving worker failures.
@@ -210,6 +315,15 @@ def run_sweep(
     sampled lifecycle trace per point (``<dir>/<stem>.trace.json``);
     pass ``{}`` for the production defaults or override the knobs (see
     :func:`~repro.experiments.runner.point_telemetry_config`).
+    ``telemetry_attribution`` (with ``telemetry_dir``) turns on stall
+    attribution per point and writes each point's stall report to
+    ``<dir>/<stem>.stalls.json``.
+
+    ``progress=True`` prints one line per point event (cache hit, done,
+    retry, failed) with done/total, failure/retry/cache tallies, and a
+    rate-based ETA to ``progress_stream`` (stderr by default);
+    ``progress_jsonl`` mirrors the same events as machine-readable
+    JSONL records, independent of ``progress``.
     """
     settings = settings or ExperimentSettings.from_env()
     if processes < 0:
@@ -231,6 +345,13 @@ def run_sweep(
     journal = (
         RunJournal(journal_path, append=resume)
         if journal_path is not None
+        else None
+    )
+    emitter = (
+        ProgressEmitter(
+            len(specs), stream=progress_stream, jsonl_path=progress_jsonl
+        )
+        if progress or progress_jsonl is not None
         else None
     )
 
@@ -259,7 +380,9 @@ def run_sweep(
             if hit is not None:
                 results[task.index] = hit
                 stats.cache_hits += 1
-                _journal_point(journal, task, "done", cached=True)
+                _journal_point(
+                    journal, task, "done", cached=True, progress=emitter
+                )
             else:
                 pending.append(task)
         stats.phase_wall_s["probe"] = time.monotonic() - probe_start
@@ -271,14 +394,15 @@ def run_sweep(
                 _run_inline(
                     pending, settings, retries, backoff_s, backoff_factor,
                     failure_mode, worker_fn, store, journal, stats,
-                    results, failures,
+                    results, failures, emitter,
                 )
             else:
                 _run_pooled(
                     pending, settings, processes, retries, backoff_s,
                     backoff_factor, point_timeout, failure_mode, worker_fn,
                     telemetry_dir, telemetry_interval, telemetry_trace,
-                    store, journal, stats, results, failures,
+                    telemetry_attribution, store, journal, stats, results,
+                    failures, emitter,
                 )
         stats.phase_wall_s["run"] = time.monotonic() - run_start
 
@@ -292,6 +416,8 @@ def run_sweep(
     finally:
         if journal is not None:
             journal.close()
+        if emitter is not None:
+            emitter.close()
 
     # Deterministic assembly: specs' arch order, rates ascending —
     # completion order (which varies run to run) never shows through.
@@ -328,10 +454,11 @@ def _record_failure(
     failures: List[PointFailure],
     journal: Optional[RunJournal],
     cause: Optional[BaseException] = None,
+    progress: Optional[ProgressEmitter] = None,
 ) -> None:
     """Retries exhausted: report the point, or raise on the spot."""
     stats.failed_points += 1
-    _journal_point(journal, task, "failed")
+    _journal_point(journal, task, "failed", progress=progress)
     failure = PointFailure(
         arch=task.spec.arch_name,
         kind=task.spec.kind,
@@ -364,6 +491,7 @@ def _handle_attempt_failure(
     journal: Optional[RunJournal],
     waiting: List[_Task],
     cause: Optional[BaseException] = None,
+    progress: Optional[ProgressEmitter] = None,
 ) -> None:
     if task.failure_kind == "timeout":
         stats.timeouts += 1
@@ -376,10 +504,13 @@ def _handle_attempt_failure(
         task.not_before = time.monotonic() + _backoff_delay(
             backoff_s, backoff_factor, task.attempts
         )
-        _journal_point(journal, task, "retry")
+        _journal_point(journal, task, "retry", progress=progress)
         waiting.append(task)
     else:
-        _record_failure(task, failure_mode, stats, failures, journal, cause)
+        _record_failure(
+            task, failure_mode, stats, failures, journal, cause,
+            progress=progress,
+        )
 
 
 def _run_inline(
@@ -395,6 +526,7 @@ def _run_inline(
     stats: SweepStats,
     results: Dict[int, PointResult],
     failures: List[PointFailure],
+    progress: Optional[ProgressEmitter] = None,
 ) -> None:
     """Sequential in-process execution (``processes=0``)."""
     run = worker_fn if worker_fn is not None else run_point_spec
@@ -410,21 +542,22 @@ def _run_inline(
                 if task.attempts <= retries:
                     stats.errors += 1
                     stats.retried_attempts += 1
-                    _journal_point(journal, task, "retry")
+                    _journal_point(journal, task, "retry", progress=progress)
                     time.sleep(
                         _backoff_delay(backoff_s, backoff_factor, task.attempts)
                     )
                     continue
                 stats.errors += 1
                 _record_failure(
-                    task, failure_mode, stats, failures, journal, cause=exc
+                    task, failure_mode, stats, failures, journal, cause=exc,
+                    progress=progress,
                 )
                 break
             results[task.index] = point
             stats.executed += 1
             if store is not None:
                 store.put(task.key, point)
-            _journal_point(journal, task, "done")
+            _journal_point(journal, task, "done", progress=progress)
             break
 
 
@@ -441,11 +574,13 @@ def _run_pooled(
     telemetry_dir: Optional[str],
     telemetry_interval: int,
     telemetry_trace: Optional[Dict[str, Any]],
+    telemetry_attribution: bool,
     store: Optional[ResultStore],
     journal: Optional[RunJournal],
     stats: SweepStats,
     results: Dict[int, PointResult],
     failures: List[PointFailure],
+    progress: Optional[ProgressEmitter] = None,
 ) -> None:
     """One process per point, at most *processes* live at once.
 
@@ -466,7 +601,8 @@ def _run_pooled(
         process = ctx.Process(
             target=_child_main,
             args=(send, task.spec, settings, telemetry_dir,
-                  telemetry_interval, telemetry_trace, worker_fn),
+                  telemetry_interval, telemetry_trace,
+                  telemetry_attribution, worker_fn),
         )
         process.start()
         send.close()  # child's end; parent sees EOF when the child dies
@@ -487,7 +623,7 @@ def _run_pooled(
             stats.executed += 1
             if store is not None:
                 store.put(task.key, point)
-            _journal_point(journal, task, "done")
+            _journal_point(journal, task, "done", progress=progress)
             return
         if outcome is not None:  # ("error", message, traceback)
             task.failure_kind = "error"
@@ -501,7 +637,7 @@ def _run_pooled(
             task.tb = ""
         _handle_attempt_failure(
             task, retries, backoff_s, backoff_factor, failure_mode,
-            stats, failures, journal, waiting,
+            stats, failures, journal, waiting, progress=progress,
         )
 
     try:
@@ -556,6 +692,7 @@ def _run_pooled(
                     _handle_attempt_failure(
                         run.task, retries, backoff_s, backoff_factor,
                         failure_mode, stats, failures, journal, waiting,
+                        progress=progress,
                     )
                     progressed = True
                 else:

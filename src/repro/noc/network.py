@@ -226,6 +226,11 @@ class Network:
         #: default) costs one check per cycle, exactly like the
         #: profiler and sanitizer.
         self.telemetry = None
+        #: Opt-in stall-cause accounting
+        #: (:class:`repro.telemetry.attribution.StallAttribution`);
+        #: ``None`` (the default) costs one ``is not None`` test on the
+        #: routers' stall branches only — nothing per cycle.
+        self.attribution = None
         self.cycle = 0
         if telemetry is not None:
             # Lazy import: the telemetry package is only pulled in when

@@ -45,9 +45,17 @@ class ProfileSnapshot:
     #: Wall seconds by phase: ``deliver`` (arrivals/credits/ejections),
     #: ``inject`` (source queues), ``route`` (router pipelines), and —
     #: only when the corresponding subsystem was attached — ``sanitize``
-    #: (invariant audits) and ``telemetry`` (windowed metric sampling
-    #: and trace capture).
+    #: (invariant audits), ``telemetry`` (windowed metric sampling and
+    #: trace capture, minus the attribution slice), and ``attribution``
+    #: (stall-rollup scans inside the telemetry hook, reported
+    #: separately so the phases stay a partition of ``wall_s``).
     phase_wall_s: Dict[str, float] = field(default_factory=dict)
+    #: CPU seconds the telemetry ``finish()`` flush took (one-time
+    #: teardown: lifecycle reconstruction + trace/report
+    #: serialization).  Outside ``wall_s`` — it happens after the
+    #: stepped cycles — but surfaced here so hot-path vs. flush cost
+    #: reads off a single report.
+    telemetry_finish_cpu_s: float = 0.0
 
     def format(self) -> str:
         """Human-readable block for CLI output."""
@@ -60,6 +68,11 @@ class ProfileSnapshot:
         ]
         for phase, wall in self.phase_wall_s.items():
             lines.append(f"  phase {phase:<11}: {wall:.3f} s")
+        if self.telemetry_finish_cpu_s:
+            lines.append(
+                f"  telemetry flush  : {self.telemetry_finish_cpu_s:.3f} s "
+                "CPU (one-time, at finish)"
+            )
         return "\n".join(lines)
 
 
@@ -81,6 +94,8 @@ class NetworkProfiler:
         "router_wall_s",
         "sanitize_wall_s",
         "telemetry_wall_s",
+        "attribution_wall_s",
+        "telemetry_finish_cpu_s",
     )
 
     def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
@@ -96,6 +111,13 @@ class NetworkProfiler:
         self.router_wall_s = 0.0
         self.sanitize_wall_s = 0.0
         self.telemetry_wall_s = 0.0
+        # Stall-attribution rollup time: accumulated by the telemetry
+        # sampler itself (it is a sub-slice of the telemetry hook), not
+        # by record_cycle.
+        self.attribution_wall_s = 0.0
+        # One-time telemetry finish() flush cost; set by
+        # NetworkTelemetry.finish, outside the stepped cycles.
+        self.telemetry_finish_cpu_s = 0.0
 
     def record_cycle(
         self,
@@ -139,7 +161,14 @@ class NetworkProfiler:
         if self.sanitize_wall_s:
             phases["sanitize"] = self.sanitize_wall_s
         if self.telemetry_wall_s:
-            phases["telemetry"] = self.telemetry_wall_s
+            # The attribution rollup runs inside the telemetry hook;
+            # report it as its own phase and subtract it from the
+            # telemetry line so the phases remain a partition.
+            phases["telemetry"] = (
+                self.telemetry_wall_s - self.attribution_wall_s
+            )
+        if self.attribution_wall_s:
+            phases["attribution"] = self.attribution_wall_s
         return ProfileSnapshot(
             cycles=self.cycles,
             wall_s=wall,
@@ -152,4 +181,5 @@ class NetworkProfiler:
                 else 0.0
             ),
             phase_wall_s=phases,
+            telemetry_finish_cpu_s=self.telemetry_finish_cpu_s,
         )

@@ -55,6 +55,20 @@ VC_STATE_NAMES = {_IDLE: "idle", _RC: "rc", _VA: "va", _ACTIVE: "active"}
 ST_LT_MERGED_CYCLES = 2
 ST_LT_SPLIT_CYCLES = 3
 
+# Stall-attribution cause codes: every cycle a buffered head flit fails
+# to advance is charged to exactly one of these.  The counters live in
+# repro.telemetry.attribution.StallAttribution; the codes are defined
+# here so the hot path never imports the telemetry package.
+STALL_RC_WAIT = 0        # pipeline transit toward RC/VA readiness
+STALL_VA_CONFLICT = 1    # requested an output VC, none granted
+STALL_SA_LOSS = 2        # bid for the crossbar, lost switch allocation
+STALL_CREDIT = 3         # output VC held but downstream buffer is full
+STALL_SERIALIZATION = 4  # own wormhole cadence (one flit per cycle)
+NUM_STALL_CAUSES = 5
+STALL_CAUSE_NAMES = (
+    "rc_wait", "va_conflict", "sa_loss", "credit_stall", "serialization"
+)
+
 
 class _InputVC:
     """View of one (input port, VC) pair's slot in the flat arrays.
@@ -248,6 +262,16 @@ class Router:
         self._n_rc = 0
         self._n_va = 0
         self._n_active = 0
+        # Stall attribution (repro.telemetry.attribution).  Detached —
+        # the default — everything stays None and the hot path pays one
+        # ``is not None`` test on stall branches only; StallAttribution
+        # aliases its flat count arrays here on attach.
+        self._attrib = None
+        self._stall_counts = None
+        self._stall_base = 0
+        self._stall_out_counts = None
+        self._stall_out_base = 0
+        self._stall_layer_counts = None
 
     def attach(self, network: "Network") -> None:
         self._network = network
@@ -416,6 +440,36 @@ class Router:
                 f"router {self.node}: credit overflow on port {port} vc {vc}"
             )
 
+    # -- stall attribution -------------------------------------------------
+
+    def _charge_stall(self, i: int, cause: int) -> None:
+        """Charge one stalled cycle on flat unit *i* to *cause*.
+
+        Called only with attribution attached, and only from the failure
+        branches of :meth:`step`: a unit whose head flit advanced this
+        cycle is never charged, and a unit with a drained FIFO holds no
+        head flit that could stall, so it is skipped.  Counter writes
+        only — attribution never perturbs pipeline state, so enabled
+        runs stay bit-identical.
+        """
+        fifo = self.vc_fifos[i]
+        if not fifo:
+            return
+        self._stall_counts[
+            self._stall_base + i * NUM_STALL_CAUSES + cause
+        ] += 1
+        flit = fifo[0]
+        k = flit.active_groups if self.shutdown_enabled else self.layer_groups
+        self._stall_layer_counts[(k - 1) * NUM_STALL_CAUSES + cause] += 1
+
+    def _charge_credit_stall(self, i: int, out_port: int) -> None:
+        """Credit starvation is additionally billed to the starved
+        output port, so backpressure chains can be followed link by
+        link (which upstream hop this stall propagates from)."""
+        if self.vc_fifos[i]:
+            self._charge_stall(i, STALL_CREDIT)
+            self._stall_out_counts[self._stall_out_base + out_port] += 1
+
     # -- pipeline ----------------------------------------------------------
 
     def step(self, cycle: int) -> None:
@@ -429,6 +483,13 @@ class Router:
             # maintenance are identical to the general path below.
             (i,) = active
             if self.vc_ready[i] > cycle:
+                if self._attrib is not None:
+                    self._charge_stall(
+                        i,
+                        STALL_SERIALIZATION
+                        if self.vc_state[i] == _ACTIVE
+                        else STALL_RC_WAIT,
+                    )
                 return
             state = self.vc_state[i]
             num_vcs = self.num_vcs
@@ -446,6 +507,8 @@ class Router:
                             in_port + 1
                         ) % self.num_ports
                         self._traverse_flat(i, in_port, cycle)
+                    elif self._attrib is not None:
+                        self._charge_credit_stall(i, out_port)
                 return
             if state == _RC:
                 fifo = self.vc_fifos[i]
@@ -475,25 +538,34 @@ class Router:
                                 callback(cycle, self.node, flit, "rc")
                 return
             if state == _VA:
-                if self._va_single(i, cycle) and self.speculative_sa:
-                    # Speculative SA (Fig. 8b): the freshly granted VC
-                    # bids for the crossbar in the same cycle.
-                    fifo = self.vc_fifos[i]
-                    if fifo:
-                        out_port = self.vc_out_port[i]
-                        credits = self.credits[out_port]
-                        if (
-                            credits is None
-                            or credits[self.vc_out_vc[i]] > 0
-                        ):
-                            in_port = i // num_vcs
-                            self._sa1_arbs[in_port]._next = (
-                                i - in_port * num_vcs + 1
-                            ) % num_vcs
-                            self._sa2_arbs[out_port]._next = (
-                                in_port + 1
-                            ) % self.num_ports
-                            self._traverse_flat(i, in_port, cycle)
+                if self._va_single(i, cycle):
+                    if self.speculative_sa:
+                        # Speculative SA (Fig. 8b): the freshly granted
+                        # VC bids for the crossbar in the same cycle.
+                        fifo = self.vc_fifos[i]
+                        if fifo:
+                            out_port = self.vc_out_port[i]
+                            credits = self.credits[out_port]
+                            if (
+                                credits is None
+                                or credits[self.vc_out_vc[i]] > 0
+                            ):
+                                in_port = i // num_vcs
+                                self._sa1_arbs[in_port]._next = (
+                                    i - in_port * num_vcs + 1
+                                ) % num_vcs
+                                self._sa2_arbs[out_port]._next = (
+                                    in_port + 1
+                                ) % self.num_ports
+                                self._traverse_flat(i, in_port, cycle)
+                            elif self._attrib is not None:
+                                # Failed speculation: the VA grant
+                                # landed but the same-cycle crossbar bid
+                                # starved downstream — the lost cycle is
+                                # a credit stall (Fig. 8b semantics).
+                                self._charge_credit_stall(i, out_port)
+                elif self._attrib is not None:
+                    self._charge_stall(i, STALL_VA_CONFLICT)
                 return
             return
         order = sorted(active)
@@ -503,6 +575,21 @@ class Router:
         vc_out_vc = self.vc_out_vc
         vc_fifos = self.vc_fifos
         num_vcs = self.num_vcs
+        attrib = self._attrib
+        if attrib is not None:
+            # Attribution pre-pass: units stamped ready in the future
+            # are in pipeline transit and the stage scans below never
+            # visit them, so their stalled cycle is charged here — to
+            # their own wormhole cadence when streaming (_ACTIVE), to
+            # rc_wait while a head works toward VA readiness.
+            for i in order:
+                if vc_ready[i] > cycle:
+                    self._charge_stall(
+                        i,
+                        STALL_SERIALIZATION
+                        if vc_state[i] == _ACTIVE
+                        else STALL_RC_WAIT,
+                    )
 
         # --- RC stage --- (skipped when no VC is in the RC state; an
         # empty pass is a no-op, so the skip is bit-identical)
@@ -546,7 +633,11 @@ class Router:
                 if vc_state[i] == _VA and vc_ready[i] <= cycle
             ]
             if len(va_units) == 1:
-                self._va_single(va_units[0], cycle)
+                if (
+                    not self._va_single(va_units[0], cycle)
+                    and attrib is not None
+                ):
+                    self._charge_stall(va_units[0], STALL_VA_CONFLICT)
             elif va_units:
                 requests = [
                     VARequest(
@@ -568,6 +659,10 @@ class Router:
                     self._apply_va_grant(
                         in_port * num_vcs + in_vc, out_port, out_vc, cycle
                     )
+                if attrib is not None and len(grants) < len(va_units):
+                    for i in va_units:
+                        if (i // num_vcs, i % num_vcs) not in grants:
+                            self._charge_stall(i, STALL_VA_CONFLICT)
 
         # --- SA + ST stage ---
         if self._n_active:
@@ -582,6 +677,8 @@ class Router:
                     credits = credits_by_port[vc_out_port[i]]
                     if credits is None or credits[vc_out_vc[i]] > 0:
                         sa_units.append(i)
+                    elif attrib is not None:
+                        self._charge_credit_stall(i, vc_out_port[i])
             n_sa = len(sa_units)
             if n_sa == 1:
                 # Sole requester wins both stages outright; both arbiters
@@ -646,6 +743,10 @@ class Router:
                         a_port + 1
                     ) % num_ports
                     self._traverse_flat(w, a_port, cycle)
+                    if attrib is not None:
+                        self._charge_stall(
+                            b if w == a else a, STALL_SA_LOSS
+                        )
                 else:
                     # Two input ports contending for one output port:
                     # each wins its SA1 (sole request there — pointer
@@ -671,6 +772,10 @@ class Router:
                             break
                     arb._next = (w_port + 1) % num_ports
                     self._traverse_flat(w, w_port, cycle)
+                    if attrib is not None:
+                        self._charge_stall(
+                            b if w == a else a, STALL_SA_LOSS
+                        )
             elif n_sa:
                 self._sa_general(sa_units, cycle)
 
@@ -771,10 +876,16 @@ class Router:
                     priorities[(req.in_port, req.in_vc)] = (
                         fifo[0].packet.priority
                     )
+        granted = set() if self._attrib is not None else None
         for grant in self._sa.allocate(sa_requests, priorities):
-            self._traverse_flat(
-                grant.in_port * num_vcs + grant.in_vc, grant.in_port, cycle
-            )
+            gi = grant.in_port * num_vcs + grant.in_vc
+            if granted is not None:
+                granted.add(gi)
+            self._traverse_flat(gi, grant.in_port, cycle)
+        if granted is not None:
+            for i in sa_units:
+                if i not in granted:
+                    self._charge_stall(i, STALL_SA_LOSS)
 
     def _traverse_flat(self, i: int, in_port: int, cycle: int) -> None:
         """Move one flit through the crossbar and onto its output."""

@@ -29,6 +29,14 @@ cycle; enabled runs are bit-identical to bare runs because the sampler
 only reads network state.
 """
 
+from repro.telemetry.attribution import (
+    PacketDecomposition,
+    StallAttribution,
+    build_stall_report,
+    decompose_life,
+    decompose_recorder,
+    format_stall_report,
+)
 from repro.telemetry.export import (
     ChromeTraceBuilder,
     HopRecord,
@@ -54,6 +62,12 @@ from repro.telemetry.sampler import (
 )
 
 __all__ = [
+    "StallAttribution",
+    "PacketDecomposition",
+    "build_stall_report",
+    "format_stall_report",
+    "decompose_life",
+    "decompose_recorder",
     "Counter",
     "Gauge",
     "Histogram",

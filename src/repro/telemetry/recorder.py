@@ -44,8 +44,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: Fields per ring record: (pid, cycle, node, kind).
 RECORD_WIDTH = 4
 
-#: Record kinds (the ``kind`` field).
-KIND_RC, KIND_VA, KIND_ST = 0, 1, 2
+#: Record kinds (the ``kind`` field).  ``KIND_EJECT`` stamps packet
+#: delivery into the ring so the ring alone is a self-contained input
+#: for offline latency decomposition
+#: (:mod:`repro.telemetry.attribution`); live reconstruction also
+#: cross-reads ``packet.delivered_cycle`` off the held object.
+KIND_RC, KIND_VA, KIND_ST, KIND_EJECT = 0, 1, 2, 3
 
 #: Default ring capacity, in records (8 MiB of int64 at width 4).
 DEFAULT_RING_EVENTS = 1 << 18
@@ -249,6 +253,28 @@ class TraceRecorder:
         self._w = 0 if w == self._size else w
         self.events_recorded += 1
 
+    def on_eject(self, packet: "Packet", cycle: int) -> None:
+        """Delivery record: the packet's tail flit left the network.
+
+        Called from the telemetry sampler's delivery hook (once per
+        delivered packet, not per flit), so the cost for sampled-out
+        packets is one dict probe.
+        """
+        code = self._decisions.get(packet.pid)
+        if code is None:
+            code = self._admit(packet)
+        if code == 0:
+            return
+        w = self._w
+        ring = self._ring
+        ring[w] = packet.pid
+        ring[w + 1] = cycle
+        ring[w + 2] = packet.dst
+        ring[w + 3] = 3
+        w += 4
+        self._w = 0 if w == self._size else w
+        self.events_recorded += 1
+
     # -- reconstruction (off the hot path) ----------------------------------
 
     @property
@@ -307,12 +333,23 @@ class TraceRecorder:
             kind = ring[idx + 3]
             if kind == KIND_ST:
                 life.note_traverse(cycle, node)
+            elif kind == KIND_EJECT:
+                # Redundant with the live packet's delivered_cycle by
+                # construction; authoritative when reconstructing from
+                # a ring alone.
+                life.delivered = cycle
             else:
                 life.note_stage(
                     cycle, node, "rc" if kind == KIND_RC else "va"
                 )
             idx += RECORD_WIDTH
         return list(lives.values()), orphaned
+
+    def captured(self) -> Dict[int, "Packet"]:
+        """The held pid -> packet map (head + hash + live tail window);
+        read-only for consumers like the latency decomposition pass,
+        which needs ``packet.hops`` as its completeness bar."""
+        return self._packets
 
     def sampling_meta(self, orphaned: Optional[int] = None) -> Dict[str, Any]:
         """Sampling/truncation metadata for the trace file and snapshot."""

@@ -36,7 +36,14 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
 
+from repro.noc.router import STALL_CAUSE_NAMES
 from repro.noc.stats import EventCounts, StatsCursor
+from repro.telemetry.attribution import (
+    DEFAULT_TOP_K,
+    StallAttribution,
+    build_stall_report,
+    decompose_recorder,
+)
 from repro.telemetry.export import (
     ChromeTraceBuilder,
     MetricsJsonlWriter,
@@ -67,6 +74,21 @@ class TelemetryConfig:
     #: Chrome-trace destination; ``None`` disables lifecycle capture
     #: entirely (no callbacks are registered, zero per-event cost).
     trace_path: Optional[str] = None
+    #: Capture lifecycles into the ring recorder *without* writing a
+    #: trace file — the sampling knobs below still apply.  Used by
+    #: ``repro diagnose``, which needs per-packet stage cycles for the
+    #: latency decomposition but no Perfetto artifact.
+    trace_capture: bool = False
+    #: Attach per-unit stall-cause accounting
+    #: (:class:`~repro.telemetry.attribution.StallAttribution`): stall
+    #: counters/gauges join the registry and a stall report is built at
+    #: ``finish()``.
+    attribution: bool = False
+    #: Write the stall report as JSON here at ``finish()`` (implies
+    #: ``attribution``).
+    attribution_path: Optional[str] = None
+    #: Hotspot links/routers/backpressure chains per report section.
+    attribution_top_k: int = DEFAULT_TOP_K
     #: Retain samples on ``NetworkTelemetry.samples`` (always on when no
     #: metrics_path is given, so an in-memory run is still inspectable).
     keep_samples: bool = False
@@ -124,11 +146,20 @@ class TelemetryConfig:
                 "trace_ring_events must be >= 1, got "
                 f"{self.trace_ring_events}"
             )
+        if self.attribution_top_k < 1:
+            raise ValueError(
+                "attribution_top_k must be >= 1, got "
+                f"{self.attribution_top_k}"
+            )
         if self.thermal and self.arch_config is None:
             raise ValueError(
                 "thermal sampling needs an arch_config to build the "
                 "floorplan and power model"
             )
+
+    @property
+    def attribution_enabled(self) -> bool:
+        return self.attribution or self.attribution_path is not None
 
 
 @dataclass(frozen=True)
@@ -183,6 +214,13 @@ class TelemetrySnapshot:
     #: reconstruction + serialization); bounded by the capture caps,
     #: not by run length.
     finish_cpu_s: float = 0.0
+    #: Total stalled unit-cycles attributed (0 when attribution was
+    #: off).
+    stall_cycles: int = 0
+    #: The ``repro diagnose`` stall report
+    #: (:func:`~repro.telemetry.attribution.build_stall_report` dict);
+    #: ``None`` when attribution was off.
+    stall_report: Optional[Dict[str, Any]] = None
 
     def format(self) -> str:
         """Human-readable block for CLI output."""
@@ -220,6 +258,11 @@ class TelemetrySnapshot:
             lines.append(
                 f"TRUNCATED         : {self.packets_dropped} packet "
                 "lifecycles dropped after the cap"
+            )
+        if self.stall_report is not None:
+            lines.append(
+                f"stall attribution : {self.stall_cycles} stalled "
+                "unit-cycles attributed (repro diagnose for the report)"
             )
         if self.finish_cpu_s:
             lines.append(
@@ -419,6 +462,25 @@ class NetworkTelemetry:
             self._g_temp_max = reg.gauge("thermal.max_k")
         self._thermal: Optional[_ThermalProbe] = None
 
+        # Stall attribution: adopt an already-attached StallAttribution
+        # (ownership stays with whoever built it) or build and own one.
+        self._attribution: Optional[StallAttribution] = None
+        self._owns_attribution = False
+        self.stall_report: Optional[Dict[str, Any]] = None
+        if config.attribution_enabled:
+            attribution = network.attribution
+            if attribution is None:
+                attribution = StallAttribution(network)
+                self._owns_attribution = True
+            self._attribution = attribution
+            self._c_stalls = [
+                reg.counter(f"stall.{name}") for name in STALL_CAUSE_NAMES
+            ]
+            self._g_stall_rate = reg.gauge("stall.rate")
+            self._h_stall_nodes = reg.histogram("stall.node_cycles")
+            self._last_stall_totals = attribution.cause_totals_list()
+            self._last_node_stalls = attribution.node_stall_cycles()
+
         self._recorder: Optional[TraceRecorder] = None
         #: Windowed counter-track points buffered during the run as
         #: plain tuples (name, cycle, key, value); rendered into the
@@ -431,7 +493,7 @@ class NetworkTelemetry:
         #: reconstruction + trace/JSONL serialization) — a one-time
         #: teardown cost, bounded by the capture caps.
         self.finish_cpu_s = 0.0
-        if config.trace_path is not None:
+        if config.trace_path is not None or config.trace_capture:
             # Full-fidelity latency rollups: every delivered packet
             # lands in these histograms even when its lifecycle is
             # sampled out of the trace.
@@ -514,6 +576,7 @@ class NetworkTelemetry:
                 "telemetry hooks are inconsistent (was the recorder "
                 "cleared while callbacks stayed registered?)"
             )
+        self._recorder.on_eject(packet, cycle)
         injected = packet.injected_cycle
         if injected is not None:
             self._h_net_latency.observe(cycle - injected)
@@ -638,6 +701,35 @@ class NetworkTelemetry:
             self._g_temp_mean.set(temps["mean_k"])
             self._g_temp_max.set(temps["max_k"])
 
+        attribution = self._attribution
+        if attribution is not None:
+            # Rollup scans are the only recurring attribution cost the
+            # sampler adds; timed into the profiler's dedicated
+            # ``attribution`` phase when one is attached.
+            prof = net.profiler
+            t_attr = prof.clock() if prof is not None else 0.0
+            totals = attribution.cause_totals_list()
+            for counter, now, before in zip(
+                self._c_stalls, totals, self._last_stall_totals
+            ):
+                counter.inc(now - before)
+            window_stalls = sum(totals) - sum(self._last_stall_totals)
+            self._last_stall_totals = totals
+            self._g_stall_rate.set(window_stalls / node_cycles)
+            node_stalls = attribution.node_stall_cycles()
+            self._h_stall_nodes.observe_many(
+                [
+                    now - before
+                    for now, before in zip(
+                        node_stalls, self._last_node_stalls
+                    )
+                    if now != before
+                ]
+            )
+            self._last_node_stalls = node_stalls
+            if prof is not None:
+                prof.attribution_wall_s += prof.clock() - t_attr
+
         recorder = self._recorder
         if recorder is not None:
             self._c_trace_events.inc(
@@ -721,36 +813,63 @@ class NetworkTelemetry:
         flush_start = time.process_time()
         recorder = self._recorder
         if recorder is not None:
-            # Reconstruct lifecycles from the ring and render the
-            # Perfetto trace, all off the hot path.  Packets still in
-            # flight render as open-ended spans, counted separately
-            # from completed lifecycles so the snapshot's split matches
-            # both the trace file metadata and its event count.
-            trace = ChromeTraceBuilder()
+            # Reconstruct lifecycles from the ring and (when a path was
+            # given) render the Perfetto trace, all off the hot path.
+            # Packets still in flight render as open-ended spans,
+            # counted separately from completed lifecycles so the
+            # snapshot's split matches both the trace file metadata and
+            # its event count.
             lives, orphaned = recorder.lifecycles()
-            traced = in_flight = 0
-            for life in lives:
-                trace.add_packet(life)
-                if life.delivered is not None:
-                    traced += 1
-                else:
-                    in_flight += 1
-            for name, cycle, key, value in self._counter_points:
-                trace.add_counter(name, cycle, {key: value})
-            self.packets_traced = traced
-            self.packets_in_flight = in_flight
-            self._trace_event_total = len(trace.events)
-            trace.write(
-                self.config.trace_path,
-                other_data={
-                    "packets_traced": traced,
-                    "packets_in_flight": in_flight,
-                    "packets_dropped": len(recorder.dropped_pids),
-                    "truncated": bool(recorder.dropped_pids),
-                    "windows": self.windows,
-                    "sampling": recorder.sampling_meta(orphaned),
-                },
+            traced = sum(
+                1 for life in lives if life.delivered is not None
             )
+            self.packets_traced = traced
+            self.packets_in_flight = len(lives) - traced
+            if self.config.trace_path is not None:
+                trace = ChromeTraceBuilder()
+                for life in lives:
+                    trace.add_packet(life)
+                for name, cycle, key, value in self._counter_points:
+                    trace.add_counter(name, cycle, {key: value})
+                self._trace_event_total = len(trace.events)
+                trace.write(
+                    self.config.trace_path,
+                    other_data={
+                        "packets_traced": traced,
+                        "packets_in_flight": self.packets_in_flight,
+                        "packets_dropped": len(recorder.dropped_pids),
+                        "truncated": bool(recorder.dropped_pids),
+                        "windows": self.windows,
+                        "sampling": recorder.sampling_meta(orphaned),
+                    },
+                )
+        attribution = self._attribution
+        if attribution is not None:
+            decompositions = None
+            skipped = 0
+            if recorder is not None:
+                decompositions, skipped = decompose_recorder(
+                    recorder, self.network.routers[0]._hop_cycles
+                )
+            self.stall_report = build_stall_report(
+                attribution,
+                top_k=self.config.attribution_top_k,
+                arch=getattr(self.config.arch_config, "name", None),
+                cycles=self.cycles_observed,
+                decompositions=decompositions,
+                decomposition_skipped=skipped,
+            )
+            if self.config.attribution_path is not None:
+                import json
+                import os
+
+                path = self.config.attribution_path
+                parent = os.path.dirname(path)
+                if parent:
+                    os.makedirs(parent, exist_ok=True)
+                with open(path, "w", encoding="utf-8") as handle:
+                    json.dump(self.stall_report, handle, indent=2)
+                    handle.write("\n")
         if self._writer is not None:
             # close() writes the end footer exactly once even if the
             # writer was already closed by a crashed run's __exit__.
@@ -766,6 +885,11 @@ class NetworkTelemetry:
         # length; expose it so overhead accounting can separate the
         # per-cycle tax from the teardown.
         self.finish_cpu_s = time.process_time() - flush_start
+        prof = self.network.profiler
+        if prof is not None:
+            # Surface the flush cost in the profiler snapshot so hot-
+            # path vs. teardown time reads off one report.
+            prof.telemetry_finish_cpu_s = self.finish_cpu_s
         self._closed = True
 
     def detach(self) -> None:
@@ -788,6 +912,8 @@ class NetworkTelemetry:
             and net.trace_drop_filter is self._recorder.drop_filter
         ):
             net.trace_drop_filter = None
+        if self._owns_attribution and self._attribution is not None:
+            self._attribution.detach()
         if net.telemetry is self:
             net.telemetry = None
 
@@ -835,4 +961,10 @@ class NetworkTelemetry:
             sample_rate=self.config.trace_sample_rate,
             head_tail=self.config.trace_head_tail,
             finish_cpu_s=self.finish_cpu_s,
+            stall_cycles=(
+                self._attribution.total_stall_cycles()
+                if self._attribution is not None
+                else 0
+            ),
+            stall_report=self.stall_report,
         )
