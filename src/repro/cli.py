@@ -45,6 +45,50 @@ def _resolve_arch(name: str) -> Architecture:
     return _ARCH_BY_NAME[name]
 
 
+def _parse_channel(text: str) -> tuple:
+    """``"SRC:DST"`` -> (src, dst)."""
+    try:
+        src, dst = (int(part) for part in text.split(":"))
+    except ValueError:
+        raise SystemExit(f"expected SRC:DST, got {text!r}")
+    return src, dst
+
+
+def _parse_stuck_vc(text: str) -> tuple:
+    """``"NODE:PORT:VC"`` -> (node, port, vc)."""
+    try:
+        node, port, vc = (int(part) for part in text.split(":"))
+    except ValueError:
+        raise SystemExit(f"expected NODE:PORT:VC, got {text!r}")
+    return node, port, vc
+
+
+def _fault_plan(args: argparse.Namespace, config):
+    """Build the FaultPlan the simulate flags describe, or ``None``."""
+    if not (args.inject_faults or args.fail_link or args.stick_vc):
+        return None
+    from repro.resilience.faults import FaultPlan, LinkFault, StuckVCFault
+
+    links = [
+        LinkFault(cycle=args.fault_cycle, src=src, dst=dst)
+        for src, dst in (_parse_channel(t) for t in args.fail_link or ())
+    ]
+    if args.inject_faults:
+        sampled = FaultPlan.random_links(
+            config.build_topology(),
+            args.inject_faults,
+            args.fault_seed,
+            cycle=args.fault_cycle,
+            mode=args.fault_mode,
+        )
+        links.extend(sampled.links)
+    vcs = tuple(
+        StuckVCFault(cycle=args.fault_cycle, node=node, port=port, vc=vc)
+        for node, port, vc in (_parse_stuck_vc(t) for t in args.stick_vc or ())
+    )
+    return FaultPlan(links=tuple(links), vcs=vcs, mode=args.fault_mode)
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     config = make_architecture(_resolve_arch(args.arch))
     settings = _settings(args)
@@ -62,6 +106,14 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             trace_seed=args.trace_seed,
             arch_config=config,
         )
+    faults = _fault_plan(args, config)
+    variation = None
+    if args.variation_sigma:
+        from repro.resilience.variation import VariationModel
+
+        variation = VariationModel(
+            args.variation_sigma, seed=args.variation_seed
+        ).sample_for(config)
     if args.traffic == "uniform":
         point = run_uniform_point(
             config, args.rate, settings,
@@ -71,6 +123,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             sanitize=args.sanitize,
             sanitize_interval=args.sanitize_interval,
             telemetry=telemetry,
+            faults=faults,
+            variation=variation,
         )
     else:
         point = run_nuca_point(
@@ -81,6 +135,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             sanitize=args.sanitize,
             sanitize_interval=args.sanitize_interval,
             telemetry=telemetry,
+            faults=faults,
+            variation=variation,
         )
     print(f"architecture      : {point.arch}")
     print(f"traffic           : {point.label}")
@@ -89,6 +145,20 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     print(f"throughput        : {point.sim.throughput:.4f} flits/node/cycle")
     print(f"network power     : {point.total_power_w:.3f} W")
     print(f"power-delay prod. : {point.pdp * 1e9:.3f} W*ns")
+    if point.sim.fault_summary is not None:
+        fs = point.sim.fault_summary
+        print(
+            f"faults            : {fs['links_killed']} links killed "
+            f"({fs['mode']}), {fs['vcs_stuck']} VCs stuck, "
+            f"{point.sim.packets_dropped} packets dropped"
+        )
+    if variation is not None:
+        print(
+            f"variation         : sigma {variation.sigma:g} seed "
+            f"{variation.seed}, worst delay x"
+            f"{variation.worst_delay_multiplier:.3f}, leakage x"
+            f"{variation.leakage_multiplier:.3f}"
+        )
     if point.sim.saturated:
         print("warning           : network saturated at this load")
     if point.sim.profile is not None:
@@ -396,11 +466,25 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         print(dict_table(exp.fig9_energy_breakdown(), row_label="arch"))
     elif name == "fig1":
         print(dict_table(exp.fig1_data_patterns(), row_label="workload"))
+    elif name == "fig_resilience":
+        variation = exp.fig_resilience_variation(settings, store=store)
+        faults = exp.fig_resilience_faults(settings, store=store)
+        print("--- variation (latency/power spread over seeds) ---")
+        print(dict_table(exp.variation_summary(variation), row_label="arch"))
+        print("--- faults (drain-mode link kills) ---")
+        for arch, rows in exp.fault_summary_table(faults).items():
+            for row in rows:
+                print(
+                    f"{arch:<10} faults={row['faults']:g} "
+                    f"lat={row['avg_latency']:.2f} "
+                    f"delivered={row['packets_delivered']:g} "
+                    f"dropped={row['packets_dropped']:g}"
+                )
     else:
         raise SystemExit(
             "unknown experiment; choose from fig1, fig9, fig11a, fig11b, "
-            "fig11d, fig12a, fig13a, fig13b, fig13c (run the benchmark "
-            "suite for the rest)"
+            "fig11d, fig12a, fig13a, fig13b, fig13c, fig_resilience (run "
+            "the benchmark suite for the rest)"
         )
     return 0
 
@@ -500,6 +584,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-seed", type=int, default=0, metavar="S",
         help="seed for the trace sampling hash: same seed, same "
         "captured packets (default 0)",
+    )
+    sim.add_argument(
+        "--inject-faults", type=int, default=0, metavar="N",
+        help="kill N seeded-random directed links (see --fault-seed / "
+        "--fault-cycle / --fault-mode)",
+    )
+    sim.add_argument(
+        "--fault-seed", type=int, default=0, metavar="S",
+        help="RNG seed for the random link sample (default 0)",
+    )
+    sim.add_argument(
+        "--fault-cycle", type=int, default=0, metavar="C",
+        help="cycle the injected faults apply at (default 0)",
+    )
+    sim.add_argument(
+        "--fault-mode", choices=["hard", "drain"], default="hard",
+        help="hard = credit-starving electrical failure; drain = "
+        "routing-level fence, committed wormholes finish (default hard)",
+    )
+    sim.add_argument(
+        "--fail-link", action="append", metavar="SRC:DST",
+        help="kill this directed channel (repeatable)",
+    )
+    sim.add_argument(
+        "--stick-vc", action="append", metavar="NODE:PORT:VC",
+        help="freeze this input VC at --fault-cycle (repeatable)",
+    )
+    sim.add_argument(
+        "--variation-sigma", type=float, default=0.0, metavar="S",
+        help="process-variation sigma; latency/power reflect the "
+        "sampled corner (default 0 = no variation)",
+    )
+    sim.add_argument(
+        "--variation-seed", type=int, default=0, metavar="S",
+        help="variation sample seed (default 0)",
     )
     sim.set_defaults(func=cmd_simulate)
 

@@ -23,10 +23,11 @@ the failure space the topology tolerates.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Optional, Set, Tuple
+from typing import Iterable, Optional, Set, Tuple
 
 from repro.core.arch import ArchitectureConfig
 from repro.noc.network import Network
+from repro.noc.routing import UnroutableError
 from repro.topology.base import LOCAL_PORT, LinkKind
 from repro.topology.express_mesh import EXPRESS_FOR, ExpressMesh
 from repro.topology.mesh2d import EAST, NORTH, SOUTH, WEST
@@ -34,9 +35,15 @@ from repro.topology.mesh2d import EAST, NORTH, SOUTH, WEST
 #: A directed channel identified by (source node, destination node).
 Channel = Tuple[int, int]
 
-
-class UnroutableError(RuntimeError):
-    """No surviving channel makes progress towards the destination."""
+__all__ = [
+    "Channel",
+    "UnroutableError",  # defined in repro.noc.routing; re-exported here
+    "FaultTolerantExpressRouting",
+    "both_directions",
+    "build_fault_tolerant_network",
+    "routable_under",
+    "single_failure_coverage",
+]
 
 
 def both_directions(src: int, dst: int) -> Set[Channel]:
@@ -45,16 +52,32 @@ def both_directions(src: int, dst: int) -> Set[Channel]:
 
 
 class FaultTolerantExpressRouting:
-    """Express-mesh X-Y routing that steers around failed channels."""
+    """Express-mesh X-Y routing that steers around failed channels.
+
+    The failure set is mutable so a runtime
+    :class:`~repro.resilience.faults.FaultInjector` can grow it
+    mid-simulation via :meth:`fail_channel`; the routing function reacts
+    from the next RC computation on.
+    """
 
     def __init__(
         self, topology: ExpressMesh, failed: Iterable[Channel] = ()
     ) -> None:
         self.topology = topology
-        self.failed: FrozenSet[Channel] = frozenset(failed)
+        self.failed: Set[Channel] = set(failed)
         for src, dst in self.failed:
             # Failed channels must exist, else the failure set is a typo.
             topology.link_between(src, dst)
+
+    def fail_channel(self, channel: Channel) -> None:
+        """Add one directed channel to the failure set at runtime."""
+        src, dst = channel
+        self.topology.link_between(src, dst)  # must exist
+        self.failed.add((src, dst))
+
+    def restore_channel(self, channel: Channel) -> None:
+        """Remove one directed channel from the failure set."""
+        self.failed.discard(channel)
 
     # -- helpers -----------------------------------------------------------
 
@@ -82,7 +105,10 @@ class FaultTolerantExpressRouting:
             port = self._steer(node, direction, abs(dx - x))
             if port is None:
                 raise UnroutableError(
-                    f"node {node}: no surviving channel towards x={dx}"
+                    f"node {node}: no surviving channel towards x={dx}",
+                    node=node,
+                    dst=dst,
+                    failed=frozenset(self.failed),
                 )
             return port
         if y != dy:
@@ -90,7 +116,10 @@ class FaultTolerantExpressRouting:
             port = self._steer(node, direction, abs(dy - y))
             if port is None:
                 raise UnroutableError(
-                    f"node {node}: no surviving channel towards y={dy}"
+                    f"node {node}: no surviving channel towards y={dy}",
+                    node=node,
+                    dst=dst,
+                    failed=frozenset(self.failed),
                 )
             return port
         return LOCAL_PORT

@@ -74,6 +74,13 @@ from repro.experiments.store import (
 )
 from repro.experiments.sweep import run_sweep, specs_for_grid
 from repro.experiments.summary import write_report
+from repro.experiments.resilience_exp import (
+    fault_summary_table,
+    fig_resilience,
+    fig_resilience_faults,
+    fig_resilience_variation,
+    variation_summary,
+)
 
 __all__ = [
     "ExperimentSettings",
@@ -127,4 +134,9 @@ __all__ = [
     "run_sweep",
     "specs_for_grid",
     "write_report",
+    "fig_resilience",
+    "fig_resilience_variation",
+    "fig_resilience_faults",
+    "variation_summary",
+    "fault_summary_table",
 ]

@@ -20,6 +20,8 @@ from repro.traffic.traces import TraceRecord, TraceTraffic
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.experiments.store import PointSpec
+    from repro.resilience.faults import FaultPlan
+    from repro.resilience.variation import VariationSample
     from repro.telemetry.sampler import TelemetryConfig
 
 
@@ -145,7 +147,14 @@ def _run(
     sanitize: bool = False,
     sanitize_interval: int = 1,
     telemetry: Optional["TelemetryConfig"] = None,
+    faults: Optional["FaultPlan"] = None,
+    variation: Optional["VariationSample"] = None,
 ) -> PointResult:
+    if variation is not None:
+        # A slow corner can force the split ST/LT pipeline; apply the
+        # sample's timing verdict before the network is built.  A
+        # sigma-0 sample returns the config unchanged.
+        config = variation.apply_to(config)
     network = config.build_network(shutdown_enabled=shutdown_enabled)
     if telemetry is not None and telemetry.arch_config is None:
         # The runner knows the architecture; hand it to the sampler so
@@ -161,6 +170,7 @@ def _run(
         sanitize=sanitize,
         sanitize_interval=sanitize_interval,
         telemetry=telemetry,
+        faults=faults,
     )
     result = sim.run()
     report = power_report(
@@ -168,6 +178,7 @@ def _run(
         result.events,
         result.window_cycles,
         shutdown_enabled=shutdown_enabled,
+        variation=variation,
     )
     total_flits = sum(r.flits_switched for r in network.routers) or 1
     activity = [r.flits_switched / total_flits for r in network.routers]
@@ -197,6 +208,7 @@ def _run(
         result.events,
         result.window_cycles,
         shutdown_enabled=shutdown_enabled,
+        variation=variation,
     )
     return PointResult(
         arch=config.name,
@@ -220,6 +232,8 @@ def run_uniform_point(
     sanitize: bool = False,
     sanitize_interval: int = 1,
     telemetry: Optional["TelemetryConfig"] = None,
+    faults: Optional["FaultPlan"] = None,
+    variation: Optional["VariationSample"] = None,
 ) -> PointResult:
     """Uniform-random traffic at *rate* flits/node/cycle."""
     traffic = UniformRandomTraffic(
@@ -231,7 +245,7 @@ def run_uniform_point(
     return _run(
         config, traffic, settings, f"UR@{rate:g}", shutdown_enabled,
         profile=profile, sanitize=sanitize, sanitize_interval=sanitize_interval,
-        telemetry=telemetry,
+        telemetry=telemetry, faults=faults, variation=variation,
     )
 
 
@@ -246,6 +260,8 @@ def run_nuca_point(
     sanitize: bool = False,
     sanitize_interval: int = 1,
     telemetry: Optional["TelemetryConfig"] = None,
+    faults: Optional["FaultPlan"] = None,
+    variation: Optional["VariationSample"] = None,
 ) -> PointResult:
     """NUCA-constrained request/response traffic (Fig. 11b)."""
     traffic = NucaUniformTraffic(
@@ -258,8 +274,51 @@ def run_nuca_point(
     return _run(
         config, traffic, settings, f"NUCA@{request_rate:g}", shutdown_enabled,
         profile=profile, sanitize=sanitize, sanitize_interval=sanitize_interval,
-        telemetry=telemetry,
+        telemetry=telemetry, faults=faults, variation=variation,
     )
+
+
+def fault_plan_for_spec(spec: "PointSpec") -> Optional["FaultPlan"]:
+    """Materialise the spec's fault fields as a FaultPlan (or ``None``).
+
+    Explicit ``fault_links``/``fault_vcs`` and the seeded-random sample
+    (``fault_random_links`` channels drawn with ``fault_seed``) combine
+    into one plan; the random draw depends only on the topology and the
+    seed, so the plan is a pure function of the spec — exactly what the
+    cache key assumes.
+    """
+    if not spec.has_faults:
+        return None
+    from repro.resilience.faults import FaultPlan, LinkFault, StuckVCFault
+
+    links = [
+        LinkFault(cycle=cycle, src=src, dst=dst)
+        for cycle, src, dst in spec.fault_links
+    ]
+    if spec.fault_random_links:
+        sampled = FaultPlan.random_links(
+            spec.config.build_topology(),
+            spec.fault_random_links,
+            spec.fault_seed,
+            cycle=spec.fault_cycle,
+            mode=spec.fault_mode,
+        )
+        links.extend(sampled.links)
+    vcs = tuple(
+        StuckVCFault(cycle=cycle, node=node, port=port, vc=vc)
+        for cycle, node, port, vc in spec.fault_vcs
+    )
+    return FaultPlan(links=tuple(links), vcs=vcs, mode=spec.fault_mode)
+
+
+def variation_sample_for_spec(spec: "PointSpec") -> Optional["VariationSample"]:
+    """The spec's process-variation sample (or ``None`` at sigma 0)."""
+    if not spec.variation_sigma:
+        return None
+    from repro.resilience.variation import VariationModel
+
+    model = VariationModel(spec.variation_sigma, seed=spec.variation_seed)
+    return model.sample_for(spec.config)
 
 
 def run_point_spec(
@@ -282,6 +341,8 @@ def run_point_spec(
         shutdown_enabled=spec.shutdown_enabled,
         seed=spec.seed,
         telemetry=telemetry,
+        faults=fault_plan_for_spec(spec),
+        variation=variation_sample_for_spec(spec),
     )
 
 

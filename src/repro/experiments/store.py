@@ -49,7 +49,9 @@ from repro.power.energy import LayerPowerReport, PowerReport
 #: Bump when the serialised result layout or the key payload changes;
 #: part of every key, so stale cache entries can never be misread.
 #: v2: layer-resolved event histograms, node_layer_activity, layer_power.
-SCHEMA_VERSION = 2
+#: v3: fault-injection and process-variation spec fields; drop counters
+#: and fault summary in the serialised sim result.
+SCHEMA_VERSION = 3
 
 
 # ---------------------------------------------------------------------------
@@ -77,10 +79,38 @@ class PointSpec:
     #: ``None`` means "use ``settings.seed``" (the effective seed is what
     #: gets hashed, so the two spellings key identically).
     seed: Optional[int] = None
+    #: Explicit link kills as ``(cycle, src, dst)`` triples.
+    fault_links: Tuple[Tuple[int, int, int], ...] = ()
+    #: Stuck VCs as ``(cycle, node, port, vc)`` quadruples.
+    fault_vcs: Tuple[Tuple[int, int, int, int], ...] = ()
+    #: Additionally kill this many seeded-random channels.
+    fault_random_links: int = 0
+    #: RNG seed for the random link sample.
+    fault_seed: int = 0
+    #: Cycle the random link kills apply at.
+    fault_cycle: int = 0
+    #: ``"hard"`` (credit-starving) or ``"drain"`` (routing-level fence).
+    fault_mode: str = "hard"
+    #: Process-variation sigma (0 = no variation model attached).
+    variation_sigma: float = 0.0
+    #: Process-variation sample seed.
+    variation_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in ("uniform", "nuca"):
             raise ValueError(f"unknown traffic kind {self.kind!r}")
+        if self.fault_mode not in ("hard", "drain"):
+            raise ValueError(f"unknown fault mode {self.fault_mode!r}")
+        if self.fault_random_links < 0:
+            raise ValueError("fault_random_links must be >= 0")
+        if self.variation_sigma < 0:
+            raise ValueError("variation_sigma must be >= 0")
+
+    @property
+    def has_faults(self) -> bool:
+        return bool(
+            self.fault_links or self.fault_vcs or self.fault_random_links
+        )
 
     @property
     def arch_name(self) -> str:
@@ -142,6 +172,14 @@ def key_payload(spec: PointSpec, settings: ExperimentSettings) -> Dict[str, Any]
         "warmup_cycles": settings.warmup_cycles,
         "measure_cycles": settings.measure_cycles,
         "drain_cycles": settings.drain_cycles,
+        "fault_links": spec.fault_links,
+        "fault_vcs": spec.fault_vcs,
+        "fault_random_links": spec.fault_random_links,
+        "fault_seed": spec.fault_seed,
+        "fault_cycle": spec.fault_cycle,
+        "fault_mode": spec.fault_mode,
+        "variation_sigma": spec.variation_sigma,
+        "variation_seed": spec.variation_seed,
     }
 
 
@@ -216,6 +254,9 @@ def point_result_to_json(point: PointResult) -> Dict[str, Any]:
             "latency_p50": sim.latency_p50,
             "latency_p95": sim.latency_p95,
             "latency_p99": sim.latency_p99,
+            "packets_dropped": sim.packets_dropped,
+            "flits_dropped": sim.flits_dropped,
+            "fault_summary": sim.fault_summary,
         },
         "power": {
             "name": point.power.name,

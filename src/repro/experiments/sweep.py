@@ -64,8 +64,15 @@ def specs_for_grid(
     short_flit_fraction: float = 0.0,
     shutdown_enabled: bool = False,
     seed: Optional[int] = None,
+    **resilience: object,
 ) -> List[PointSpec]:
-    """The ``archs x rates`` grid as PointSpecs (arch-major order)."""
+    """The ``archs x rates`` grid as PointSpecs (arch-major order).
+
+    Extra keyword arguments (``fault_random_links``, ``fault_seed``,
+    ``fault_mode``, ``variation_sigma``, ``variation_seed``, ...) pass
+    straight through to every :class:`PointSpec`, so resilience sweeps
+    reuse the same grid builder and get the same cache keying.
+    """
     return [
         PointSpec(
             config=make_architecture(arch),
@@ -74,6 +81,7 @@ def specs_for_grid(
             short_flit_fraction=short_flit_fraction,
             shutdown_enabled=shutdown_enabled,
             seed=seed,
+            **resilience,
         )
         for arch in archs
         for rate in rates

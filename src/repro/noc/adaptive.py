@@ -18,28 +18,57 @@ adaptive-aware router.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Iterable, List, Set, Tuple
 
 from repro.topology.base import LOCAL_PORT
 from repro.topology.mesh2d import EAST, Mesh2D, NORTH, SOUTH, WEST
 
 
 class WestFirstAdaptiveRouting:
-    """West-first minimal adaptive routing on a 2D mesh."""
+    """West-first minimal adaptive routing on a 2D mesh.
+
+    Optionally fault-aware: channels in :attr:`failed` (grown at runtime
+    via :meth:`fail_channel`, e.g. by a
+    :class:`~repro.resilience.faults.FaultInjector`) are filtered out of
+    the candidate set, so the adaptive selection reroutes around damage
+    wherever a minimal alternative survives.  With no failures the
+    filter costs one falsy-set test per RC and returns identical
+    candidates.
+    """
 
     #: Marks this function as adaptive for the router.
     is_adaptive = True
 
-    def __init__(self, topology: Mesh2D) -> None:
+    def __init__(
+        self,
+        topology: Mesh2D,
+        failed: Iterable[Tuple[int, int]] = (),
+    ) -> None:
         if not isinstance(topology, Mesh2D):
             raise TypeError("west-first routing requires a 2D mesh")
         self.topology = topology
+        self.failed: Set[Tuple[int, int]] = set(failed)
+        for src, dst in self.failed:
+            topology.link_between(src, dst)  # must exist
+
+    def fail_channel(self, channel: Tuple[int, int]) -> None:
+        """Add one directed channel to the failure set at runtime."""
+        src, dst = channel
+        self.topology.link_between(src, dst)
+        self.failed.add((src, dst))
+
+    def _alive(self, node: int, port: str) -> bool:
+        link = self.topology.out_ports[node].get(port)
+        return link is not None and (link.src, link.dst) not in self.failed
 
     def candidate_ports(self, node: int, dst: int) -> List[str]:
         """Minimal productive output ports, in preference order.
 
         Westward traffic is restricted to W (the turn model's rule);
-        otherwise every minimal direction is a candidate.
+        otherwise every minimal direction is a candidate.  With a
+        non-empty failure set, dead channels are filtered out — possibly
+        leaving no candidate, which the router surfaces as an
+        :class:`~repro.noc.routing.UnroutableError` packet drop.
         """
         x, y = self.topology.coordinates(node)
         dx, dy = self.topology.coordinates(dst)
@@ -47,14 +76,17 @@ class WestFirstAdaptiveRouting:
             return [LOCAL_PORT]
         if dx < x:
             # All west hops first: no adaptive turns allowed.
-            return [WEST]
-        candidates: List[str] = []
-        if dx > x:
-            candidates.append(EAST)
-        if dy > y:
-            candidates.append(SOUTH)
-        elif dy < y:
-            candidates.append(NORTH)
+            candidates = [WEST]
+        else:
+            candidates = []
+            if dx > x:
+                candidates.append(EAST)
+            if dy > y:
+                candidates.append(SOUTH)
+            elif dy < y:
+                candidates.append(NORTH)
+        if self.failed:
+            candidates = [p for p in candidates if self._alive(node, p)]
         return candidates
 
     def output_port(self, node: int, dst: int) -> str:

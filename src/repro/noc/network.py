@@ -17,7 +17,11 @@ from repro.noc.packet import Flit, Packet, PacketClass
 from repro.noc.profiling import NetworkProfiler
 from repro.noc.router import Router
 from repro.noc.sanitizer import DEFAULT_WATCHDOG_WINDOW, NetworkSanitizer
-from repro.noc.routing import RoutingFunction, routing_for_topology
+from repro.noc.routing import (
+    RoutingFunction,
+    UnroutableError,
+    routing_for_topology,
+)
 from repro.noc.scheduling import TimingWheel
 from repro.noc.stats import EventCounts, NetworkStats
 from repro.topology.base import LinkSpec, Topology
@@ -231,6 +235,11 @@ class Network:
         #: ``None`` (the default) costs one ``is not None`` test on the
         #: routers' stall branches only — nothing per cycle.
         self.attribution = None
+        #: Opt-in runtime fault injector
+        #: (:class:`repro.resilience.faults.FaultInjector`, registered
+        #: via its ``attach``); ``None`` (the default) costs one
+        #: ``is None`` check per cycle, exactly like the profiler.
+        self.fault_injector = None
         self.cycle = 0
         if telemetry is not None:
             # Lazy import: the telemetry package is only pulled in when
@@ -342,10 +351,15 @@ class Network:
                 packet.injected_cycle = cycle
                 if self.lookahead_rc:
                     # First-hop route computed at injection (Fig. 8c).
-                    src.flits[0].lookahead_port = self.routing.output_port(
-                        node, packet.dst
-                    )
-                    self.events.rc_computations += 1
+                    try:
+                        src.flits[0].lookahead_port = (
+                            self.routing.output_port(node, packet.dst)
+                        )
+                        self.events.rc_computations += 1
+                    except UnroutableError:
+                        # Unroutable at injection time: fall back to the
+                        # router's RC stage, which counts the drop.
+                        src.flits[0].lookahead_port = None
             if router.local_vc_has_space(src.vc):
                 flit = src.flits[src.flit_idx]
                 router.receive_flit(router.local_port, src.vc, flit, cycle)
@@ -369,13 +383,33 @@ class Network:
         for node, port, vc, flit in self._arrivals.pop_due(cycle):
             routers[node].receive_flit(port, vc, flit, cycle)
 
-        for node, port, vc in self._credits.pop_due(cycle):
-            routers[node].receive_credit(port, vc)
+        fi = self.fault_injector
+        if fi is not None and fi.dead_credit_targets:
+            # Hard link faults: credits bound for a dead output port are
+            # confiscated (the physical channel can no longer signal),
+            # keeping the upstream port permanently credit-starved.  The
+            # injector ledgers each confiscation so the sanitizer's
+            # credit-conservation audit still balances.
+            dead = fi.dead_credit_targets
+            for node, port, vc in self._credits.pop_due(cycle):
+                if (node, port) in dead:
+                    fi.confiscate(node, port, vc)
+                else:
+                    routers[node].receive_credit(port, vc)
+        else:
+            for node, port, vc in self._credits.pop_due(cycle):
+                routers[node].receive_credit(port, vc)
 
         for flit in self._ejections.pop_due(cycle):
             if flit.is_tail:
                 packet = flit.packet
                 packet.delivered_cycle = cycle
+                if packet.dropped:
+                    # Fault-induced drop: the packet drained through the
+                    # normal ejection path but was never delivered —
+                    # count it, skip the delivery callbacks.
+                    self.stats.note_dropped(packet)
+                    continue
                 self.stats.note_delivered(packet)
                 for callback in self.delivery_callbacks:
                     callback(packet, cycle)
@@ -408,9 +442,15 @@ class Network:
         prof = self.profiler
         san = self.sanitizer
         tel = self.telemetry
+        fi = self.fault_injector
         if prof is None:
             self._deliver(cycle)
             self._inject(cycle)
+            if fi is not None:
+                # Apply scheduled fault events due this cycle and
+                # re-freeze stuck VCs after arrivals/injections landed
+                # (receive_flit re-stamps vc_ready), before routers step.
+                fi.on_cycle(cycle)
             self._step_routers(cycle)
             if san is not None:
                 san.maybe_audit(cycle)
@@ -422,6 +462,8 @@ class Network:
             self._deliver(cycle)
             t1 = clock()
             self._inject(cycle)
+            if fi is not None:
+                fi.on_cycle(cycle)
             t2 = clock()
             stepped = self._step_routers(cycle)
             t3 = clock()

@@ -79,6 +79,13 @@ class Packet:
     injected_cycle: Optional[int] = None
     delivered_cycle: Optional[int] = None
     hops: int = 0
+    #: Set by the router when no surviving channel reaches ``dst``
+    #: (injected faults): the packet is steered to the nearest ejection
+    #: port and counted in ``NetworkStats.packets_dropped`` instead of
+    #: delivered.
+    dropped: bool = False
+    #: Node at which the drop decision was made (-1 = not dropped).
+    drop_node: int = -1
 
     def __post_init__(self) -> None:
         if self.size_flits < 1:

@@ -37,7 +37,7 @@ from repro.noc.allocator import (
 )
 from repro.noc.buffer import VirtualChannelBuffer
 from repro.noc.packet import Flit
-from repro.noc.routing import RoutingFunction
+from repro.noc.routing import RoutingFunction, UnroutableError
 from repro.noc.stats import EventCounts
 from repro.topology.base import LOCAL_PORT, LinkSpec, Topology
 
@@ -272,6 +272,11 @@ class Router:
         self._stall_out_counts = None
         self._stall_out_base = 0
         self._stall_layer_counts = None
+        # Fault injection (repro.resilience.faults).  Detached — the
+        # default — this stays None and the RC stage pays one
+        # ``is not None`` test per routed head; the injector installs a
+        # set of dead output-port indices when it kills a link.
+        self._dead_out: Optional[set] = None
 
     def attach(self, network: "Network") -> None:
         self._network = network
@@ -329,20 +334,53 @@ class Router:
         return 1 if flit.packet.klass is PacketClass.DATA else 0
 
     def _pick_adaptive_port(self, dst: int) -> int:
-        """Most-credited candidate port (ties keep preference order)."""
+        """Most-credited candidate port (ties keep preference order).
+
+        With injected faults, candidates leading onto dead channels are
+        skipped — the adaptive reroute path.  No surviving candidate
+        raises :class:`UnroutableError`, which the RC stage converts
+        into a counted packet drop.
+        """
+        dead = self._dead_out
         best_idx = -1
         best_score = -1
         for name in self.routing.candidate_ports(self.node, dst):
             idx = self.port_index[name]
+            if dead is not None and idx in dead:
+                continue
             credits = self.credits[idx]
             score = (1 << 30) if credits is None else sum(credits)
             if score > best_score:
                 best_idx, best_score = idx, score
         if best_idx < 0:
-            raise RuntimeError(
-                f"router {self.node}: adaptive routing offered no candidates"
+            raise UnroutableError(
+                f"router {self.node}: adaptive routing offered no candidates",
+                node=self.node,
+                dst=dst,
+                failed=self._failed_channels(),
             )
         return best_idx
+
+    def _failed_channels(self) -> frozenset:
+        """Failed-channel set known to the attached injector (context
+        for :class:`UnroutableError`; empty when no injector)."""
+        network = self._network
+        injector = getattr(network, "fault_injector", None)
+        if injector is None:
+            return frozenset()
+        return frozenset(injector.failed)
+
+    def _drop_route(self, flit: Flit) -> int:
+        """Mark *flit*'s packet as a fault drop; route it to ejection.
+
+        The packet drains through the normal wormhole/ejection path (so
+        flit conservation and credit accounting stay intact) and is
+        counted by ``NetworkStats.note_dropped`` when its tail ejects.
+        """
+        packet = flit.packet
+        packet.dropped = True
+        packet.drop_node = self.node
+        return self.local_port
 
     def free_local_vc(self) -> Optional[int]:
         """An idle, empty local-port VC available for injection."""
@@ -416,10 +454,18 @@ class Router:
                     f"({port},{vc}); wormhole ordering violated"
                 )
             if self.lookahead_rc and flit.lookahead_port is not None:
-                # The route travelled with the flit: skip straight to VA.
-                self.vc_out_port[i] = self.port_index[flit.lookahead_port]
-                self.vc_state[i] = _VA
-                self._n_va += 1
+                port_idx = self.port_index[flit.lookahead_port]
+                dead = self._dead_out
+                if dead is not None and port_idx in dead:
+                    # The precomputed route became stale while the flit
+                    # was in flight (the channel died): recompute in RC.
+                    self.vc_state[i] = _RC
+                    self._n_rc += 1
+                else:
+                    # The route travelled with the flit: skip to VA.
+                    self.vc_out_port[i] = port_idx
+                    self.vc_state[i] = _VA
+                    self._n_va += 1
             else:
                 self.vc_state[i] = _RC
                 self._n_rc += 1
@@ -514,16 +560,21 @@ class Router:
                 fifo = self.vc_fifos[i]
                 if fifo:
                     flit = fifo[0]
-                    if self._adaptive:
-                        self.vc_out_port[i] = self._pick_adaptive_port(
-                            flit.packet.dst
-                        )
-                    else:
-                        self.vc_out_port[i] = self.port_index[
-                            self.routing.output_port(
-                                self.node, flit.packet.dst
-                            )
-                        ]
+                    try:
+                        if self._adaptive:
+                            out = self._pick_adaptive_port(flit.packet.dst)
+                        else:
+                            out = self.port_index[
+                                self.routing.output_port(
+                                    self.node, flit.packet.dst
+                                )
+                            ]
+                            dead = self._dead_out
+                            if dead is not None and out in dead:
+                                out = self._drop_route(flit)
+                    except UnroutableError:
+                        out = self._drop_route(flit)
+                    self.vc_out_port[i] = out
                     self.vc_state[i] = _VA
                     self.vc_ready[i] = cycle + 1
                     self._n_rc -= 1
@@ -606,14 +657,19 @@ class Router:
                     if not fifo:
                         continue
                     flit = fifo[0]
-                    if adaptive:
-                        vc_out_port[i] = self._pick_adaptive_port(
-                            flit.packet.dst
-                        )
-                    else:
-                        vc_out_port[i] = port_index[
-                            routing_output(node, flit.packet.dst)
-                        ]
+                    try:
+                        if adaptive:
+                            out = self._pick_adaptive_port(flit.packet.dst)
+                        else:
+                            out = port_index[
+                                routing_output(node, flit.packet.dst)
+                            ]
+                            dead = self._dead_out
+                            if dead is not None and out in dead:
+                                out = self._drop_route(flit)
+                    except UnroutableError:
+                        out = self._drop_route(flit)
+                    vc_out_port[i] = out
                     vc_state[i] = _VA
                     vc_ready[i] = cycle + 1
                     self._n_rc -= 1
@@ -959,10 +1015,15 @@ class Router:
                 if self.lookahead_rc:
                     # NRC: compute the route for the *next* router while
                     # the flit crosses the switch (off the critical path).
-                    flit.lookahead_port = self.routing.output_port(
-                        link.dst, flit.packet.dst
-                    )
-                    ev.rc_computations += 1
+                    try:
+                        flit.lookahead_port = self.routing.output_port(
+                            link.dst, flit.packet.dst
+                        )
+                        ev.rc_computations += 1
+                    except UnroutableError:
+                        # Unroutable at the next hop: let its RC stage
+                        # make (and account) the drop decision.
+                        flit.lookahead_port = None
             kind, length_mm, channel = self._link_args[out_port]
             # count_link(), inlined for the hot path.
             link_flits = ev.link_flits

@@ -14,12 +14,36 @@ port name* to take; the router resolves the name to a port index.
 
 from __future__ import annotations
 
-from typing import Protocol
+from typing import FrozenSet, Optional, Protocol, Tuple
 
 from repro.topology.base import LOCAL_PORT, Topology
 from repro.topology.express_mesh import EXPRESS_FOR, ExpressMesh
 from repro.topology.mesh2d import EAST, Mesh2D, NORTH, SOUTH, WEST
 from repro.topology.mesh3d import DOWN, Mesh3D, UP
+
+
+class UnroutableError(RuntimeError):
+    """No surviving channel makes progress towards the destination.
+
+    Carries enough context for forensics and for the router's drop
+    accounting: the stuck node, the unreachable destination, and the
+    failed-channel set the routing function was avoiding.  Raised by
+    fault-aware routing functions and by the router's own dead-port
+    check; mid-simulation the router converts it into a counted packet
+    drop (``NetworkStats.packets_dropped``) instead of aborting the run.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        node: Optional[int] = None,
+        dst: Optional[int] = None,
+        failed: FrozenSet[Tuple[int, int]] = frozenset(),
+    ) -> None:
+        super().__init__(message)
+        self.node = node
+        self.dst = dst
+        self.failed = frozenset(failed)
 
 
 class RoutingFunction(Protocol):

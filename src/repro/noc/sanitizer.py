@@ -582,6 +582,11 @@ class NetworkSanitizer:
             key = (node, port, vc)
             credits_in_flight[key] = credits_in_flight.get(key, 0) + 1
 
+        # Hard-killed links confiscate the upstream's credits (held and
+        # returning); the injector's ledger keeps the identity exact.
+        fi = net.fault_injector
+        confiscated = fi.confiscated if fi is not None else None
+
         for router in net.routers:
             depth = router.buffer_depth
             for port, credits in enumerate(router.credits):
@@ -606,6 +611,10 @@ class NetworkSanitizer:
                         (router.node, port, vc), 0
                     )
                     expected = depth - occupancy - on_wire - returning
+                    if confiscated:
+                        expected -= confiscated.get(
+                            (router.node, port, vc), 0
+                        )
                     if held != expected or not 0 <= held <= depth:
                         raise SanityError(
                             "credit-accounting",
@@ -669,14 +678,19 @@ class NetworkSanitizer:
         # must be found somewhere (a packet whose flits all vanished
         # leaves no local trace, only this ledger mismatch).
         undelivered_found = len(set(present) | set(queued))
-        ledger = net.stats.packets_injected - net.stats.packets_delivered
+        ledger = (
+            net.stats.packets_injected
+            - net.stats.packets_delivered
+            - net.stats.packets_dropped
+        )
         if undelivered_found != ledger:
             raise SanityError(
                 "flit-conservation",
                 f"found {undelivered_found} undelivered packets in the "
                 f"network but the ledger says {ledger} "
                 f"({net.stats.packets_injected} injected - "
-                f"{net.stats.packets_delivered} delivered)",
+                f"{net.stats.packets_delivered} delivered - "
+                f"{net.stats.packets_dropped} dropped)",
                 cycle,
             )
         in_flight = net.in_flight()
@@ -702,7 +716,9 @@ class NetworkSanitizer:
         self, cycle: int, present: Dict[int, _PacketPresence]
     ) -> None:
         net = self.network
-        delivered = net.stats.flits_delivered
+        # Dropped flits leave the network through the ejection path just
+        # like delivered ones — either counts as forward progress.
+        delivered = net.stats.flits_delivered + net.stats.flits_dropped
         busy = bool(present) or bool(net._busy_sources)
         if delivered != self._last_delivered or not busy:
             self._last_delivered = delivered

@@ -31,6 +31,7 @@ from repro.noc.stats import EventCounts
 from repro.traffic.base import TrafficSource
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.resilience.faults import FaultPlan
     from repro.telemetry.sampler import TelemetryConfig, TelemetrySnapshot
 
 
@@ -81,6 +82,14 @@ class SimulationResult:
     latency_p50: float = 0.0
     latency_p95: float = 0.0
     latency_p99: float = 0.0
+    #: Packets (and their flits) steered to an ejection port because no
+    #: surviving channel reached their destination.  Zero without fault
+    #: injection.
+    packets_dropped: int = 0
+    flits_dropped: int = 0
+    #: Fault-injector summary (mode, links killed, VCs stuck, credits
+    #: confiscated, surviving failure set); ``None`` without injection.
+    fault_summary: Optional[Dict] = None
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         state = " (saturated)" if self.saturated else ""
@@ -108,6 +117,7 @@ class Simulator:
         sanitize_interval: int = 1,
         watchdog_window: int = DEFAULT_WATCHDOG_WINDOW,
         telemetry: Optional["TelemetryConfig"] = None,
+        faults: Optional["FaultPlan"] = None,
     ) -> None:
         """``drain_to_quiescence`` keeps draining (still bounded by
         ``drain_cycles``) until the traffic source reports finished and
@@ -135,6 +145,13 @@ class Simulator:
         sampling and optional JSONL/trace export); :meth:`run` finishes
         the stream and reports its snapshot on
         ``SimulationResult.telemetry``.  A sampler already on the
+        network is kept as-is.
+
+        ``faults`` attaches a
+        :class:`~repro.resilience.faults.FaultInjector` built from the
+        given :class:`~repro.resilience.faults.FaultPlan` (scheduled
+        link kills and stuck VCs) and reports its summary on
+        ``SimulationResult.fault_summary``.  An injector already on the
         network is kept as-is."""
         if warmup_cycles < 0 or measure_cycles <= 0 or drain_cycles < 0:
             raise ValueError("cycle counts must be non-negative (measure > 0)")
@@ -161,6 +178,12 @@ class Simulator:
             from repro.telemetry.sampler import NetworkTelemetry
 
             NetworkTelemetry(network, telemetry)  # self-registers
+        if faults is not None and network.fault_injector is None:
+            # Lazy import: fault-free simulations never load the
+            # resilience package.
+            from repro.resilience.faults import FaultInjector
+
+            FaultInjector(faults).attach(network)
         self._future: Dict[int, List[Packet]] = {}
         # A network carries at most one simulator delivery hook: a
         # previous Simulator over the same network is deregistered so
@@ -311,4 +334,11 @@ class Simulator:
             latency_p50=stats.latency_percentile(50),
             latency_p95=stats.latency_percentile(95),
             latency_p99=stats.latency_percentile(99),
+            packets_dropped=stats.packets_dropped,
+            flits_dropped=stats.flits_dropped,
+            fault_summary=(
+                net.fault_injector.summary()
+                if net.fault_injector is not None
+                else None
+            ),
         )

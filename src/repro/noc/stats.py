@@ -172,6 +172,14 @@ class NetworkStats:
         self.flits_delivered = 0
         self.measured_flits = 0
         self.measured_outstanding = 0
+        # Fault-injection drop accounting: packets the routers steered
+        # to an ejection port because no surviving channel reached their
+        # destination.  Zero in every fault-free run.
+        self.packets_dropped = 0
+        self.flits_dropped = 0
+        self.measured_dropped = 0
+        #: Drop-decision node -> dropped-packet count (forensics).
+        self.drops_by_node: Dict[int, int] = {}
 
     def set_window(self, start: int, end: Optional[int]) -> None:
         self.window_start = start
@@ -201,6 +209,22 @@ class NetworkStats:
         self.latencies_by_class[packet.klass].append(latency)
         self.latencies_by_priority.setdefault(packet.priority, []).append(latency)
         self.hop_counts.append(packet.hops)
+
+    def note_dropped(self, packet: Packet) -> None:
+        """Account a packet that ejected as a fault-induced drop.
+
+        Dropped packets leave the network through the normal ejection
+        path (flit conservation holds) but contribute no latency/hop
+        samples; measured drops release their ``measured_outstanding``
+        slot so the drain loop terminates.
+        """
+        self.packets_dropped += 1
+        self.flits_dropped += packet.size_flits
+        node = packet.drop_node
+        self.drops_by_node[node] = self.drops_by_node.get(node, 0) + 1
+        if self.in_window(packet):
+            self.measured_outstanding -= 1
+            self.measured_dropped += 1
 
     @property
     def avg_latency(self) -> float:

@@ -9,7 +9,7 @@ exactly the Orion-into-NoC-simulator flow the paper describes (Sec. 4).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple, TYPE_CHECKING
 
 from repro.core.arch import ArchitectureConfig
 from repro.core.shutdown import DETECTOR_OVERHEAD
@@ -17,6 +17,18 @@ from repro.noc.stats import EventCounts
 from repro.power import technology as tech
 from repro.power.area import router_area
 from repro.power.orion import RouterEnergyModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.resilience.variation import VariationSample
+
+
+def _variation_factors(
+    variation: Optional["VariationSample"],
+) -> Tuple[float, float]:
+    """(dynamic energy multiplier, leakage multiplier) for a sample."""
+    if variation is None:
+        return 1.0, 1.0
+    return variation.dynamic_multiplier, variation.leakage_multiplier
 
 
 @dataclass(frozen=True)
@@ -42,16 +54,24 @@ def power_report(
     events: EventCounts,
     window_cycles: int,
     shutdown_enabled: bool = False,
+    variation: Optional["VariationSample"] = None,
 ) -> PowerReport:
     """Average power implied by *events* over *window_cycles*.
 
     When *shutdown_enabled*, the separable-component events arrive already
     activity-weighted from the simulator; the per-layer zero detectors add
     a small overhead proportional to the unweighted separable energy.
+
+    *variation* (a
+    :class:`~repro.resilience.variation.VariationSample`) scales dynamic
+    per-event energies and leakage for process variation; ``None`` (and a
+    sigma-0 sample, whose multipliers are exactly 1.0) is bit-identical
+    to the nominal report.
     """
     if window_cycles <= 0:
         raise ValueError(f"window_cycles must be positive, got {window_cycles}")
-    model = RouterEnergyModel.for_config(config)
+    dyn_mult, leak_mult = _variation_factors(variation)
+    model = RouterEnergyModel.for_config(config, energy_multiplier=dyn_mult)
 
     e_buffer = (
         events.buffer_writes_weighted * model.buffer_write_j
@@ -91,6 +111,7 @@ def power_report(
         router_area(config).total_mm2
         * tech.LEAKAGE_W_PER_MM2
         * config.num_nodes
+        * leak_mult
     )
     return PowerReport(
         name=config.name,
@@ -148,6 +169,7 @@ def layer_power_report(
     events: EventCounts,
     window_cycles: int,
     shutdown_enabled: bool = True,
+    variation: Optional["VariationSample"] = None,
 ) -> LayerPowerReport:
     """Per-layer average power implied by *events* over *window_cycles*.
 
@@ -160,7 +182,8 @@ def layer_power_report(
     """
     if window_cycles <= 0:
         raise ValueError(f"window_cycles must be positive, got {window_cycles}")
-    model = RouterEnergyModel.for_config(config)
+    dyn_mult, leak_mult = _variation_factors(variation)
+    model = RouterEnergyModel.for_config(config, energy_multiplier=dyn_mult)
     groups = max(
         [1]
         + list(events.buffer_writes_by_layers)
@@ -224,6 +247,7 @@ def layer_power_report(
         router_area(config).total_mm2
         * tech.LEAKAGE_W_PER_MM2
         * config.num_nodes
+        * leak_mult
     )
     return LayerPowerReport(
         name=config.name,

@@ -44,7 +44,20 @@ class RouterEnergyModel:
     control_j: float
 
     @classmethod
-    def for_config(cls, config: ArchitectureConfig) -> "RouterEnergyModel":
+    def for_config(
+        cls, config: ArchitectureConfig, energy_multiplier: float = 1.0
+    ) -> "RouterEnergyModel":
+        """Per-event energies for *config*.
+
+        ``energy_multiplier`` scales every dynamic per-event energy for
+        switched-capacitance process variation
+        (:class:`repro.resilience.variation.VariationModel`); exactly
+        1.0 is bit-identical to the unscaled model.
+        """
+        if energy_multiplier <= 0:
+            raise ValueError(
+                f"energy multiplier must be > 0, got {energy_multiplier}"
+            )
         W = config.flit_bits
         L = config.datapath_layers
         side_um = xbar_side_um(config.ports, W, L)
@@ -53,16 +66,17 @@ class RouterEnergyModel:
         xbar_j = tech.XBAR_FJ_PER_UM_BIT * side_um * (W / L) * L * 1e-15
         link_j_per_mm = tech.LINK_FJ_PER_UM_BIT * 1e3 * W * 1e-15
         arb_n = config.ports * config.vcs
+        m = energy_multiplier
         return cls(
             config=config,
-            buffer_write_j=tech.BUFFER_WRITE_FJ_PER_BIT * W * 1e-15,
-            buffer_read_j=tech.BUFFER_READ_FJ_PER_BIT * W * 1e-15,
-            xbar_traversal_j=xbar_j,
-            link_j_per_mm=link_j_per_mm,
-            va_allocation_j=tech.ARBITER_FJ_PER_LINE * arb_n * 2 * 1e-15,
-            sa_allocation_j=tech.ARBITER_FJ_PER_LINE * arb_n * 1e-15,
-            rc_compute_j=tech.RC_FJ_PER_COMPUTE * 1e-15,
-            control_j=tech.CONTROL_FJ_PER_FLIT * 1e-15,
+            buffer_write_j=tech.BUFFER_WRITE_FJ_PER_BIT * W * 1e-15 * m,
+            buffer_read_j=tech.BUFFER_READ_FJ_PER_BIT * W * 1e-15 * m,
+            xbar_traversal_j=xbar_j * m,
+            link_j_per_mm=link_j_per_mm * m,
+            va_allocation_j=tech.ARBITER_FJ_PER_LINE * arb_n * 2 * 1e-15 * m,
+            sa_allocation_j=tech.ARBITER_FJ_PER_LINE * arb_n * 1e-15 * m,
+            rc_compute_j=tech.RC_FJ_PER_COMPUTE * 1e-15 * m,
+            control_j=tech.CONTROL_FJ_PER_FLIT * 1e-15 * m,
         )
 
     # -- per-flit-hop breakdown (Fig. 9) ----------------------------------

@@ -1,0 +1,54 @@
+"""Runtime resilience scenarios: fault injection and process variation.
+
+MIRA's multi-layer premise makes tier heterogeneity and vertical-link
+fragility first-class concerns.  This package turns both into runtime
+scenarios for the simulator:
+
+* :mod:`repro.resilience.faults` — a :class:`FaultInjector` that kills
+  links/TSVs and sticks VCs mid-simulation (at a scheduled cycle or
+  chosen stochastically from a seeded RNG), propagating into the router
+  core as credit-starved ports and into the routing functions for
+  fault-aware reroute.
+* :mod:`repro.resilience.variation` — a :class:`VariationModel` that
+  samples per-tier/per-node delay and leakage multipliers (seeded,
+  PYTHONHASHSEED-stable) so latency, power, and thermal numbers become
+  distributions across variation seeds instead of point estimates.
+* :mod:`repro.resilience.cdg` — channel-dependency-graph construction
+  and cycle detection, backing the proof-by-enumeration deadlock-freedom
+  tests for the fault-tolerant routing.
+
+Both runtime hooks follow the repo's optional-attachment contract: one
+is-None check per cycle when detached, bit-identical results when
+attached but fault-free / sigma-zero (re-verified against the golden
+e2e digests).  See ``docs/RESILIENCE.md``.
+"""
+
+from repro.resilience.cdg import (
+    channel_dependency_graph,
+    find_dependency_cycle,
+)
+from repro.resilience.faults import (
+    FaultInjector,
+    FaultPlan,
+    LinkFault,
+    StuckVCFault,
+)
+from repro.resilience.variation import (
+    VARIATION_CEIL,
+    VARIATION_FLOOR,
+    VariationModel,
+    VariationSample,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "LinkFault",
+    "StuckVCFault",
+    "VariationModel",
+    "VariationSample",
+    "VARIATION_FLOOR",
+    "VARIATION_CEIL",
+    "channel_dependency_graph",
+    "find_dependency_cycle",
+]

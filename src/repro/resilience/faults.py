@@ -1,0 +1,298 @@
+"""Runtime fault injection: link kills and stuck-at virtual channels.
+
+The paper argues (Sec. 3.3) that the 3DM designs' spare vertical
+bandwidth buys fault tolerance — express siblings can bypass a failed
+channel.  This module supplies the *damage* side of that argument: a
+:class:`FaultInjector` that disables directed links (including TSV
+bundles, which are just vertical/express links in the topology) and
+freezes virtual channels mid-simulation, either at a scheduled cycle or
+sampled stochastically from a seeded RNG.
+
+Two link-failure modes:
+
+* ``"hard"`` — the electrical failure.  The upstream output port is
+  credit-starved: its held credits are confiscated, and credits already
+  in flight back to it are intercepted at delivery time.  Committed
+  wormholes wedge against the dead port; whether the network survives is
+  exactly what the sanitizer and watchdog then audit.
+* ``"drain"`` — the graceful (detected-and-fenced) failure.  The channel
+  is removed from routing decisions only; committed wormholes finish
+  over the still-functional wire.  Used when the experiment wants
+  reroute behaviour without wedged traffic.
+
+In both modes the channel is added to the fault-aware routing function's
+failure set (swapping in a
+:class:`~repro.core.fault.FaultTolerantExpressRouting` on express meshes
+whose routing is not already fault-aware) and to the source router's
+``_dead_out`` set, which turns any residual route onto the dead port
+into a counted packet drop instead of a protocol violation.
+
+Detached cost is one ``is None`` check per
+:meth:`~repro.noc.network.Network.step`; a fault-free attached injector
+(empty plan) performs no state changes, keeping runs bit-identical.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.noc.network import Network
+    from repro.topology.base import Topology
+
+#: ``vc_ready`` stamp that keeps a VC unit perpetually "not yet ready".
+#: Re-stamped every cycle because flit reception overwrites the stamp.
+STUCK_READY_CYCLE = 1 << 60
+
+_MODES = ("hard", "drain")
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Kill the directed channel ``src -> dst`` at ``cycle``."""
+
+    cycle: int
+    src: int
+    dst: int
+
+    def __post_init__(self) -> None:
+        if self.cycle < 0:
+            raise ValueError(f"fault cycle must be >= 0, got {self.cycle}")
+
+
+@dataclass(frozen=True)
+class StuckVCFault:
+    """Freeze input VC ``vc`` of input port index ``port`` at ``node``.
+
+    The unit's pipeline stamp is pinned past any reachable cycle, so
+    buffered flits never progress — the stuck-at fault of a VC control
+    FSM.  Upstream traffic wedges against the full buffer; the sanitizer
+    keeps auditing conservation and the watchdog reports the stall.
+    """
+
+    cycle: int
+    node: int
+    port: int
+    vc: int
+
+    def __post_init__(self) -> None:
+        if self.cycle < 0:
+            raise ValueError(f"fault cycle must be >= 0, got {self.cycle}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible damage schedule for one simulation run."""
+
+    links: Tuple[LinkFault, ...] = ()
+    vcs: Tuple[StuckVCFault, ...] = ()
+    #: ``"hard"`` (credit-starving electrical failure) or ``"drain"``
+    #: (routing-level fence; committed wormholes finish).
+    mode: str = "hard"
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ValueError(f"fault mode must be one of {_MODES}, got {self.mode!r}")
+
+    def __bool__(self) -> bool:
+        return bool(self.links or self.vcs)
+
+    @staticmethod
+    def random_links(
+        topology: "Topology",
+        count: int,
+        seed: int,
+        cycle: int = 0,
+        mode: str = "hard",
+    ) -> "FaultPlan":
+        """Sample *count* distinct directed channels to kill at *cycle*.
+
+        Channels are drawn from the sorted link list with
+        ``random.Random(seed)``, so the same (topology, count, seed)
+        yields the same plan in every process and under every
+        ``PYTHONHASHSEED`` — the property the sweep cache key relies on.
+        """
+        channels = sorted((link.src, link.dst) for link in topology.links)
+        if count > len(channels):
+            raise ValueError(
+                f"asked for {count} link faults but the topology has "
+                f"only {len(channels)} directed channels"
+            )
+        picked = random.Random(seed).sample(channels, count)
+        return FaultPlan(
+            links=tuple(
+                LinkFault(cycle=cycle, src=src, dst=dst)
+                for src, dst in sorted(picked)
+            ),
+            mode=mode,
+        )
+
+
+@dataclass
+class _Event:
+    """One scheduled fault application (internal)."""
+
+    cycle: int
+    kind: str  # "link" | "vc"
+    payload: Tuple[int, ...] = field(default_factory=tuple)
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to a live network.
+
+    Attach with :meth:`attach` (once, before the first ``step``); the
+    network then calls :meth:`on_cycle` once per cycle after arrivals
+    and injections land, and routes dead-port credits through
+    :meth:`confiscate`.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.network: Optional["Network"] = None
+        #: Directed channels killed so far.
+        self.failed: Set[Tuple[int, int]] = set()
+        #: ``(node, out_port)`` pairs whose returning credits are
+        #: confiscated (hard mode only).
+        self.dead_credit_targets: Set[Tuple[int, int]] = set()
+        #: ``(node, out_port, vc) -> credits confiscated`` — the ledger
+        #: the sanitizer's credit-conservation audit balances against.
+        self.confiscated: Dict[Tuple[int, int, int], int] = {}
+        #: ``(node, flat unit index)`` of VCs frozen so far.
+        self._stuck: List[Tuple[int, int]] = []
+        self.links_killed = 0
+        self.vcs_stuck = 0
+        self.credits_confiscated = 0
+        self._schedule: List[_Event] = sorted(
+            [
+                _Event(f.cycle, "link", (f.src, f.dst))
+                for f in plan.links
+            ]
+            + [
+                _Event(f.cycle, "vc", (f.node, f.port, f.vc))
+                for f in plan.vcs
+            ],
+            key=lambda e: (e.cycle, e.kind, e.payload),
+        )
+        self._next = 0
+
+    # -- wiring --------------------------------------------------------------
+
+    def attach(self, network: "Network") -> "FaultInjector":
+        """Register on *network* (``network.fault_injector``)."""
+        if network.fault_injector is not None:
+            raise RuntimeError("network already has a fault injector")
+        self.network = network
+        network.fault_injector = self
+        if self.plan.links:
+            self._enable_fault_aware_routing(network)
+        return self
+
+    @staticmethod
+    def _enable_fault_aware_routing(network: "Network") -> None:
+        """Swap in fault-aware routing where the topology supports it.
+
+        Routing functions that already expose ``fail_channel`` (the
+        fault-tolerant express routing, west-first adaptive) are kept.
+        On an express mesh with plain X-Y routing, the drop-in
+        fault-tolerant equivalent replaces it (identical decisions while
+        the failure set is empty).  Other topologies keep their routing
+        and rely on the router's dead-port drop fallback.
+        """
+        if hasattr(network.routing, "fail_channel"):
+            return
+        from repro.topology.express_mesh import ExpressMesh
+
+        if isinstance(network.topology, ExpressMesh):
+            from repro.core.fault import FaultTolerantExpressRouting
+
+            routing = FaultTolerantExpressRouting(network.topology, ())
+            network.routing = routing
+            for router in network.routers:
+                router.routing = routing
+
+    # -- per-cycle hook ------------------------------------------------------
+
+    def on_cycle(self, cycle: int) -> None:
+        """Apply events due at *cycle* and re-freeze stuck VCs.
+
+        Called by :meth:`Network.step` after arrivals and injections
+        (both re-stamp ``vc_ready``) and before the routers step, so a
+        frozen unit can never advance a pipeline stage.
+        """
+        schedule = self._schedule
+        while self._next < len(schedule) and schedule[self._next].cycle <= cycle:
+            event = schedule[self._next]
+            self._next += 1
+            if event.kind == "link":
+                self._kill_link(*event.payload)
+            else:
+                self._stick_vc(*event.payload)
+        if self._stuck:
+            routers = self.network.routers
+            for node, unit in self._stuck:
+                routers[node].vc_ready[unit] = STUCK_READY_CYCLE
+
+    # -- fault application ---------------------------------------------------
+
+    def _kill_link(self, src: int, dst: int) -> None:
+        network = self.network
+        link = network.topology.link_between(src, dst)  # must exist
+        if (src, dst) in self.failed:
+            return
+        self.failed.add((src, dst))
+        self.links_killed += 1
+        router = network.routers[src]
+        port = router.port_index[link.src_port]
+        if router._dead_out is None:
+            router._dead_out = set()
+        router._dead_out.add(port)
+        routing = network.routing
+        if hasattr(routing, "fail_channel"):
+            routing.fail_channel((src, dst))
+        if self.plan.mode == "hard":
+            # Credit-starve the dead output: confiscate held credits and
+            # mark the port so in-flight returns are intercepted.
+            per_vc = router.credits[port]
+            if per_vc is not None:
+                for vc, held in enumerate(per_vc):
+                    if held:
+                        key = (src, port, vc)
+                        self.confiscated[key] = (
+                            self.confiscated.get(key, 0) + held
+                        )
+                        self.credits_confiscated += held
+                        per_vc[vc] = 0
+            self.dead_credit_targets.add((src, port))
+
+    def _stick_vc(self, node: int, port: int, vc: int) -> None:
+        router = self.network.routers[node]
+        if not 0 <= port < router.num_ports:
+            raise ValueError(f"node {node} has no input port {port}")
+        if not 0 <= vc < router.num_vcs:
+            raise ValueError(f"router has no VC {vc}")
+        unit = port * router.num_vcs + vc
+        self._stuck.append((node, unit))
+        self.vcs_stuck += 1
+        router.vc_ready[unit] = STUCK_READY_CYCLE
+
+    # -- credit interception -------------------------------------------------
+
+    def confiscate(self, node: int, port: int, vc: int) -> None:
+        """Swallow one credit returning to a dead output port."""
+        key = (node, port, vc)
+        self.confiscated[key] = self.confiscated.get(key, 0) + 1
+        self.credits_confiscated += 1
+
+    # -- reporting -----------------------------------------------------------
+
+    def summary(self) -> Dict:
+        """JSON-friendly injection report for ``SimulationResult``."""
+        return {
+            "mode": self.plan.mode,
+            "links_killed": self.links_killed,
+            "vcs_stuck": self.vcs_stuck,
+            "credits_confiscated": self.credits_confiscated,
+            "failed_channels": [list(ch) for ch in sorted(self.failed)],
+        }

@@ -1,0 +1,192 @@
+"""Process-variation model: per-tier and per-node delay/leakage spread.
+
+3D integration stacks dies from different wafer positions (or wafers),
+so the tiers of one stack sit at different process corners — systematic
+tier-to-tier spread on top of the usual within-die random variation.
+This module samples both as multiplicative factors:
+
+* **tier multipliers** — one delay and one leakage factor per stacked
+  tier, drawn around means that worsen linearly with tier index (the
+  lower tiers of a 3D stack run hotter and are bonded later, the
+  standard pessimistic assumption);
+* **node multipliers** — one delay and one leakage factor per router,
+  modelling within-die random variation;
+* a **dynamic-energy multiplier** — one factor per chip for
+  switched-capacitance spread.
+
+Sampling is seeded and ``PYTHONHASHSEED``-stable (the RNG seed is
+derived with SHA-256 from the variation seed and the architecture's
+identity, mirroring ``repro.experiments.store.point_key``), so a
+(seed, config) pair yields the same sample in every process — which is
+what lets the sweep cache key capture variation exactly.
+
+A sigma of 0 degenerates to multipliers of exactly 1.0
+(``random.gauss(mu, 0.0) == mu``), and every consumer multiplies by the
+factor directly, so sigma-0 results are bit-identical to runs without a
+variation model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Tuple, TYPE_CHECKING
+
+from repro.timing.delay import can_combine_st_lt
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.arch import ArchitectureConfig
+
+#: Multipliers are clipped to this physical range: no corner is faster
+#: than 2x nominal or slower than half speed.
+VARIATION_FLOOR = 0.5
+VARIATION_CEIL = 2.0
+
+#: Mean tier delay multiplier grows by ``GRADIENT * sigma`` per tier.
+TIER_DELAY_GRADIENT = 0.5
+#: Leakage is exponentially sensitive to threshold shifts, so its tier
+#: gradient is steeper than delay's.
+TIER_LEAKAGE_GRADIENT = 1.0
+#: Within-die (per-node) delay spread relative to sigma.
+NODE_DELAY_SIGMA_FRACTION = 0.5
+#: Chip-wide dynamic-energy (switched capacitance) spread vs sigma.
+DYNAMIC_SIGMA_FRACTION = 0.3
+
+
+def tier_delay_mean(tier: int, sigma: float) -> float:
+    """Mean delay multiplier for stacked *tier* (0 = top) at *sigma*."""
+    return 1.0 + TIER_DELAY_GRADIENT * sigma * tier
+
+
+def tier_leakage_mean(tier: int, sigma: float) -> float:
+    """Mean leakage multiplier for stacked *tier* (0 = top) at *sigma*."""
+    return 1.0 + TIER_LEAKAGE_GRADIENT * sigma * tier
+
+
+def _clip(value: float) -> float:
+    return min(VARIATION_CEIL, max(VARIATION_FLOOR, value))
+
+
+@dataclass(frozen=True)
+class VariationSample:
+    """One sampled variation outcome for one architecture."""
+
+    sigma: float
+    seed: int
+    #: Per-tier delay multipliers, index 0 = top tier.
+    tier_delay: Tuple[float, ...]
+    #: Per-tier leakage multipliers, index 0 = top tier.
+    tier_leakage: Tuple[float, ...]
+    #: Per-node (router) delay multipliers.
+    node_delay: Tuple[float, ...]
+    #: Per-node (router) leakage multipliers.
+    node_leakage: Tuple[float, ...]
+    #: Chip-wide dynamic-energy multiplier.
+    dynamic_multiplier: float
+
+    @property
+    def worst_delay_multiplier(self) -> float:
+        """Critical-path delay factor: the slowest tier on the slowest
+        node sets the clock the whole synchronous network must meet."""
+        return max(self.tier_delay) * max(self.node_delay)
+
+    @property
+    def leakage_multiplier(self) -> float:
+        """Chip-average leakage factor (tiers and nodes all leak in
+        parallel, so the average — not the max — scales total power)."""
+        tier = sum(self.tier_leakage) / len(self.tier_leakage)
+        node = sum(self.node_leakage) / len(self.node_leakage)
+        return tier * node
+
+    def apply_to(self, config: "ArchitectureConfig") -> "ArchitectureConfig":
+        """Re-validate *config*'s ST+LT merge at this sample's corner.
+
+        A slow corner can push a design that nominally merges switch and
+        link traversal back to the split (3-cycle) pipeline — the
+        architectural consequence of variation on latency.  Returns the
+        config unchanged (same object) when the merge decision is
+        unaffected, so the nominal path stays bit-identical.
+        """
+        if not config.combined_st_lt:
+            return config
+        mult = self.worst_delay_multiplier
+        if mult == 1.0:
+            return config
+        still_combinable = can_combine_st_lt(
+            ports=config.ports,
+            flit_bits=config.flit_bits,
+            layers=config.datapath_layers,
+            link_length_mm=config.max_link_mm,
+            delay_multiplier=mult,
+        )
+        if still_combinable:
+            return config
+        return dataclasses.replace(config, combined_st_lt=False)
+
+
+def _derive_rng(seed: int, config: "ArchitectureConfig") -> random.Random:
+    """Seeded RNG bound to (variation seed, architecture identity).
+
+    SHA-256 keeps the derivation stable across processes and
+    ``PYTHONHASHSEED`` values, and binding the architecture name and
+    size means each design draws an independent sample from the same
+    variation seed (the physical situation: different chips).
+    """
+    tag = (
+        f"variation:{seed}:{config.name}:{config.layers}:{config.num_nodes}"
+    )
+    digest = hashlib.sha256(tag.encode("utf-8")).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+class VariationModel:
+    """Samples :class:`VariationSample` instances for architectures.
+
+    ``sigma`` is the relative standard deviation of the per-tier draws;
+    per-node and dynamic-energy spreads are derived fractions of it.
+    """
+
+    def __init__(self, sigma: float, seed: int = 0) -> None:
+        if sigma < 0:
+            raise ValueError(f"variation sigma must be >= 0, got {sigma}")
+        self.sigma = sigma
+        self.seed = seed
+
+    def sample_for(self, config: "ArchitectureConfig") -> VariationSample:
+        """Draw this model's sample for *config* (deterministic).
+
+        The draw order is fixed (tier delays, tier leakages, node
+        delays, node leakages, dynamic) so adding consumers can never
+        silently shift the stream.
+        """
+        rng = _derive_rng(self.seed, config)
+        sigma = self.sigma
+        tiers = config.datapath_layers
+        nodes = config.num_nodes
+        tier_delay = tuple(
+            _clip(rng.gauss(tier_delay_mean(t, sigma), sigma))
+            for t in range(tiers)
+        )
+        tier_leakage = tuple(
+            _clip(rng.gauss(tier_leakage_mean(t, sigma), sigma))
+            for t in range(tiers)
+        )
+        node_sigma = sigma * NODE_DELAY_SIGMA_FRACTION
+        node_delay = tuple(
+            _clip(rng.gauss(1.0, node_sigma)) for _ in range(nodes)
+        )
+        node_leakage = tuple(
+            _clip(rng.gauss(1.0, sigma)) for _ in range(nodes)
+        )
+        dynamic = _clip(rng.gauss(1.0, sigma * DYNAMIC_SIGMA_FRACTION))
+        return VariationSample(
+            sigma=sigma,
+            seed=self.seed,
+            tier_delay=tier_delay,
+            tier_leakage=tier_leakage,
+            node_delay=node_delay,
+            node_leakage=node_leakage,
+            dynamic_multiplier=dynamic,
+        )

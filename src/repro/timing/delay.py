@@ -27,14 +27,23 @@ def crossbar_side_um(ports: int, flit_bits: int, layers: int) -> float:
     return ports * (flit_bits // layers) * CROSSBAR_WIRE_PITCH_UM
 
 
-def crossbar_delay_ps(ports: int, flit_bits: int, layers: int) -> float:
-    """Switch-traversal delay for one crossbar slice."""
-    return unbuffered_crossbar_delay_ps(crossbar_side_um(ports, flit_bits, layers))
+def crossbar_delay_ps(
+    ports: int, flit_bits: int, layers: int, delay_multiplier: float = 1.0
+) -> float:
+    """Switch-traversal delay for one crossbar slice.
+
+    ``delay_multiplier`` scales the nominal delay for process variation
+    (:class:`repro.resilience.variation.VariationModel`); exactly 1.0 is
+    bit-identical to the unscaled value.
+    """
+    return unbuffered_crossbar_delay_ps(
+        crossbar_side_um(ports, flit_bits, layers), delay_multiplier
+    )
 
 
-def link_delay_ps(link_length_mm: float) -> float:
+def link_delay_ps(link_length_mm: float, delay_multiplier: float = 1.0) -> float:
     """Link-traversal delay over a repeated wire of the given length."""
-    return repeated_wire_delay_ps(link_length_mm)
+    return repeated_wire_delay_ps(link_length_mm, delay_multiplier)
 
 
 @dataclass(frozen=True)
@@ -62,12 +71,13 @@ def stage_delay_report(
     layers: int,
     link_length_mm: float,
     budget_ps: float = DEFAULT_STAGE_BUDGET_PS,
+    delay_multiplier: float = 1.0,
 ) -> DelayReport:
     """Build the Table 3 delay-validation row for one router design."""
     return DelayReport(
         name=name,
-        xbar_ps=crossbar_delay_ps(ports, flit_bits, layers),
-        link_ps=link_delay_ps(link_length_mm),
+        xbar_ps=crossbar_delay_ps(ports, flit_bits, layers, delay_multiplier),
+        link_ps=link_delay_ps(link_length_mm, delay_multiplier),
         budget_ps=budget_ps,
     )
 
@@ -78,8 +88,21 @@ def can_combine_st_lt(
     layers: int,
     link_length_mm: float,
     budget_ps: float = DEFAULT_STAGE_BUDGET_PS,
+    delay_multiplier: float = 1.0,
 ) -> bool:
-    """True when switch + link traversal fit in one clock stage."""
+    """True when switch + link traversal fit in one clock stage.
+
+    A slow process corner (``delay_multiplier`` > 1) can push a design
+    that nominally merges ST+LT back to the split pipeline — the
+    timing-closure consequence of variation the resilience experiments
+    measure.
+    """
     return stage_delay_report(
-        "check", ports, flit_bits, layers, link_length_mm, budget_ps
+        "check",
+        ports,
+        flit_bits,
+        layers,
+        link_length_mm,
+        budget_ps,
+        delay_multiplier,
     ).can_combine

@@ -37,19 +37,29 @@ _XBAR_B = 0.11342
 _XBAR_C = 116.26
 
 
-def repeated_wire_delay_ps(length_mm: float) -> float:
-    """Delay of a repeated link wire of *length_mm* millimetres."""
+def repeated_wire_delay_ps(length_mm: float, multiplier: float = 1.0) -> float:
+    """Delay of a repeated link wire of *length_mm* millimetres.
+
+    ``multiplier`` scales the nominal delay for process variation (a
+    slow corner stretches wire RC and repeater drive together); the
+    default of exactly 1.0 is bit-identical to the unscaled value.
+    """
     if length_mm < 0:
         raise ValueError(f"negative wire length: {length_mm}")
-    return REPEATED_WIRE_PS_PER_MM * length_mm
+    if multiplier <= 0:
+        raise ValueError(f"delay multiplier must be > 0, got {multiplier}")
+    return REPEATED_WIRE_PS_PER_MM * length_mm * multiplier
 
 
-def unbuffered_crossbar_delay_ps(side_um: float) -> float:
+def unbuffered_crossbar_delay_ps(side_um: float, multiplier: float = 1.0) -> float:
     """Delay through a matrix crossbar with side length *side_um*.
 
     Covers the input/output bus wire RC plus the fixed tri-state buffer
-    and control overhead.
+    and control overhead.  ``multiplier`` scales the total for process
+    variation; exactly 1.0 is bit-identical to the unscaled value.
     """
     if side_um < 0:
         raise ValueError(f"negative crossbar side: {side_um}")
-    return _XBAR_A * side_um * side_um + _XBAR_B * side_um + _XBAR_C
+    if multiplier <= 0:
+        raise ValueError(f"delay multiplier must be > 0, got {multiplier}")
+    return (_XBAR_A * side_um * side_um + _XBAR_B * side_um + _XBAR_C) * multiplier

@@ -1,0 +1,118 @@
+"""Differential resilience tests: zero-cost when idle, clean when hurt.
+
+Two halves of the resilience contract:
+
+* **fault-free bit-identity** — every golden e2e case re-run with an
+  *empty-plan* fault injector attached AND a sigma-0 variation sample
+  threaded through must reproduce the committed golden digest
+  bit-for-bit (reuses the fixture of ``test_golden_e2e``, so a drift
+  fails against the same committed truth);
+* **injected full-sanitize** — all six architectures run with injected
+  link faults and drain-mode reroute under a
+  sanitize-every-cycle sweep: zero invariant violations, zero watchdog
+  trips, and the conservation ledger balances.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.runner import run_uniform_point, run_nuca_point
+from repro.experiments.store import PointSpec
+from repro.resilience.faults import FaultPlan
+from repro.resilience.variation import VariationModel
+
+from tests.test_golden_e2e import CASES, FIXTURE, SETTINGS, compute_digest
+
+
+def _run_with_idle_resilience(spec: PointSpec):
+    """Run *spec* exactly as the golden harness does, but with an empty
+    fault plan attached and a sigma-0 variation sample applied."""
+    run = run_uniform_point if spec.kind == "uniform" else run_nuca_point
+    return run(
+        spec.config,
+        spec.rate,
+        SETTINGS,
+        short_flit_fraction=spec.short_flit_fraction,
+        shutdown_enabled=spec.shutdown_enabled,
+        seed=spec.seed,
+        faults=FaultPlan(),
+        variation=VariationModel(0.0, seed=3).sample_for(spec.config),
+    )
+
+
+@pytest.fixture(scope="module")
+def golden_digests():
+    if not FIXTURE.exists():
+        pytest.fail("golden fixture missing (see docs/TESTING.md)")
+    data = json.loads(FIXTURE.read_text(encoding="utf-8"))
+    return {name: case["digest"] for name, case in data["cases"].items()}
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_idle_resilience_machinery_is_bit_identical(name, golden_digests):
+    """Attached-but-inactive injector + sigma-0 variation must not move
+    a single bit of any golden case (the zero-cost-when-detached and
+    bit-identical-when-fault-free acceptance gates)."""
+    point = _run_with_idle_resilience(CASES[name])
+    assert compute_digest(point) == golden_digests[name], (
+        f"{name}: idle fault injector / sigma-0 variation perturbed "
+        "the simulation — the resilience hooks are not free"
+    )
+
+
+class TestInjectedFullSanitize:
+    """Every architecture, damaged and audited every cycle."""
+
+    @pytest.mark.parametrize(
+        "spec", [CASES[f"{name}:uniform"] for name in sorted(
+            {key.split(":")[0] for key in CASES}
+        )], ids=lambda spec: spec.config.name,
+    )
+    def test_injected_run_sanitizes_clean(self, spec):
+        config = spec.config
+        plan = FaultPlan.random_links(
+            config.build_topology(), 2, seed=5, cycle=50, mode="drain"
+        )
+        point = run_uniform_point(
+            config,
+            0.1,
+            SETTINGS,
+            sanitize=True,
+            sanitize_interval=1,
+            faults=plan,
+        )
+        result = point.sim
+        assert result.fault_summary["links_killed"] == 2
+        # Audited throughout and never raised; watchdog never tripped.
+        # (REPRO_SANITIZE may have pre-attached a sanitizer with a
+        # coarser cadence — the Simulator keeps it — so derive the
+        # expected audit count from the actual cadence.)
+        assert result.sanity is not None
+        interval = int(os.environ.get("REPRO_SANITIZE_INTERVAL", "1") or 1)
+        assert result.sanity.audits >= (result.cycles - 1) // max(interval, 1)
+        assert result.sanity.last_audit_cycle >= result.cycles - max(interval, 1) - 1
+        assert result.sanity.watchdog_reports == ()
+        # Conservation: everything injected was delivered or counted as
+        # a drop (drain mode wedges nothing).
+        assert result.packets_delivered > 0
+        assert not result.saturated
+
+    def test_variation_run_sanitizes_clean(self):
+        """Variation (a slow corner) composes with the sanitizer too."""
+        from repro.core.arch import make_3dm
+
+        config = make_3dm()
+        variation = VariationModel(0.3, seed=9).sample_for(config)
+        point = run_uniform_point(
+            config,
+            0.1,
+            SETTINGS,
+            sanitize=True,
+            sanitize_interval=1,
+            variation=variation,
+        )
+        assert point.sim.sanity is not None
+        assert point.sim.sanity.watchdog_reports == ()
+        assert point.sim.packets_delivered > 0

@@ -1,0 +1,204 @@
+"""VariationModel property tests: bounds, monotonicity, determinism.
+
+Hypothesis drives the sampling space (sigma, seed, architecture); the
+cross-process test re-derives a sample in fresh interpreters under
+several ``PYTHONHASHSEED`` values (the ``test_store_keys`` pattern) to
+pin the SHA-256 seed derivation the sweep cache key relies on.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.arch import make_2db, make_3db, make_3dm, make_3dme
+from repro.resilience.variation import (
+    VARIATION_CEIL,
+    VARIATION_FLOOR,
+    VariationModel,
+    tier_delay_mean,
+    tier_leakage_mean,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+MAKERS = {
+    "2db": make_2db,
+    "3db": make_3db,
+    "3dm": make_3dm,
+    "3dme": make_3dme,
+}
+
+configs = st.sampled_from(sorted(MAKERS))
+sigmas = st.floats(min_value=0.0, max_value=0.5, allow_nan=False)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def _sample(arch, sigma, seed):
+    return VariationModel(sigma, seed=seed).sample_for(MAKERS[arch]())
+
+
+class TestBounds:
+    @settings(max_examples=60, deadline=None)
+    @given(arch=configs, sigma=sigmas, seed=seeds)
+    def test_all_multipliers_within_physical_range(self, arch, sigma, seed):
+        sample = _sample(arch, sigma, seed)
+        config = MAKERS[arch]()
+        assert len(sample.tier_delay) == config.datapath_layers
+        assert len(sample.tier_leakage) == config.datapath_layers
+        assert len(sample.node_delay) == config.num_nodes
+        assert len(sample.node_leakage) == config.num_nodes
+        for group in (sample.tier_delay, sample.tier_leakage,
+                      sample.node_delay, sample.node_leakage,
+                      (sample.dynamic_multiplier,)):
+            for value in group:
+                assert VARIATION_FLOOR <= value <= VARIATION_CEIL
+
+    @settings(max_examples=30, deadline=None)
+    @given(arch=configs, sigma=sigmas, seed=seeds)
+    def test_derived_multipliers_positive(self, arch, sigma, seed):
+        sample = _sample(arch, sigma, seed)
+        assert sample.worst_delay_multiplier >= VARIATION_FLOOR**2
+        assert sample.leakage_multiplier > 0
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            VariationModel(-0.1)
+
+
+class TestSigmaZeroDegenerates:
+    @settings(max_examples=20, deadline=None)
+    @given(arch=configs, seed=seeds)
+    def test_all_multipliers_exactly_one(self, arch, seed):
+        """gauss(mu, 0.0) == mu exactly: sigma 0 must be the identity
+        (this is what keeps variation-free runs bit-identical)."""
+        sample = _sample(arch, 0.0, seed)
+        assert set(sample.tier_delay) == {1.0}
+        assert set(sample.tier_leakage) == {1.0}
+        assert set(sample.node_delay) == {1.0}
+        assert set(sample.node_leakage) == {1.0}
+        assert sample.dynamic_multiplier == 1.0
+        assert sample.worst_delay_multiplier == 1.0
+        assert sample.leakage_multiplier == 1.0
+
+    @settings(max_examples=10, deadline=None)
+    @given(arch=configs, seed=seeds)
+    def test_apply_to_returns_same_object(self, arch, seed):
+        config = MAKERS[arch]()
+        sample = _sample(arch, 0.0, seed)
+        assert sample.apply_to(config) is config
+
+
+class TestTierMonotonicity:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        sigma=st.floats(min_value=0.01, max_value=0.5, allow_nan=False),
+        tiers=st.integers(min_value=2, max_value=8),
+    )
+    def test_means_worsen_with_tier_index(self, sigma, tiers):
+        """Lower tiers are systematically worse: the *means* grow
+        strictly with tier index (individual draws may still cross)."""
+        delay_means = [tier_delay_mean(t, sigma) for t in range(tiers)]
+        leak_means = [tier_leakage_mean(t, sigma) for t in range(tiers)]
+        assert delay_means == sorted(delay_means)
+        assert leak_means == sorted(leak_means)
+        assert len(set(delay_means)) == tiers
+        assert len(set(leak_means)) == tiers
+        # Leakage is the more sensitive axis: its gradient dominates.
+        for t in range(1, tiers):
+            assert leak_means[t] - 1.0 >= delay_means[t] - 1.0
+
+    def test_tier_expectation_visible_in_samples(self):
+        """Averaged over many seeds, sampled tier multipliers recover
+        the monotone means (law of large numbers, tight sigma)."""
+        config = make_3dm()
+        tiers = config.datapath_layers
+        totals = [0.0] * tiers
+        n = 200
+        for seed in range(n):
+            sample = VariationModel(0.1, seed=seed).sample_for(config)
+            for t in range(tiers):
+                totals[t] += sample.tier_delay[t]
+        averages = [total / n for total in totals]
+        assert averages == sorted(averages)
+
+
+class TestDeterminism:
+    @settings(max_examples=20, deadline=None)
+    @given(arch=configs, sigma=sigmas, seed=seeds)
+    def test_same_inputs_same_sample(self, arch, sigma, seed):
+        assert _sample(arch, sigma, seed) == _sample(arch, sigma, seed)
+
+    @settings(max_examples=20, deadline=None)
+    @given(arch=configs, seed=seeds)
+    def test_different_seeds_differ(self, arch, seed):
+        a = _sample(arch, 0.2, seed)
+        b = _sample(arch, 0.2, seed + 1)
+        assert a != b
+
+    def test_different_architectures_draw_independent_samples(self):
+        """The derivation binds the architecture identity: the same
+        variation seed gives each design its own corner (physically:
+        different chips)."""
+        a = VariationModel(0.2, seed=7).sample_for(make_3dm())
+        b = VariationModel(0.2, seed=7).sample_for(make_3dme())
+        assert a.tier_delay != b.tier_delay
+
+    def test_sample_stable_across_subprocess_and_hashseed(self):
+        """A fresh interpreter with a different PYTHONHASHSEED derives
+        the identical sample (SHA-256 derivation, no dict-order or
+        hash() dependence) — the property point_key relies on."""
+        sample = VariationModel(0.2, seed=42).sample_for(make_3dm())
+        expected = repr(
+            (sample.tier_delay, sample.tier_leakage, sample.node_delay,
+             sample.node_leakage, sample.dynamic_multiplier)
+        )
+        code = (
+            "from repro.core.arch import make_3dm\n"
+            "from repro.resilience.variation import VariationModel\n"
+            "s = VariationModel(0.2, seed=42).sample_for(make_3dm())\n"
+            "print(repr((s.tier_delay, s.tier_leakage, s.node_delay,"
+            " s.node_leakage, s.dynamic_multiplier)))\n"
+        )
+        for hash_seed in ("0", "1", "424242"):
+            proc = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True,
+                text=True,
+                env={
+                    "PYTHONPATH": str(REPO_ROOT / "src"),
+                    "PYTHONHASHSEED": hash_seed,
+                    "PATH": "/usr/bin:/bin",
+                },
+                check=True,
+            )
+            assert proc.stdout.strip() == expected
+
+
+class TestApplyTo:
+    def test_slow_corner_splits_merged_pipeline(self):
+        """A large worst-case delay multiplier must push a merged-ST+LT
+        design back to the split pipeline."""
+        import dataclasses
+
+        config = make_3dm()
+        assert config.combined_st_lt
+        base = VariationModel(0.0, seed=0).sample_for(config)
+        slow = dataclasses.replace(
+            base,
+            tier_delay=tuple(VARIATION_CEIL for _ in base.tier_delay),
+            node_delay=tuple(VARIATION_CEIL for _ in base.node_delay),
+        )
+        adjusted = slow.apply_to(config)
+        assert adjusted is not config
+        assert not adjusted.combined_st_lt
+
+    def test_split_pipeline_config_untouched(self):
+        import dataclasses
+
+        config = dataclasses.replace(make_3dm(), combined_st_lt=False)
+        sample = VariationModel(0.3, seed=1).sample_for(config)
+        assert sample.apply_to(config) is config

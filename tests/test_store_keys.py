@@ -97,6 +97,40 @@ class TestKeyStability:
                 seed=settings.seed + rng.randrange(1, 1000),
             )
             yield PointSpec(make_2db(), "uniform", 0.2)
+            # Resilience fields (schema v3): damage and variation are
+            # point identity too.
+            yield PointSpec(
+                make_3dm(), "uniform", 0.2,
+                fault_links=((0, 0, 1),),
+            )
+            yield PointSpec(
+                make_3dm(), "uniform", 0.2,
+                fault_vcs=((0, 0, 0, rng.randrange(2)),),
+            )
+            yield PointSpec(
+                make_3dm(), "uniform", 0.2,
+                fault_random_links=rng.randrange(1, 4),
+            )
+            yield PointSpec(
+                make_3dm(), "uniform", 0.2,
+                fault_random_links=1, fault_seed=rng.randrange(1, 1000),
+            )
+            yield PointSpec(
+                make_3dm(), "uniform", 0.2,
+                fault_random_links=1, fault_cycle=rng.randrange(1, 1000),
+            )
+            yield PointSpec(
+                make_3dm(), "uniform", 0.2,
+                fault_random_links=1, fault_mode="drain",
+            )
+            yield PointSpec(
+                make_3dm(), "uniform", 0.2,
+                variation_sigma=rng.uniform(0.01, 0.5),
+            )
+            yield PointSpec(
+                make_3dm(), "uniform", 0.2,
+                variation_sigma=0.1, variation_seed=rng.randrange(1, 1000),
+            )
 
         seen = {base_key}
         for trial in range(20):
