@@ -32,6 +32,13 @@ from repro.traffic.workloads import WORKLOADS
 
 _ARCH_BY_NAME = {arch.value: arch for arch in Architecture}
 
+#: ``--topology`` shorthand names for the substrate fabrics.
+_TOPOLOGY_ARCHS = {
+    "ring": Architecture.RING,
+    "chiplet": Architecture.CHIPLET,
+    "irregular": Architecture.IRREGULAR,
+}
+
 
 def _settings(args: argparse.Namespace) -> ExperimentSettings:
     return ExperimentSettings.full() if args.full else ExperimentSettings.quick()
@@ -43,6 +50,26 @@ def _resolve_arch(name: str) -> Architecture:
             f"unknown architecture {name!r}; choose from {sorted(_ARCH_BY_NAME)}"
         )
     return _ARCH_BY_NAME[name]
+
+
+def _make_config(args: argparse.Namespace):
+    """The architecture a simulate/diagnose invocation names.
+
+    ``--topology ring|chiplet|irregular`` overrides ``--arch``;
+    irregular fabrics additionally need ``--topology-file``.
+    """
+    topology = getattr(args, "topology", None)
+    arch = _TOPOLOGY_ARCHS[topology] if topology else _resolve_arch(args.arch)
+    kwargs = {}
+    if arch is Architecture.IRREGULAR:
+        topology_file = getattr(args, "topology_file", None)
+        if not topology_file:
+            raise SystemExit(
+                "irregular fabrics need --topology-file JSON (see "
+                "`repro topologies`)"
+            )
+        kwargs["topology_file"] = topology_file
+    return make_architecture(arch, **kwargs)
 
 
 def _parse_channel(text: str) -> tuple:
@@ -90,7 +117,7 @@ def _fault_plan(args: argparse.Namespace, config):
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
-    config = make_architecture(_resolve_arch(args.arch))
+    config = _make_config(args)
     settings = _settings(args)
     telemetry = None
     if args.metrics_out or args.trace_out:
@@ -346,6 +373,43 @@ def cmd_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_topologies(args: argparse.Namespace) -> int:
+    """List the topology substrate: fabrics, routing dispatch, radix."""
+    from repro.core.arch import fabric_configs
+    from repro.noc.routing import registered_routings, routing_for_topology
+
+    print("routing registry (most-derived topology class wins):")
+    for topo_cls, factory in sorted(
+        registered_routings().items(), key=lambda kv: kv[0].__name__
+    ):
+        factory_name = getattr(factory, "__name__", type(factory).__name__)
+        print(f"  {topo_cls.__name__:<14} -> {factory_name}")
+    print()
+    print("fabric architectures (`repro simulate --topology ...`):")
+    rows = []
+    for config in fabric_configs():
+        topology = config.build_topology()
+        routing = routing_for_topology(topology)
+        rows.append([
+            config.name,
+            type(topology).__name__,
+            f"{topology.num_nodes}",
+            f"{len(topology.links)}",
+            f"{topology.max_radix()}",
+            getattr(routing, "describe", lambda: type(routing).__name__)(),
+        ])
+    print(format_table(
+        ["arch", "topology", "nodes", "links", "radix", "routing"], rows
+    ))
+    print()
+    print(
+        "irregular fabrics: `repro simulate --topology irregular "
+        "--topology-file graph.json` (JSON schema: "
+        "repro.topology.irregular)"
+    )
+    return 0
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Cached, resumable, fault-tolerant sweep over archs x rates."""
     import json
@@ -354,7 +418,19 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.sweep import run_sweep, specs_for_grid
 
     settings = _settings(args)
-    archs = [_resolve_arch(name.strip()) for name in args.archs.split(",")]
+    archs = []
+    for name in args.archs.split(","):
+        arch = _resolve_arch(name.strip())
+        if arch is Architecture.IRREGULAR:
+            if not args.topology_file:
+                raise SystemExit(
+                    "sweeping IRREG needs --topology-file JSON"
+                )
+            archs.append(
+                make_architecture(arch, topology_file=args.topology_file)
+            )
+        else:
+            archs.append(arch)
     if args.rates:
         rates = [float(r) for r in args.rates.split(",")]
     else:
@@ -466,6 +542,24 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         print(dict_table(exp.fig9_energy_breakdown(), row_label="arch"))
     elif name == "fig1":
         print(dict_table(exp.fig1_data_patterns(), row_label="workload"))
+    elif name == "fig_topology":
+        results = exp.fig_topology(settings, store=store)
+        print("--- layer-shutdown saving by fabric (Fig. 13b protocol) ---")
+        print(dict_table(
+            {
+                arch: {f"{s:g} short": v for s, v in by_s.items()}
+                for arch, by_s in results["shutdown"].items()
+            },
+            row_label="fabric",
+        ))
+        print("--- uniform-random latency by fabric ---")
+        print(dict_table(
+            {
+                arch: {f"{r:g}": lat for r, lat in series}
+                for arch, series in results["latency"].items()
+            },
+            row_label="fabric",
+        ))
     elif name == "fig_resilience":
         variation = exp.fig_resilience_variation(settings, store=store)
         faults = exp.fig_resilience_faults(settings, store=store)
@@ -483,8 +577,8 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     else:
         raise SystemExit(
             "unknown experiment; choose from fig1, fig9, fig11a, fig11b, "
-            "fig11d, fig12a, fig13a, fig13b, fig13c, fig_resilience (run "
-            "the benchmark suite for the rest)"
+            "fig11d, fig12a, fig13a, fig13b, fig13c, fig_resilience, "
+            "fig_topology (run the benchmark suite for the rest)"
         )
     return 0
 
@@ -540,6 +634,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     sim = sub.add_parser("simulate", help="simulate one architecture")
     sim.add_argument("--arch", default="3DM", help="2DB/3DB/3DM/3DM-E/...")
+    sim.add_argument(
+        "--topology", choices=sorted(_TOPOLOGY_ARCHS), default=None,
+        help="simulate a substrate fabric instead of --arch "
+        "(see `repro topologies`)",
+    )
+    sim.add_argument(
+        "--topology-file", default=None, metavar="PATH",
+        help="JSON link-list file for --topology irregular",
+    )
     sim.add_argument("--rate", type=float, default=0.2)
     sim.add_argument("--traffic", choices=["uniform", "nuca"], default="uniform")
     sim.add_argument("--short-flits", type=float, default=0.0)
@@ -690,6 +793,12 @@ def build_parser() -> argparse.ArgumentParser:
     wl = sub.add_parser("workloads", help="list workload models")
     wl.set_defaults(func=cmd_workloads)
 
+    topo = sub.add_parser(
+        "topologies",
+        help="list the topology substrate: fabrics, routing, radix",
+    )
+    topo.set_defaults(func=cmd_topologies)
+
     ex = sub.add_parser("experiment", help="run a table/figure harness")
     ex.add_argument("name")
     ex.add_argument(
@@ -709,7 +818,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--archs", default="2DB,3DB,3DM,3DM(NC),3DM-E,3DM-E(NC)",
-        help="comma-separated architecture names",
+        help="comma-separated architecture names (fabrics RING, CHIPLET "
+        "and IRREG sweep too; see `repro topologies`)",
+    )
+    sweep.add_argument(
+        "--topology-file", default=None, metavar="PATH",
+        help="JSON link-list file backing IRREG entries in --archs",
     )
     sweep.add_argument(
         "--rates", default="",

@@ -19,21 +19,32 @@ A configuration knows its topology, geometry (pitches, radix, layer
 count), node roles (CPU vs cache placement, Fig. 10) and whether the
 timing model permits the single-stage switch+link traversal; it can build
 ready-to-run :class:`~repro.noc.network.Network` instances.
+
+Beyond the paper's six, the library ships three more fabrics riding on
+the generic topology substrate — :data:`Architecture.RING`,
+:data:`Architecture.CHIPLET` and :data:`Architecture.IRREGULAR` — each a
+multi-layered MIRA-style router design applied to a non-mesh graph and
+routed by precomputed deadlock-free tables
+(:class:`~repro.noc.table_routing.TableRouting`).
 """
 
 from __future__ import annotations
 
 import dataclasses
 import enum
+import hashlib
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.noc.network import Network
 from repro.timing.delay import can_combine_st_lt
 from repro.topology.base import Topology
+from repro.topology.chiplet import ChipletMesh
 from repro.topology.express_mesh import ExpressMesh
+from repro.topology.irregular import IrregularTopology
 from repro.topology.mesh2d import Mesh2D
 from repro.topology.mesh3d import Mesh3D
+from repro.topology.ring import Ring
 
 #: Tile pitch of a planar (2DB/3DB) layout, mm (Table 2: ~3.1 mm).
 PLANAR_PITCH_MM = 3.16
@@ -49,8 +60,13 @@ DEFAULT_VCS = 2
 DEFAULT_BUFFER_DEPTH = 8
 
 
+def _file_digest(path: str) -> str:
+    with open(path, "rb") as fh:
+        return hashlib.sha256(fh.read()).hexdigest()
+
+
 class Architecture(enum.Enum):
-    """The six evaluated configurations."""
+    """The paper's six configurations plus the substrate fabrics."""
 
     BASELINE_2D = "2DB"
     BASELINE_3D = "3DB"
@@ -58,6 +74,12 @@ class Architecture(enum.Enum):
     MIRA_3DM_NC = "3DM(NC)"
     MIRA_3DM_E = "3DM-E"
     MIRA_3DM_E_NC = "3DM-E(NC)"
+    #: Multi-layered routers on a bidirectional ring (table-routed).
+    RING = "RING"
+    #: Multi-layered routers on a tile mesh with centered IO hub nodes.
+    CHIPLET = "CHIPLET"
+    #: Multi-layered routers on a JSON-defined irregular graph.
+    IRREGULAR = "IRREG"
 
 
 @dataclass(frozen=True)
@@ -93,6 +115,12 @@ class ArchitectureConfig:
     cpu_nodes: Tuple[int, ...] = field(default_factory=tuple)
     #: Node ids hosting L2 cache banks.
     cache_nodes: Tuple[int, ...] = field(default_factory=tuple)
+    #: Nodes beyond the dims product (chiplet hubs); 0 for grids.
+    extra_nodes: int = 0
+    #: JSON link-list file for IRREGULAR fabrics ("" otherwise).
+    topology_file: str = ""
+    #: sha256 of the topology file at config-build time ("" = unchecked).
+    topology_digest: str = ""
 
     @property
     def name(self) -> str:
@@ -103,7 +131,7 @@ class ArchitectureConfig:
         n = 1
         for d in self.dims:
             n *= d
-        return n
+        return n + self.extra_nodes
 
     @property
     def is_multilayer(self) -> bool:
@@ -113,6 +141,9 @@ class ArchitectureConfig:
             Architecture.MIRA_3DM_NC,
             Architecture.MIRA_3DM_E,
             Architecture.MIRA_3DM_E_NC,
+            Architecture.RING,
+            Architecture.CHIPLET,
+            Architecture.IRREGULAR,
         )
 
     @property
@@ -125,6 +156,25 @@ class ArchitectureConfig:
         if self.arch is Architecture.BASELINE_3D:
             width, height, depth = self.dims
             return Mesh3D(width, height, depth, pitch_mm=self.pitch_mm)
+        if self.arch is Architecture.RING:
+            return Ring(self.dims[0], pitch_mm=self.pitch_mm)
+        if self.arch is Architecture.CHIPLET:
+            width, height = self.dims
+            return ChipletMesh(
+                width, height, self.pitch_mm, hubs=self.extra_nodes
+            )
+        if self.arch is Architecture.IRREGULAR:
+            if not self.topology_file:
+                raise ValueError("IRREGULAR config has no topology_file")
+            if self.topology_digest:
+                digest = _file_digest(self.topology_file)
+                if digest != self.topology_digest:
+                    raise ValueError(
+                        f"topology file {self.topology_file} changed since "
+                        f"the config was built (sha256 {digest[:12]} != "
+                        f"{self.topology_digest[:12]})"
+                    )
+            return IrregularTopology.from_json(self.topology_file)
         width, height = self.dims
         if self.express_span:
             return ExpressMesh(width, height, self.pitch_mm, span=self.express_span)
@@ -330,6 +380,104 @@ def make_3dme(
     return _multilayer_config(arch, width, height, num_cpus, express_span=span, nc=nc)
 
 
+def _evenly_spaced_nodes(num_nodes: int, count: int) -> List[int]:
+    """CPU ids spread uniformly around coordinate-free fabrics."""
+    if count > num_nodes:
+        raise ValueError("more CPUs than nodes")
+    return [(i * num_nodes) // count for i in range(count)]
+
+
+def _fabric_config(
+    arch: Architecture,
+    topology: Topology,
+    dims: Tuple[int, ...],
+    cpus: List[int],
+    *,
+    extra_nodes: int = 0,
+    pitch_mm: float = MULTILAYER_PITCH_MM,
+    topology_file: str = "",
+    topology_digest: str = "",
+) -> ArchitectureConfig:
+    """MIRA-style multi-layer router parameters on a substrate fabric.
+
+    Radix follows the fabric's widest router; the ST+LT merge is decided
+    by the same timing query as the 3DM family, against the fabric's
+    longest wire.
+    """
+    ports = topology.max_radix()
+    max_link = max(link.length_mm for link in topology.links)
+    combinable = can_combine_st_lt(
+        ports=ports,
+        flit_bits=DEFAULT_FLIT_BITS,
+        layers=DEFAULT_LAYERS,
+        link_length_mm=max_link,
+    )
+    caches = [n for n in range(topology.num_nodes) if n not in set(cpus)]
+    return ArchitectureConfig(
+        arch=arch,
+        layers=DEFAULT_LAYERS,
+        ports=ports,
+        flit_bits=DEFAULT_FLIT_BITS,
+        vcs=DEFAULT_VCS,
+        buffer_depth=DEFAULT_BUFFER_DEPTH,
+        pitch_mm=pitch_mm,
+        max_link_mm=max_link,
+        combined_st_lt=combinable,
+        dims=dims,
+        cpu_nodes=tuple(cpus),
+        cache_nodes=tuple(caches),
+        extra_nodes=extra_nodes,
+        topology_file=topology_file,
+        topology_digest=topology_digest,
+    )
+
+
+def make_ring(num_nodes: int = 16, num_cpus: int = 8) -> ArchitectureConfig:
+    """Multi-layered routers on a bidirectional ring."""
+    topology = Ring(num_nodes, MULTILAYER_PITCH_MM)
+    cpus = _evenly_spaced_nodes(num_nodes, num_cpus)
+    return _fabric_config(Architecture.RING, topology, (num_nodes,), cpus)
+
+
+def make_chiplet(
+    width: int = 6, height: int = 6, hubs: int = 2, num_cpus: int = 8
+) -> ArchitectureConfig:
+    """Multi-layered routers on a hub-augmented chiplet mesh.
+
+    CPUs keep the Fig. 10 middle-block placement on the tile grid; the
+    IO hubs join the cache side of the NUCA traffic split.
+    """
+    topology = ChipletMesh(width, height, MULTILAYER_PITCH_MM, hubs=hubs)
+    cpus = _middle_block_nodes(width, height, num_cpus)
+    return _fabric_config(
+        Architecture.CHIPLET,
+        topology,
+        (width, height),
+        cpus,
+        extra_nodes=hubs,
+    )
+
+
+def make_irregular(topology_file: str, num_cpus: int = 8) -> ArchitectureConfig:
+    """Multi-layered routers on a JSON-defined irregular graph.
+
+    The file's sha256 is pinned into the config so cached experiment
+    results can never silently refer to an edited graph.
+    """
+    topology = IrregularTopology.from_json(topology_file)
+    cpus = _evenly_spaced_nodes(
+        topology.num_nodes, min(num_cpus, topology.num_nodes)
+    )
+    return _fabric_config(
+        Architecture.IRREGULAR,
+        topology,
+        (topology.num_nodes,),
+        cpus,
+        topology_file=str(topology_file),
+        topology_digest=_file_digest(str(topology_file)),
+    )
+
+
 def make_architecture(arch: Architecture, **kwargs) -> ArchitectureConfig:
     """Factory keyed on the :class:`Architecture` enum."""
     if arch is Architecture.BASELINE_2D:
@@ -344,6 +492,16 @@ def make_architecture(arch: Architecture, **kwargs) -> ArchitectureConfig:
         return make_3dme(**kwargs)
     if arch is Architecture.MIRA_3DM_E_NC:
         return make_3dme(nc=True, **kwargs)
+    if arch is Architecture.RING:
+        return make_ring(**kwargs)
+    if arch is Architecture.CHIPLET:
+        return make_chiplet(**kwargs)
+    if arch is Architecture.IRREGULAR:
+        if "topology_file" not in kwargs:
+            raise ValueError(
+                "IRREGULAR needs a topology_file (JSON link list)"
+            )
+        return make_irregular(**kwargs)
     raise ValueError(f"unknown architecture: {arch}")
 
 
@@ -360,3 +518,13 @@ def standard_configs(include_nc: bool = True) -> List[ArchitectureConfig]:
     else:
         archs += [Architecture.MIRA_3DM, Architecture.MIRA_3DM_E]
     return [make_architecture(a) for a in archs]
+
+
+def fabric_configs() -> List[ArchitectureConfig]:
+    """The cross-fabric comparison set: mesh vs ring vs chiplet.
+
+    All three carry identical multi-layer router parameters, so the
+    ``fig_topology`` experiment isolates the fabric's contribution to
+    the layer-shutdown power opportunity.
+    """
+    return [make_3dm(), make_ring(num_nodes=36), make_chiplet()]

@@ -27,7 +27,7 @@ from typing import Iterable, Optional, Set, Tuple
 
 from repro.core.arch import ArchitectureConfig
 from repro.noc.network import Network
-from repro.noc.routing import UnroutableError
+from repro.noc.routing import RoutingBase, UnroutableError
 from repro.topology.base import LOCAL_PORT, LinkKind
 from repro.topology.express_mesh import EXPRESS_FOR, ExpressMesh
 from repro.topology.mesh2d import EAST, NORTH, SOUTH, WEST
@@ -51,7 +51,7 @@ def both_directions(src: int, dst: int) -> Set[Channel]:
     return {(src, dst), (dst, src)}
 
 
-class FaultTolerantExpressRouting:
+class FaultTolerantExpressRouting(RoutingBase):
     """Express-mesh X-Y routing that steers around failed channels.
 
     The failure set is mutable so a runtime

@@ -81,6 +81,11 @@ from repro.experiments.resilience_exp import (
     fig_resilience_variation,
     variation_summary,
 )
+from repro.experiments.topology_exp import (
+    fig_topology,
+    fig_topology_latency,
+    fig_topology_shutdown,
+)
 
 __all__ = [
     "ExperimentSettings",
@@ -139,4 +144,7 @@ __all__ = [
     "fig_resilience_faults",
     "variation_summary",
     "fault_summary_table",
+    "fig_topology",
+    "fig_topology_shutdown",
+    "fig_topology_latency",
 ]

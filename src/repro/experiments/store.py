@@ -51,7 +51,9 @@ from repro.power.energy import LayerPowerReport, PowerReport
 #: v2: layer-resolved event histograms, node_layer_activity, layer_power.
 #: v3: fault-injection and process-variation spec fields; drop counters
 #: and fault summary in the serialised sim result.
-SCHEMA_VERSION = 3
+#: v4: substrate-fabric config fields (extra_nodes, topology_file,
+#: topology_digest) and the RING/CHIPLET/IRREG architectures.
+SCHEMA_VERSION = 4
 
 
 # ---------------------------------------------------------------------------

@@ -36,7 +36,7 @@ import traceback
 from multiprocessing import get_context
 from typing import Any, Callable, Dict, IO, List, Optional, Sequence, Tuple
 
-from repro.core.arch import Architecture, make_architecture
+from repro.core.arch import Architecture, ArchitectureConfig, make_architecture
 from repro.experiments.config import ExperimentSettings
 from repro.experiments.runner import PointResult, run_point_spec
 from repro.experiments.store import (
@@ -58,7 +58,7 @@ _POLL_S = 0.01
 
 
 def specs_for_grid(
-    archs: Sequence[Architecture],
+    archs: Sequence[Any],
     rates: Sequence[float],
     kind: str = "uniform",
     short_flit_fraction: float = 0.0,
@@ -68,6 +68,12 @@ def specs_for_grid(
 ) -> List[PointSpec]:
     """The ``archs x rates`` grid as PointSpecs (arch-major order).
 
+    Each entry of *archs* is either an :class:`Architecture` enum member
+    (expanded through :func:`make_architecture` with defaults) or an
+    already-built :class:`ArchitectureConfig` — so custom fabrics
+    (non-default ring sizes, irregular graphs) sweep through the same
+    grid builder and cache keying as the paper's six designs.
+
     Extra keyword arguments (``fault_random_links``, ``fault_seed``,
     ``fault_mode``, ``variation_sigma``, ``variation_seed``, ...) pass
     straight through to every :class:`PointSpec`, so resilience sweeps
@@ -75,7 +81,11 @@ def specs_for_grid(
     """
     return [
         PointSpec(
-            config=make_architecture(arch),
+            config=(
+                arch
+                if isinstance(arch, ArchitectureConfig)
+                else make_architecture(arch)
+            ),
             kind=kind,
             rate=rate,
             short_flit_fraction=short_flit_fraction,

@@ -1,0 +1,96 @@
+"""Cross-fabric experiments on the generic topology substrate.
+
+``fig_topology`` re-runs the paper's layer-shutdown power evaluation
+(the simulated Fig. 13b path) on each substrate fabric — the 6x6 mesh
+the paper measures, a 36-node bidirectional ring and the hub-augmented
+chiplet mesh — holding the multi-layer router parameters fixed so the
+comparison isolates the fabric: how much of the shutdown opportunity
+survives when the graph, not the router, changes.
+
+Every point flows through :func:`~repro.experiments.store.cached_point_run`,
+so fabrics key into the shared result store exactly like the paper's
+architectures (the v4 key payload carries the fabric fields).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.arch import ArchitectureConfig, fabric_configs
+from repro.experiments.config import ExperimentSettings
+from repro.experiments.store import PointSpec, ResultStore, cached_point_run
+
+#: Payload short-flit fractions evaluated per fabric (Fig. 13b's axis).
+DEFAULT_SHORT_FRACTIONS = (0.25, 0.50)
+
+
+def fig_topology_shutdown(
+    short_fractions: Tuple[float, ...] = DEFAULT_SHORT_FRACTIONS,
+    configs: Optional[List[ArchitectureConfig]] = None,
+    settings: Optional[ExperimentSettings] = None,
+    rate: float = 0.1,
+    store: Optional[ResultStore] = None,
+) -> Dict[str, Dict[float, float]]:
+    """Layer-shutdown dynamic-power saving per fabric.
+
+    Returns fabric name -> {short fraction -> saved fraction}, same
+    shape as :func:`~repro.experiments.thermal_exp.fig13b_shutdown_savings`
+    so existing plotting/reporting code consumes it unchanged.
+    """
+    configs = configs or fabric_configs()
+    settings = settings or ExperimentSettings.from_env()
+    out: Dict[str, Dict[float, float]] = {}
+    for config in configs:
+        out[config.name] = {}
+        for s in short_fractions:
+            point = cached_point_run(
+                store,
+                PointSpec(
+                    config, "uniform", rate,
+                    short_flit_fraction=s, shutdown_enabled=True,
+                ),
+                settings,
+            )
+            out[config.name][s] = point.layer_power.shutdown_saving_fraction
+    return out
+
+
+def fig_topology_latency(
+    configs: Optional[List[ArchitectureConfig]] = None,
+    settings: Optional[ExperimentSettings] = None,
+    rates: Optional[Tuple[float, ...]] = None,
+    store: Optional[ResultStore] = None,
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Uniform-random load/latency curve per fabric (context for the
+    shutdown numbers: a fabric that saves power by congesting is not
+    saving anything)."""
+    configs = configs or fabric_configs()
+    settings = settings or ExperimentSettings.from_env()
+    if rates is None:
+        rates = tuple(settings.uniform_rates[:3])
+    out: Dict[str, List[Tuple[float, float]]] = {}
+    for config in configs:
+        series: List[Tuple[float, float]] = []
+        for rate in rates:
+            point = cached_point_run(
+                store, PointSpec(config, "uniform", rate), settings
+            )
+            series.append((rate, point.sim.avg_latency))
+        out[config.name] = series
+    return out
+
+
+def fig_topology(
+    settings: Optional[ExperimentSettings] = None,
+    configs: Optional[List[ArchitectureConfig]] = None,
+    store: Optional[ResultStore] = None,
+    short_fractions: Tuple[float, ...] = DEFAULT_SHORT_FRACTIONS,
+    rate: float = 0.1,
+) -> Dict[str, Dict]:
+    """The full cross-fabric comparison: shutdown savings + latency."""
+    return {
+        "shutdown": fig_topology_shutdown(
+            short_fractions, configs, settings, rate=rate, store=store
+        ),
+        "latency": fig_topology_latency(configs, settings, store=store),
+    }

@@ -20,11 +20,12 @@ from __future__ import annotations
 
 from typing import Iterable, List, Set, Tuple
 
+from repro.noc.routing import RoutingBase
 from repro.topology.base import LOCAL_PORT
 from repro.topology.mesh2d import EAST, Mesh2D, NORTH, SOUTH, WEST
 
 
-class WestFirstAdaptiveRouting:
+class WestFirstAdaptiveRouting(RoutingBase):
     """West-first minimal adaptive routing on a 2D mesh.
 
     Optionally fault-aware: channels in :attr:`failed` (grown at runtime

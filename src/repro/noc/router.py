@@ -168,16 +168,23 @@ class Router:
             raise ValueError("vc_by_class needs at least 2 virtual channels")
         #: Adaptive routing functions offer several productive ports; the
         #: RC stage then picks the one with the most downstream credits.
-        self._adaptive = bool(getattr(routing, "is_adaptive", False))
-        #: Routing functions with a VC discipline (torus datelines)
-        #: dictate the permissible out VCs per packet at VA time.
-        self._vc_discipline = bool(getattr(routing, "has_vc_discipline", False))
+        #: These capability flags are part of the RoutingFunction
+        #: protocol (RoutingBase supplies defaults), so no getattr
+        #: duck-typing probes are needed.
+        self._adaptive = routing.is_adaptive
+        #: Routing functions with a VC discipline (torus datelines,
+        #: escape-layer tables) dictate the permissible out VCs per
+        #: packet at VA time.
+        self._vc_discipline = routing.has_vc_discipline
         if self._vc_discipline and vc_by_class:
             raise ValueError(
                 "vc_by_class cannot be combined with a routing VC discipline"
             )
-        if self._vc_discipline and num_vcs < 2:
-            raise ValueError("dateline VC discipline needs >= 2 VCs")
+        if num_vcs < routing.required_vcs:
+            raise ValueError(
+                f"routing function needs >= {routing.required_vcs} virtual "
+                f"channels, got {num_vcs}"
+            )
         self._network: Optional["Network"] = None
 
         self.port_names: List[str] = topology.port_names(node)
@@ -847,11 +854,12 @@ class Router:
         if self._vc_discipline:
             fifo = vc_fifos[i]
             if fifo:
-                return tuple(
-                    self.routing.allowed_vcs(
-                        fifo[0], self.node, self.port_names[out_port]
-                    )
+                vcs = self.routing.allowed_vcs(
+                    fifo[0], self.node, self.port_names[out_port]
                 )
+                # None from the discipline means "unrestricted here"
+                # (e.g. ejection ports) — same meaning as no discipline.
+                return None if vcs is None else tuple(vcs)
         elif self.vc_by_class:
             fifo = vc_fifos[i]
             if fifo:

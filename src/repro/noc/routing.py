@@ -14,12 +14,13 @@ port name* to take; the router resolves the name to a port index.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Optional, Protocol, Tuple
+from typing import Callable, Dict, FrozenSet, Optional, Protocol, Tuple, Type
 
 from repro.topology.base import LOCAL_PORT, Topology
 from repro.topology.express_mesh import EXPRESS_FOR, ExpressMesh
 from repro.topology.mesh2d import EAST, Mesh2D, NORTH, SOUTH, WEST
 from repro.topology.mesh3d import DOWN, Mesh3D, UP
+from repro.topology.torus import Torus2D
 
 
 class UnroutableError(RuntimeError):
@@ -47,7 +48,25 @@ class UnroutableError(RuntimeError):
 
 
 class RoutingFunction(Protocol):
-    """Deterministic output-port selector."""
+    """Deterministic output-port selector.
+
+    Beyond the core :meth:`output_port` map, every routing function
+    carries three capability attributes and two VC-discipline hooks.
+    The attributes were formerly probed with ``getattr`` duck-typing in
+    the router's constructor; they are now part of the protocol, with
+    neutral defaults provided by :class:`RoutingBase`, so the router
+    reads them directly.
+    """
+
+    #: Offers several productive ports (``candidate_ports``); the RC
+    #: stage picks the one with the most downstream credits.
+    is_adaptive: bool
+    #: Dictates the permissible output VCs per packet at VA time
+    #: (torus datelines, escape-layer table routing).
+    has_vc_discipline: bool
+    #: Minimum virtual channels per physical channel the function's
+    #: deadlock-freedom argument needs (checked at router build time).
+    required_vcs: int
 
     def output_port(self, node: int, dst: int) -> str:
         """Port name to take from *node* towards *dst*.
@@ -57,8 +76,43 @@ class RoutingFunction(Protocol):
         """
         ...
 
+    def allowed_vcs(self, flit, node: int, out_port: str) -> Optional[Tuple[int, ...]]:
+        """VC set the packet may claim on *out_port* at *node*.
 
-class XYRouting:
+        ``None`` means unrestricted (any VC); only consulted when
+        :attr:`has_vc_discipline` is true.
+        """
+        ...
+
+    def note_traverse(self, flit, link) -> None:
+        """Discipline-state update on every switch traversal of a head
+        flit; only invoked when :attr:`has_vc_discipline` is true."""
+        ...
+
+
+class RoutingBase:
+    """Default implementations of the :class:`RoutingFunction` protocol.
+
+    Concrete routing functions subclass this and override what they
+    need; the defaults are the common case (deterministic, single
+    candidate port, no VC discipline, deadlock-free with one VC).
+    """
+
+    is_adaptive = False
+    has_vc_discipline = False
+    required_vcs = 1
+
+    def output_port(self, node: int, dst: int) -> str:
+        raise NotImplementedError
+
+    def allowed_vcs(self, flit, node: int, out_port: str) -> Optional[Tuple[int, ...]]:
+        return None  # unrestricted
+
+    def note_traverse(self, flit, link) -> None:
+        return None
+
+
+class XYRouting(RoutingBase):
     """Dimension-ordered routing for a 2D mesh: X fully first, then Y."""
 
     def __init__(self, topology: Mesh2D) -> None:
@@ -78,7 +132,7 @@ class XYRouting:
         return LOCAL_PORT
 
 
-class XYZRouting:
+class XYZRouting(RoutingBase):
     """Dimension-ordered routing for a 3D mesh: X, then Y, then Z."""
 
     def __init__(self, topology: Mesh3D) -> None:
@@ -102,7 +156,7 @@ class XYZRouting:
         return LOCAL_PORT
 
 
-class ExpressXYRouting:
+class ExpressXYRouting(RoutingBase):
     """X-Y routing that prefers express channels for long in-dimension runs.
 
     From a node with an express channel in the productive direction, the
@@ -136,7 +190,7 @@ class ExpressXYRouting:
         return LOCAL_PORT
 
 
-class TorusXYRouting:
+class TorusXYRouting(RoutingBase):
     """Shortest-direction dimension-ordered routing on a 2D torus, with
     Dally's dateline VC discipline for deadlock freedom.
 
@@ -150,10 +204,10 @@ class TorusXYRouting:
 
     #: Routers must ask us for the permitted VCs per packet.
     has_vc_discipline = True
+    #: The dateline split needs VC 0 (pre-wrap) and VC 1 (post-wrap).
+    required_vcs = 2
 
     def __init__(self, topology: "Torus2D") -> None:
-        from repro.topology.torus import Torus2D
-
         if not isinstance(topology, Torus2D):
             raise TypeError("torus routing requires a Torus2D topology")
         self.topology = topology
@@ -201,16 +255,72 @@ class TorusXYRouting:
             flit.wrapped_y = True
 
 
-def routing_for_topology(topology: Topology) -> RoutingFunction:
-    """Pick the canonical deterministic routing function for *topology*."""
-    from repro.topology.torus import Torus2D
+# ---------------------------------------------------------------------------
+# Topology -> routing registry
+# ---------------------------------------------------------------------------
 
-    if isinstance(topology, Torus2D):
-        return TorusXYRouting(topology)
-    if isinstance(topology, ExpressMesh):
-        return ExpressXYRouting(topology)
-    if isinstance(topology, Mesh3D):
-        return XYZRouting(topology)
-    if isinstance(topology, Mesh2D):
-        return XYRouting(topology)
+#: Factory producing the canonical routing function for one topology class.
+RoutingFactory = Callable[[Topology], RoutingFunction]
+
+_ROUTING_REGISTRY: Dict[Type[Topology], RoutingFactory] = {}
+
+
+def register_routing(
+    topo_cls: Type[Topology], factory: Optional[RoutingFactory] = None
+):
+    """Register *factory* as the canonical routing for *topo_cls*.
+
+    Dispatch follows the topology's MRO, so registering a subclass
+    shadows its bases and third-party fabrics plug in without editing
+    this module::
+
+        register_routing(MyFabric, MyRouting)          # direct
+        @register_routing(MyFabric)                    # or as decorator
+        def make_routing(topology): ...
+
+    Registering the same class again replaces the previous factory.
+    """
+    if factory is None:
+        def _decorator(fn: RoutingFactory) -> RoutingFactory:
+            _ROUTING_REGISTRY[topo_cls] = fn
+            return fn
+
+        return _decorator
+    _ROUTING_REGISTRY[topo_cls] = factory
+    return factory
+
+
+def registered_routings() -> Dict[Type[Topology], RoutingFactory]:
+    """Snapshot of the registry (topology class -> routing factory)."""
+    return dict(_ROUTING_REGISTRY)
+
+
+def routing_for_topology(topology: Topology) -> RoutingFunction:
+    """Pick the canonical deterministic routing function for *topology*.
+
+    Walks the topology's MRO through the registry: the most specific
+    registered class wins.  Every :class:`~repro.topology.base.Topology`
+    subclass resolves — the base-class fallback is the generic
+    deadlock-free :class:`~repro.noc.table_routing.TableRouting` — so a
+    ``TypeError`` only means *topology* is not a Topology at all.
+    """
+    for cls in type(topology).__mro__:
+        factory = _ROUTING_REGISTRY.get(cls)
+        if factory is not None:
+            return factory(topology)
     raise TypeError(f"no routing function registered for {type(topology).__name__}")
+
+
+def _table_routing_factory(topology: Topology) -> RoutingFunction:
+    # Imported lazily: table_routing pulls in the CDG checker, which
+    # transitively imports this module.
+    from repro.noc.table_routing import TableRouting
+
+    return TableRouting(topology)
+
+
+register_routing(Torus2D, TorusXYRouting)
+register_routing(ExpressMesh, ExpressXYRouting)
+register_routing(Mesh3D, XYZRouting)
+register_routing(Mesh2D, XYRouting)
+register_routing(Topology, _table_routing_factory)

@@ -15,11 +15,15 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.express import route_path
+from repro.noc.packet import Packet
 from repro.noc.routing import UnroutableError
-from repro.topology.base import Topology
+from repro.topology.base import LOCAL_PORT, Topology
 
 #: A directed channel identified by (source node, destination node).
 Channel = Tuple[int, int]
+
+#: A CDG node for VC-disciplined routing: (channel, virtual channel).
+VCChannel = Tuple[Channel, int]
 
 
 def channel_dependency_graph(
@@ -47,6 +51,63 @@ def channel_dependency_graph(
                 graph.setdefault(held, set()).add(wanted)
             for channel in channels:
                 graph.setdefault(channel, set())
+    return graph
+
+
+def vc_channel_dependency_graph(
+    topology: Topology, routing, num_vcs: int
+) -> Dict[VCChannel, Set[VCChannel]]:
+    """Layered CDG for routing functions with a VC discipline.
+
+    For schemes like torus datelines or escape-layer table routing the
+    *physical* channel graph is cyclic by design; deadlock freedom comes
+    from splitting each channel into per-VC resources.  This builds the
+    CDG over ``(channel, vc)`` nodes: every ordered pair is routed with
+    a probe flit, the discipline's :meth:`allowed_vcs` gives the VC set
+    the packet may hold on each channel (``None`` = all ``num_vcs``),
+    and :meth:`note_traverse` advances any per-flit discipline state
+    (e.g. dateline crossings) exactly as the router would.  Acyclicity
+    of this graph is the Dally & Seitz condition for the disciplined
+    network.
+    """
+    graph: Dict[VCChannel, Set[VCChannel]] = {}
+    for src in range(topology.num_nodes):
+        for dst in range(topology.num_nodes):
+            if src == dst:
+                continue
+            # A real packet/flit pair, so discipline hooks that read or
+            # mutate flit state (dateline flags) see the true interface.
+            flit = Packet(src=src, dst=dst, size_flits=1).make_flits()[0]
+            node = src
+            held: Optional[List[VCChannel]] = None
+            hops = 0
+            while node != dst:
+                try:
+                    port = routing.output_port(node, dst)
+                except UnroutableError:
+                    break  # counted drop in simulation; no dependency
+                if port == LOCAL_PORT:
+                    raise RuntimeError(
+                        f"routing stalled at node {node} before {dst}"
+                    )
+                link = topology.out_ports[node][port]
+                vcs = routing.allowed_vcs(flit, node, port)
+                if vcs is None:
+                    vcs = range(num_vcs)
+                wanted = [((node, link.dst), vc) for vc in vcs]
+                for unit in wanted:
+                    graph.setdefault(unit, set())
+                if held is not None:
+                    for held_unit in held:
+                        graph[held_unit].update(wanted)
+                routing.note_traverse(flit, link)
+                held = wanted
+                node = link.dst
+                hops += 1
+                if hops > topology.num_nodes:
+                    raise RuntimeError(
+                        f"routing livelock from {src} to {dst}"
+                    )
     return graph
 
 

@@ -7,6 +7,12 @@ Three topologies appear in the paper (Sec. 4.1.1, Figs. 3, 7, 10):
 * a 6x6 express mesh (2D mesh plus multi-hop express channels, Fig. 7)
   used by 3DM-E.
 
+The library additionally ships fabrics beyond the paper — a
+bidirectional :class:`~repro.topology.ring.Ring`, a
+:class:`~repro.topology.chiplet.ChipletMesh` with centered IO hubs, and
+JSON-defined :class:`~repro.topology.irregular.IrregularTopology` graphs
+— routed by the generic table substrate rather than coordinate rules.
+
 All topologies expose the :class:`~repro.topology.base.Topology` interface:
 a set of nodes with geometric coordinates and a set of directed links with
 named ports, physical lengths and link kinds.
@@ -17,6 +23,9 @@ from repro.topology.mesh2d import Mesh2D
 from repro.topology.mesh3d import Mesh3D
 from repro.topology.express_mesh import ExpressMesh
 from repro.topology.torus import Torus2D
+from repro.topology.ring import Ring
+from repro.topology.chiplet import ChipletMesh
+from repro.topology.irregular import IrregularTopology
 
 __all__ = [
     "LinkKind",
@@ -26,4 +35,7 @@ __all__ = [
     "Mesh3D",
     "ExpressMesh",
     "Torus2D",
+    "Ring",
+    "ChipletMesh",
+    "IrregularTopology",
 ]

@@ -1,0 +1,115 @@
+"""Chiplet-style mesh: a regular tile mesh plus centered IO/hub nodes.
+
+Models the chiplet-integration floorplans from the ROADMAP's scenario
+item (a compute mesh whose off-chip traffic funnels through a few
+centrally placed IO chiplets): ``width x height`` mesh tiles keep their
+ids and cardinal links, and ``hubs`` extra nodes are appended after
+them, each wired to a small cross of central tiles.  Router radix is
+heterogeneous by construction — a hub carries one port per attached
+tile, a hub-attached tile grows a sixth ``IO`` port — which is exactly
+what the coordinate-free table-routing substrate exists to handle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.topology.base import LinkKind, LinkSpec, Topology
+from repro.topology.mesh2d import Mesh2D
+
+#: Port name on a tile towards its hub.
+IO_PORT = "IO"
+
+
+class ChipletMesh(Topology):
+    """A ``width x height`` mesh with ``hubs`` centered IO nodes.
+
+    Tile ids are row-major like :class:`~repro.topology.mesh2d.Mesh2D`;
+    hub *k* gets id ``width * height + k``.  Each hub anchors at an
+    evenly spaced position along the middle row and links bidirectionally
+    to its anchor tile plus the anchor's west/north/south neighbours
+    (skipping tiles another hub already claimed).  Hub wires are one
+    pitch long — the hub die sits directly over its anchor region.
+    """
+
+    def __init__(
+        self, width: int, height: int, pitch_mm: float, hubs: int = 2
+    ) -> None:
+        if width < 2 or height < 2:
+            raise ValueError(
+                f"chiplet mesh needs a >= 2x2 tile grid, got {width}x{height}"
+            )
+        if hubs < 1:
+            raise ValueError(f"hubs must be >= 1, got {hubs}")
+        if hubs > width:
+            raise ValueError(f"at most one hub per column: {hubs} > {width}")
+        self.width = width
+        self.height = height
+        self.pitch_mm = pitch_mm
+        self.hubs = hubs
+        num_tiles = width * height
+        # The tile mesh contributes its links unchanged.
+        links: List[LinkSpec] = list(Mesh2D(width, height, pitch_mm).links)
+        self.hub_tiles: Dict[int, Tuple[int, ...]] = {}
+        claimed: set = set()
+        mid_y = height // 2
+        for k in range(hubs):
+            hub = num_tiles + k
+            anchor_x = (k + 1) * width // (hubs + 1)
+            anchor = mid_y * width + anchor_x
+            candidates = [anchor]
+            if anchor_x > 0:
+                candidates.append(anchor - 1)  # west neighbour
+            if mid_y > 0:
+                candidates.append(anchor - width)  # north neighbour
+            if mid_y + 1 < height:
+                candidates.append(anchor + width)  # south neighbour
+            attached = []
+            for port_idx, tile in enumerate(
+                t for t in candidates if t not in claimed
+            ):
+                claimed.add(tile)
+                attached.append(tile)
+                hub_port = f"H{port_idx}"
+                links.append(self._hub_link(hub, tile, hub_port, IO_PORT))
+                links.append(self._hub_link(tile, hub, IO_PORT, hub_port))
+            if not attached:
+                raise ValueError(
+                    f"hub {k} found no free anchor tiles; reduce hubs"
+                )
+            self.hub_tiles[hub] = tuple(attached)
+        super().__init__(num_tiles + hubs, links)
+
+    def _hub_link(
+        self, src: int, dst: int, src_port: str, dst_port: str
+    ) -> LinkSpec:
+        return LinkSpec(
+            src=src,
+            dst=dst,
+            src_port=src_port,
+            dst_port=dst_port,
+            kind=LinkKind.NORMAL,
+            length_mm=self.pitch_mm,
+            span=1,
+        )
+
+    @property
+    def num_tiles(self) -> int:
+        return self.width * self.height
+
+    def is_hub(self, node: int) -> bool:
+        return node >= self.num_tiles
+
+    def coordinates(self, node: int) -> Tuple[int, int]:
+        """Grid coordinates of a *tile*; hub nodes sit off-grid."""
+        if self.is_hub(node):
+            raise ValueError(f"hub node {node} has no grid coordinates")
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range")
+        return node % self.width, node // self.width
+
+    def node_at(self, coords: Tuple[int, ...]) -> int:
+        x, y = coords
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ValueError(f"coordinates {coords} out of range")
+        return y * self.width + x

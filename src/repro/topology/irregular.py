@@ -1,0 +1,146 @@
+"""Irregular topologies loaded from a JSON link list.
+
+The substrate's escape hatch: any directed link graph — a gem5-style
+custom fabric, a cut-down floorplan, a randomly grown test graph —
+becomes a first-class topology by writing it down as JSON::
+
+    {
+      "num_nodes": 4,
+      "links": [
+        {"src": 0, "dst": 1},
+        {"src": 1, "dst": 0, "length_mm": 2.0},
+        {"src": 1, "dst": 2, "src_port": "X", "dst_port": "Y"},
+        ...
+      ]
+    }
+
+Only ``src`` and ``dst`` are required per link.  ``length_mm`` defaults
+to the file-level ``pitch_mm`` (default 1.0), ``kind`` to ``"normal"``,
+``span`` to 1 and ``wrap`` to false.  Port names default to ``P<peer>``
+— the same name for the output to and the input from one neighbour, so
+a full-duplex pair occupies a single router port exactly like a mesh
+direction; explicit ``src_port``/``dst_port`` override (required when
+parallel links to the same peer would collide).
+
+Routing comes from the table substrate; pairs with no directed path are
+reported unroutable (counted drops in simulation), matching the fault
+machinery's semantics for severed fabrics.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Tuple, Union
+
+from repro.topology.base import LinkKind, LinkSpec, Topology
+
+_KIND_BY_NAME = {kind.value: kind for kind in LinkKind}
+
+
+class IrregularTopology(Topology):
+    """A topology defined purely by its directed link list."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        links: Sequence[LinkSpec],
+        source: str = "<links>",
+    ) -> None:
+        #: Where the graph came from (file path or ``"<links>"``).
+        self.source = source
+        super().__init__(num_nodes, links)
+
+    # Irregular graphs have no geometry; Topology.coordinates already
+    # raises NotImplementedError, which is the honest answer here.
+
+    @classmethod
+    def from_json(
+        cls, path: Union[str, Path]
+    ) -> "IrregularTopology":
+        """Load a topology from a JSON link-list file."""
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except ValueError as exc:
+            raise ValueError(f"{path}: not valid JSON: {exc}") from exc
+        return cls.from_dict(data, source=str(path))
+
+    @classmethod
+    def from_dict(
+        cls, data: Dict[str, Any], source: str = "<dict>"
+    ) -> "IrregularTopology":
+        """Build from the parsed JSON structure (see module docstring)."""
+        try:
+            num_nodes = int(data["num_nodes"])
+            raw_links = data["links"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(
+                f"{source}: topology JSON needs 'num_nodes' and 'links'"
+            ) from exc
+        pitch_mm = float(data.get("pitch_mm", 1.0))
+        links: List[LinkSpec] = []
+        for i, raw in enumerate(raw_links):
+            try:
+                src, dst = int(raw["src"]), int(raw["dst"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"{source}: link {i} needs integer 'src' and 'dst'"
+                ) from exc
+            kind_name = raw.get("kind", LinkKind.NORMAL.value)
+            if kind_name not in _KIND_BY_NAME:
+                raise ValueError(
+                    f"{source}: link {i} has unknown kind {kind_name!r} "
+                    f"(choose from {sorted(_KIND_BY_NAME)})"
+                )
+            links.append(
+                LinkSpec(
+                    src=src,
+                    dst=dst,
+                    src_port=raw.get("src_port", f"P{dst}"),
+                    dst_port=raw.get("dst_port", f"P{src}"),
+                    kind=_KIND_BY_NAME[kind_name],
+                    length_mm=float(raw.get("length_mm", pitch_mm)),
+                    span=int(raw.get("span", 1)),
+                    wrap=bool(raw.get("wrap", False)),
+                )
+            )
+        return cls(num_nodes, links, source=source)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON structure :meth:`from_dict` accepts (round-trips)."""
+        return {
+            "num_nodes": self.num_nodes,
+            "links": [
+                {
+                    "src": link.src,
+                    "dst": link.dst,
+                    "src_port": link.src_port,
+                    "dst_port": link.dst_port,
+                    "kind": link.kind.value,
+                    "length_mm": link.length_mm,
+                    "span": link.span,
+                    "wrap": link.wrap,
+                }
+                for link in self.links
+            ],
+        }
+
+    def to_json(self, path: Union[str, Path]) -> Path:
+        """Write the topology to *path* as formatted JSON."""
+        path = Path(path)
+        path.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+
+def duplex(
+    src: int, dst: int, length_mm: float = 1.0
+) -> Tuple[LinkSpec, LinkSpec]:
+    """Both directions of a full-duplex irregular link (test helper)."""
+    return (
+        LinkSpec(src, dst, f"P{dst}", f"P{src}", LinkKind.NORMAL, length_mm),
+        LinkSpec(dst, src, f"P{src}", f"P{dst}", LinkKind.NORMAL, length_mm),
+    )

@@ -1,0 +1,73 @@
+"""Bidirectional ring topology (library extension beyond the paper's
+meshes; cf. the ring-router microarchitecture literature in PAPERS.md).
+
+Every router has radix 3 — local plus one channel in each rotational
+direction — the cheapest fabric that still offers path diversity.  The
+closing links are flagged ``wrap`` like the torus dateline channels and,
+per the folded layout, modelled at twice the pitch; all other links are
+one pitch long.
+
+No coordinate routing function exists for a ring with wrap links: the
+canonical routing comes from the generic table substrate
+(:class:`~repro.noc.table_routing.TableRouting`), whose auto mode picks
+the escape-VC scheme — shortest paths both ways around, deadlock-free
+with the paper's standard 2 VCs because each direction's dependency
+cycle is cut at exactly one (antipodal) forbidden turn.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.topology.base import LinkKind, LinkSpec, Topology
+
+#: Rotational port names: clockwise = increasing node id.
+CLOCKWISE, COUNTER = "CW", "CCW"
+
+
+class Ring(Topology):
+    """A bidirectional ring of ``num_nodes`` (>= 3) routers.
+
+    Node ids run clockwise; node *i* reaches ``(i + 1) % N`` through its
+    ``CW`` port and ``(i - 1) % N`` through ``CCW``.
+    """
+
+    def __init__(self, num_nodes: int, pitch_mm: float) -> None:
+        if num_nodes < 3:
+            raise ValueError(f"a ring needs >= 3 nodes, got {num_nodes}")
+        if pitch_mm <= 0:
+            raise ValueError(f"pitch_mm must be positive, got {pitch_mm}")
+        self.pitch_mm = pitch_mm
+        links: List[LinkSpec] = []
+        for i in range(num_nodes):
+            cw = (i + 1) % num_nodes
+            ccw = (i - 1) % num_nodes
+            links.append(self._link(i, cw, CLOCKWISE, COUNTER, i == num_nodes - 1))
+            links.append(self._link(i, ccw, COUNTER, CLOCKWISE, i == 0))
+        super().__init__(num_nodes, links)
+
+    def _link(
+        self, src: int, dst: int, src_port: str, dst_port: str, wrap: bool
+    ) -> LinkSpec:
+        return LinkSpec(
+            src=src,
+            dst=dst,
+            src_port=src_port,
+            dst_port=dst_port,
+            kind=LinkKind.NORMAL,
+            # Folded layout: the closing wire doubles back across the row.
+            length_mm=self.pitch_mm * (2 if wrap else 1),
+            span=1,
+            wrap=wrap,
+        )
+
+    def coordinates(self, node: int) -> Tuple[int, ...]:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range")
+        return (node,)
+
+    def node_at(self, coords: Tuple[int, ...]) -> int:
+        (position,) = coords
+        if not 0 <= position < self.num_nodes:
+            raise ValueError(f"coordinates {coords} out of range")
+        return position

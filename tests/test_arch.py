@@ -119,10 +119,23 @@ class Test3DME:
 
 class TestFactories:
     def test_make_architecture_all_variants(self):
+        paper_six = (
+            Architecture.BASELINE_2D, Architecture.BASELINE_3D,
+            Architecture.MIRA_3DM, Architecture.MIRA_3DM_NC,
+            Architecture.MIRA_3DM_E, Architecture.MIRA_3DM_E_NC,
+        )
         for arch in Architecture:
+            if arch is Architecture.IRREGULAR:
+                # Irregular fabrics have no default graph.
+                with pytest.raises(ValueError):
+                    make_architecture(arch)
+                continue
             config = make_architecture(arch)
             assert config.arch is arch
-            assert config.num_nodes == 36
+            if arch in paper_six:
+                assert config.num_nodes == 36
+            else:
+                assert config.num_nodes == config.build_topology().num_nodes
 
     def test_standard_configs_order_and_count(self):
         configs = standard_configs()

@@ -24,7 +24,7 @@ from typing import Any, Dict
 
 import pytest
 
-from repro.core.arch import make_2db, make_3dm, standard_configs
+from repro.core.arch import make_2db, make_3dm, make_chiplet, make_ring, standard_configs
 from repro.experiments.config import ExperimentSettings
 from repro.experiments.export import point_to_dict
 from repro.experiments.runner import PointResult, run_point_spec
@@ -49,13 +49,16 @@ SETTINGS = ExperimentSettings(
 
 def _cases() -> Dict[str, PointSpec]:
     """Uniform traffic on all six architectures, plus NUCA on the two
-    ends of the design space (2DB and 3DM) for request/response coverage."""
+    ends of the design space (2DB and 3DM) for request/response coverage,
+    plus the table-routed substrate fabrics (ring and chiplet)."""
     cases = {
         f"{config.name}:uniform": PointSpec(config, "uniform", 0.1)
         for config in standard_configs()
     }
     cases["2DB:nuca"] = PointSpec(make_2db(), "nuca", 0.1)
     cases["3DM:nuca"] = PointSpec(make_3dm(), "nuca", 0.1)
+    cases["RING:uniform"] = PointSpec(make_ring(), "uniform", 0.1)
+    cases["CHIPLET:uniform"] = PointSpec(make_chiplet(), "uniform", 0.1)
     return cases
 
 

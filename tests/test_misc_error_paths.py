@@ -64,16 +64,20 @@ def test_vc_buffer_depth_validated_via_network():
         Network(Mesh2D(2, 1, pitch_mm=1.0), buffer_depth=0)
 
 
-def test_unknown_routing_topology_rejected():
+def test_plain_topology_falls_back_to_table_routing():
+    """The registry's Topology-base entry catches fabrics without a
+    coordinate routing function; only non-topologies are rejected."""
     from repro.noc.routing import routing_for_topology
+    from repro.noc.table_routing import TableRouting
     from repro.topology.base import LinkKind, LinkSpec, Topology
 
     plain = Topology(2, [
         LinkSpec(0, 1, "E", "W", LinkKind.NORMAL, 1.0),
         LinkSpec(1, 0, "W", "E", LinkKind.NORMAL, 1.0),
     ])
+    assert isinstance(routing_for_topology(plain), TableRouting)
     with pytest.raises(TypeError):
-        routing_for_topology(plain)
+        routing_for_topology(object())
 
 
 def test_run_helper_steps_cycles():
